@@ -1,0 +1,94 @@
+// Quantifies the paper's headline claim (Section 5): "the need of shorter
+// test suites for localizing detected faults ... only suspicious
+// transitions require additional tests, rather than every transition in
+// the CFSMs, such as done in existing test selection methods with a strong
+// diagnostic power (i.e., W or DS methods)".
+//
+// For a sweep of random systems we compare, per detected fault, the
+// *additional* inputs the adaptive diagnoser applies against the cost of
+// the two strong-diagnostic-power baselines a tester would otherwise run:
+//   - the per-machine W suite (distributed W-method), and
+//   - the classic W-method on the composed product machine.
+// The detection suite itself (a transition tour) is charged to both sides.
+#include <iostream>
+
+#include "cfsmdiag.hpp"
+
+int main() {
+    using namespace cfsmdiag;
+
+    struct row {
+        std::size_t machines, states;
+        std::uint64_t seed;
+    };
+    const std::vector<row> sweep{
+        {2, 3, 11}, {2, 4, 12}, {2, 5, 13}, {2, 6, 14},
+        {3, 3, 21}, {3, 4, 22}, {3, 5, 23},
+        {4, 3, 31}, {4, 4, 32},
+    };
+
+    std::cout << "=== adaptive diagnosis vs W/DS-style full suites ===\n"
+              << "(mean additional inputs per detected fault vs one-shot "
+                 "suite cost in inputs)\n\n";
+    text_table t({"N", "states/M", "transitions", "tour", "adaptive mean",
+                  "adaptive max", "per-machine W", "product W",
+                  "product states", "speedup vs prodW"});
+
+    for (const row& r : sweep) {
+        rng random(r.seed);
+        random_system_options gen;
+        gen.machines = r.machines;
+        gen.states_per_machine = r.states;
+        gen.extra_transitions = 2 * r.states;
+        const cfsmdiag::system spec = random_system(gen, random);
+
+        const test_suite tour = transition_tour(spec).suite;
+        auto faults = enumerate_all_faults(spec);
+        // Cap for time: a deterministic sample across the universe.
+        if (faults.size() > 150) {
+            std::vector<single_transition_fault> sample;
+            for (std::size_t i = 0; i < faults.size();
+                 i += faults.size() / 150 + 1)
+                sample.push_back(faults[i]);
+            faults = std::move(sample);
+        }
+
+        const campaign_stats stats = run_campaign(spec, tour, faults);
+        std::size_t max_inputs = 0;
+        for (const auto& e : stats.entries)
+            if (e.detected) max_inputs = std::max(max_inputs,
+                                                  e.additional_inputs);
+
+        const test_suite pmw = per_machine_w_suite(spec).suite;
+        std::size_t product_w_inputs = 0;
+        std::size_t product_states = 0;
+        try {
+            const composition comp = compose(spec, 200'000);
+            product_states = comp.machine.state_count();
+            product_w_inputs = product_w_suite(spec, 200'000).total_inputs();
+        } catch (const model_error&) {
+            // state explosion: report as such below
+        }
+
+        const double mean = stats.mean_additional_inputs;
+        t.add_row({std::to_string(r.machines), std::to_string(r.states),
+                   std::to_string(spec.total_transitions()),
+                   std::to_string(tour.total_inputs()),
+                   fmt_double(mean, 1), std::to_string(max_inputs),
+                   std::to_string(pmw.total_inputs()),
+                   product_w_inputs ? std::to_string(product_w_inputs)
+                                    : "explosion",
+                   product_states ? std::to_string(product_states) : ">2e5",
+                   product_w_inputs && mean > 0
+                       ? fmt_double(static_cast<double>(product_w_inputs) /
+                                        mean,
+                                    0) + "x"
+                       : "-"});
+    }
+    std::cout << t
+              << "\nshape check (paper): adaptive additional effort stays "
+                 "near-constant and orders of magnitude below the W "
+                 "suites, which grow with |states|^2 * |inputs| of the "
+                 "product.\n";
+    return 0;
+}

@@ -1,0 +1,128 @@
+// Diagnostic power of a-priori suites vs the adaptive algorithm.
+//
+// Three tiers of non-adaptive suite, per system:
+//   1. detection-only  — transition tour (cheap, no localization power),
+//   2. method suites   — per-machine W / Wp / UIO / DS (the classic
+//      checking-sequence methods the paper's conclusion names),
+//   3. full diagnostic — the a-priori suite that separates every pair of
+//      single-transition fault hypotheses (companion work [7]).
+// For each: size, detection rate over the fault universe, and *residual
+// ambiguity* (mean number of consistent hypotheses left after running just
+// that suite, no adaptivity).  The adaptive algorithm's cost (mean extra
+// inputs after the tour) is printed alongside — the paper's pitch is that
+// tier 1 + adaptivity beats paying tier 2/3 up front.
+#include <iostream>
+
+#include "cfsmdiag.hpp"
+
+namespace {
+
+using namespace cfsmdiag;
+
+/// Mean number of single-fault hypotheses consistent with the observations
+/// after running `suite` alone (no additional tests), over detected faults.
+double residual_ambiguity(const cfsmdiag::system& spec,
+                          const test_suite& suite,
+                          const std::vector<single_transition_fault>&
+                              faults) {
+    double sum = 0;
+    std::size_t detected = 0;
+    diagnoser_options opts;
+    opts.structured_step6 = false;
+    opts.fallback_search = false;
+    for (const auto& f : faults) {
+        simulated_iut iut(spec, f);
+        const auto result = diagnose(spec, suite, iut, opts);
+        if (result.outcome == diagnosis_outcome::passed) continue;
+        ++detected;
+        sum += static_cast<double>(result.final_diagnoses.size());
+    }
+    return detected ? sum / static_cast<double>(detected) : 0.0;
+}
+
+}  // namespace
+
+int main() {
+    struct target {
+        std::string name;
+        cfsmdiag::system spec;
+    };
+    std::vector<target> targets;
+    targets.push_back({"figure1", paperex::make_paper_example().spec});
+    {
+        rng random(55);
+        random_system_options gen;
+        gen.machines = 3;
+        gen.states_per_machine = 3;
+        gen.extra_transitions = 6;
+        targets.push_back({"rand3x3", random_system(gen, random)});
+    }
+
+    for (const auto& [name, spec] : targets) {
+        auto faults = enumerate_all_faults(spec);
+        if (faults.size() > 120) faults.resize(120);
+
+        std::cout << "=== " << name << " (" << spec.total_transitions()
+                  << " transitions, " << faults.size() << " faults) ===\n";
+
+        struct suite_row {
+            std::string name;
+            test_suite suite;
+        };
+        std::vector<suite_row> rows;
+        rows.push_back({"tour (detection only)",
+                        transition_tour(spec).suite});
+        rows.push_back(
+            {"per-machine W",
+             per_machine_method_suite(spec, verification_method::w).suite});
+        rows.push_back(
+            {"per-machine Wp",
+             per_machine_method_suite(spec, verification_method::wp)
+                 .suite});
+        rows.push_back(
+            {"per-machine UIO",
+             per_machine_method_suite(spec, verification_method::uio)
+                 .suite});
+        rows.push_back(
+            {"per-machine DS",
+             per_machine_method_suite(spec, verification_method::ds)
+                 .suite});
+        const auto dx = apriori_diagnostic_suite(spec);
+        rows.push_back({"a-priori diagnostic [7]", dx.suite});
+
+        text_table t({"suite", "cases", "inputs", "detection",
+                      "residual hypotheses"});
+        for (const auto& row : rows) {
+            t.add_row({row.name, std::to_string(row.suite.size()),
+                       std::to_string(row.suite.total_inputs()),
+                       fmt_double(100.0 * detection_rate(spec, row.suite,
+                                                         faults),
+                                  1) +
+                           "%",
+                       fmt_double(
+                           residual_ambiguity(spec, row.suite, faults),
+                           2)});
+        }
+        std::cout << t;
+
+        const auto stats =
+            run_campaign(spec, transition_tour(spec).suite, faults);
+        std::cout << "adaptive (tour + Step 6): mean "
+                  << fmt_double(stats.mean_additional_inputs, 2)
+                  << " extra inputs per detected fault, "
+                  << fmt_double(100.0 *
+                                    static_cast<double>(stats.localized +
+                                                        stats
+                                                            .localized_equiv) /
+                                    std::max<std::size_t>(stats.detected, 1),
+                                1)
+                  << "% localized\n";
+        std::cout << "a-priori suite: " << dx.hypotheses << " hypotheses, "
+                  << dx.equivalent_groups << " irreducible group(s)\n\n";
+    }
+    std::cout << "shape check: full-diagnostic suites localize without "
+                 "adaptivity (residual ≈ equivalence class) but cost far "
+                 "more inputs than tour + adaptive Step 6; detection-only "
+                 "suites leave several consistent hypotheses.\n";
+    return 0;
+}

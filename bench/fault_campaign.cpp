@@ -1,0 +1,227 @@
+// Extended evaluation: exhaustive single/double fault-injection campaigns.
+//
+// The paper guarantees "the correct diagnosis of any single or double
+// faults (output and/or transfer) in at most one of the transitions".  We
+// check that guarantee over the full admissible fault universe, broken down
+// by fault class, on the paper's Figure-1 system and on random systems —
+// and ablate the two design choices DESIGN.md calls out:
+//   - evaluation mode: the paper's flag routing vs the complete hypothesis
+//     sweep (the routing is cheaper but needs escalation in corner cases),
+//   - Step 6 strategy: structured paper-shaped tests vs pure joint-state
+//     search.
+#include <iostream>
+
+#include "cfsmdiag.hpp"
+
+namespace {
+
+using namespace cfsmdiag;
+
+struct class_row {
+    std::string name;
+    std::vector<single_transition_fault> faults;
+};
+
+void run_block(const cfsmdiag::system& spec, const test_suite& suite,
+               const std::vector<class_row>& classes,
+               const campaign_options& opts) {
+    text_table t({"fault class", "injected", "detected", "exact",
+                  "up-to-equiv", "sound", "mean add. tests",
+                  "mean add. inputs", "escalations", "fallbacks"});
+    for (const auto& cls : classes) {
+        const auto stats = run_campaign(spec, suite, cls.faults, opts);
+        auto pct = [&](std::size_t n, std::size_t d) {
+            return d == 0 ? std::string("-")
+                          : fmt_double(100.0 * static_cast<double>(n) /
+                                           static_cast<double>(d),
+                                       1) +
+                                "%";
+        };
+        t.add_row({cls.name, std::to_string(stats.total),
+                   pct(stats.detected, stats.total),
+                   pct(stats.localized, stats.detected),
+                   pct(stats.localized_equiv, stats.detected),
+                   pct(stats.sound, stats.detected),
+                   fmt_double(stats.mean_additional_tests, 2),
+                   fmt_double(stats.mean_additional_inputs, 2),
+                   std::to_string(stats.escalations),
+                   std::to_string(stats.fallbacks)});
+    }
+    std::cout << t;
+}
+
+std::vector<class_row> classes_of(const cfsmdiag::system& spec,
+                                  std::size_t cap) {
+    auto trim = [&](std::vector<single_transition_fault> v) {
+        if (v.size() > cap) v.resize(cap);
+        return v;
+    };
+    return {
+        {"output", trim(enumerate_output_faults(spec))},
+        {"transfer", trim(enumerate_transfer_faults(spec))},
+        {"output+transfer", trim(enumerate_double_faults(spec))},
+    };
+}
+
+}  // namespace
+
+int main() {
+    std::cout << "=== campaign A: Figure-1 system, transition-tour suite "
+                 "===\n";
+    const auto ex = paperex::make_paper_example();
+    const test_suite ex_suite = transition_tour(ex.spec).suite;
+    run_block(ex.spec, ex_suite, classes_of(ex.spec, 10'000), {});
+
+    std::cout << "\n=== campaign B: Figure-1 system, Table-1 suite only "
+                 "(two test cases) ===\n";
+    run_block(ex.spec, ex.suite, classes_of(ex.spec, 10'000), {});
+
+    std::cout << "\n=== campaign C: random 3x4 system, tour + random walks "
+                 "===\n";
+    rng random(777);
+    random_system_options gen;
+    gen.machines = 3;
+    gen.states_per_machine = 4;
+    gen.extra_transitions = 8;
+    const cfsmdiag::system rnd = random_system(gen, random);
+    test_suite rnd_suite = transition_tour(rnd).suite;
+    rng walk_rng(778);
+    rnd_suite.extend(random_walk_suite(rnd, walk_rng,
+                                       {.cases = 6, .steps_per_case = 12}));
+    run_block(rnd, rnd_suite, classes_of(rnd, 150), {});
+
+    std::cout << "\n=== campaign D: protocol models, tour + 4 walks ===\n";
+    {
+        text_table t({"model", "faults", "detected", "exact",
+                      "up-to-equiv", "sound", "mean add. tests",
+                      "mean add. inputs"});
+        for (const auto& [name, sys] : models::all_models()) {
+            test_suite suite = transition_tour(sys).suite;
+            rng wr(4321);
+            suite.extend(random_walk_suite(
+                sys, wr, {.cases = 4, .steps_per_case = 12}));
+            auto faults = enumerate_all_faults(sys);
+            if (faults.size() > 120) faults.resize(120);
+            const auto stats = run_campaign(sys, suite, faults, {});
+            auto pct = [&](std::size_t n, std::size_t d) {
+                return d == 0 ? std::string("-")
+                              : fmt_double(100.0 * static_cast<double>(n) /
+                                               static_cast<double>(d),
+                                           1) +
+                                    "%";
+            };
+            t.add_row({name, std::to_string(stats.total),
+                       pct(stats.detected, stats.total),
+                       pct(stats.localized, stats.detected),
+                       pct(stats.localized_equiv, stats.detected),
+                       pct(stats.sound, stats.detected),
+                       fmt_double(stats.mean_additional_tests, 2),
+                       fmt_double(stats.mean_additional_inputs, 2)});
+        }
+        std::cout << t;
+    }
+
+    std::cout << "\n=== campaign E: addressing faults (extension, paper §5 "
+                 "future work) ===\n";
+    {
+        text_table t({"system", "faults", "detected", "exact",
+                      "up-to-equiv", "sound", "mean add. tests"});
+        auto run_addr = [&](const std::string& name,
+                            const cfsmdiag::system& sys) {
+            test_suite suite = transition_tour(sys).suite;
+            rng wr(999);
+            suite.extend(random_walk_suite(
+                sys, wr, {.cases = 4, .steps_per_case = 10}));
+            campaign_options opts;
+            opts.diag.include_addressing_faults = true;
+            const auto stats = run_campaign(
+                sys, suite, enumerate_addressing_faults(sys), opts);
+            auto pct = [&](std::size_t n, std::size_t d) {
+                return d == 0 ? std::string("-")
+                              : fmt_double(100.0 * static_cast<double>(n) /
+                                               static_cast<double>(d),
+                                           1) +
+                                    "%";
+            };
+            t.add_row({name, std::to_string(stats.total),
+                       pct(stats.detected, stats.total),
+                       pct(stats.localized, stats.detected),
+                       pct(stats.localized_equiv, stats.detected),
+                       pct(stats.sound, stats.detected),
+                       fmt_double(stats.mean_additional_tests, 2)});
+        };
+        run_addr("figure1", ex.spec);
+        run_addr("token_ring3", models::token_ring3());
+        std::cout << t
+                  << "(without include_addressing_faults these IUTs end "
+                     "in 'no consistent hypothesis' — the paper's fault "
+                     "model cannot express them)\n";
+    }
+
+    std::cout << "\n=== ablation: evaluation mode and Step 6 strategy "
+                 "(random 3x4 system, all classes mixed) ===\n";
+    auto mixed = enumerate_all_faults(rnd);
+    if (mixed.size() > 200) mixed.resize(200);
+
+    struct variant {
+        std::string name;
+        campaign_options opts;
+    };
+    std::vector<variant> variants;
+    {
+        variant v;
+        v.name = "complete + structured (default)";
+        variants.push_back(v);
+    }
+    {
+        variant v;
+        v.name = "paper flag routing + structured";
+        v.opts.diag.evaluation = evaluation_mode::paper_flag_routing;
+        variants.push_back(v);
+    }
+    {
+        variant v;
+        v.name = "complete + fallback search only";
+        v.opts.diag.structured_step6 = false;
+        variants.push_back(v);
+    }
+    {
+        variant v;
+        v.name = "complete + structured, no fallback";
+        v.opts.diag.fallback_search = false;
+        variants.push_back(v);
+    }
+
+    text_table t({"variant", "detected", "exact", "up-to-equiv",
+                  "ambiguous", "sound", "mean add. tests",
+                  "mean add. inputs", "escalations", "fallbacks"});
+    for (const auto& v : variants) {
+        const auto stats = run_campaign(rnd, rnd_suite, mixed, v.opts);
+        auto pct = [&](std::size_t n) {
+            return stats.detected == 0
+                       ? std::string("-")
+                       : fmt_double(100.0 * static_cast<double>(n) /
+                                        static_cast<double>(stats.detected),
+                                    1) +
+                             "%";
+        };
+        t.add_row({v.name, std::to_string(stats.detected),
+                   pct(stats.localized), pct(stats.localized_equiv),
+                   pct(stats.ambiguous), pct(stats.sound),
+                   fmt_double(stats.mean_additional_tests, 2),
+                   fmt_double(stats.mean_additional_inputs, 2),
+                   std::to_string(stats.escalations),
+                   std::to_string(stats.fallbacks)});
+    }
+    std::cout << t
+              << "\nshape check: the complete evaluation is 100% sound "
+                 "(the paper's guarantee); the paper's literal flag "
+                 "routing loses a few percent even with "
+                 "escalation-on-death — when it drops the truth while a "
+                 "spurious candidate survives every test, nothing "
+                 "triggers the escalation (see DESIGN.md §5) — which is "
+                 "why `complete` is the library default; disabling the "
+                 "fallback search leaves some faults only ambiguously "
+                 "localized.\n";
+    return 0;
+}

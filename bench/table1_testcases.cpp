@@ -1,0 +1,53 @@
+// Regenerates the paper's Table 1: "Test cases and their outputs".
+//
+// For each of the two test cases TS = {tc1, tc2}: the input sequence, the
+// specification transitions each step fires, the expected output sequence,
+// and the output sequence observed on the implementation (spec with the
+// transfer fault in t''4).  Paper values are printed alongside for a direct
+// diff; see EXPERIMENTS.md for the mapping of the paper's compact notation
+// (c'3 = c' at port P3) to ours (c'@P3).
+#include <iostream>
+
+#include "cfsmdiag.hpp"
+
+int main() {
+    using namespace cfsmdiag;
+    const auto ex = paperex::make_paper_example();
+    const symbol_table& sym = ex.spec.symbols();
+
+    const char* paper_rows[2][4] = {
+        {"R, a1, c'3, c1, t2, x3",
+         "tr, t1, t\"1, t6 t'1, t'6 t\"4, t\"5 t7",
+         "-, c'1, a3, a2, b3, d'1", "-, c'1, a3, a2, b3, c'1"},
+        {"R, a1, c'2, d'2, c'3, x3, f1",
+         "-, t1, t'1, t'4, t\"1, t\"5 t4, t5 t\"1",
+         "-, c'1, a2, b2, a3, d'1, a3", "-, c'1, a2, b2, a3, d'1, a3"},
+    };
+
+    std::cout << "=== Table 1: Test cases and their outputs ===\n\n";
+    simulated_iut iut(ex.spec, ex.fault);
+    for (std::size_t i = 0; i < ex.suite.cases.size(); ++i) {
+        const test_case& tc = ex.suite.cases[i];
+        std::vector<std::string> fired, expect, observed;
+        for (const auto& step : explain(ex.spec, tc.inputs)) {
+            fired.push_back(fired_label(ex.spec, step));
+            expect.push_back(to_string(step.expected, sym));
+        }
+        for (const auto& obs : iut.execute(tc.inputs))
+            observed.push_back(to_string(obs, sym));
+
+        text_table t({"row", "paper", "reproduced"});
+        t.add_row({"input", paper_rows[i][0], to_string(tc, sym)});
+        t.add_row({"spec transitions", paper_rows[i][1],
+                   join(fired, ", ")});
+        t.add_row({"expected output", paper_rows[i][2],
+                   join(expect, ", ")});
+        t.add_row({"observed output", paper_rows[i][3],
+                   join(observed, ", ")});
+        std::cout << "tc" << (i + 1) << ":\n" << t << "\n";
+    }
+    std::cout << "note: the paper writes t\"k for M3's transitions and "
+                 "tags symbols with a bare port digit; we print t''k and "
+                 "sym@P#.\n";
+    return 0;
+}

@@ -1,0 +1,78 @@
+// Exhaustive fault-injection campaign on a randomly generated CFSM system.
+//
+//   $ ./fault_campaign [seed]
+//
+// Generates a three-machine system, enumerates every admissible
+// single-transition fault (output, transfer, and double), diagnoses each
+// detected one, and reports the aggregate: detection rate, localization
+// rate, and the cost of the adaptive additional tests.  This is the
+// paper's guarantee ("correct diagnosis of any single or double faults"),
+// exercised at scale.
+#include <cstdlib>
+#include <iostream>
+
+#include "cfsmdiag.hpp"
+
+int main(int argc, char** argv) {
+    using namespace cfsmdiag;
+
+    const std::uint64_t seed =
+        argc > 1 ? std::strtoull(argv[1], nullptr, 10) : 2026;
+    rng random(seed);
+    random_system_options gen;
+    gen.machines = 3;
+    gen.states_per_machine = 4;
+    gen.extra_transitions = 8;
+    const cfsmdiag::system spec = random_system(gen, random);
+
+    std::cout << "system (seed " << seed << "): " << spec.machine_count()
+              << " machines, " << spec.total_transitions()
+              << " transitions\n";
+
+    const test_suite suite = transition_tour(spec).suite;
+    std::cout << "detection suite: transition tour, "
+              << suite.total_inputs() << " inputs\n";
+
+    const auto faults = enumerate_all_faults(spec);
+    std::cout << "fault universe: " << faults.size() << " faults\n\n";
+
+    const campaign_stats stats = run_campaign(spec, suite, faults);
+
+    text_table table({"metric", "value"});
+    auto pct = [&](std::size_t n, std::size_t d) {
+        return d == 0 ? std::string("n/a")
+                      : fmt_double(100.0 * static_cast<double>(n) /
+                                       static_cast<double>(d),
+                                   1) +
+                            "%";
+    };
+    table.add_row({"faults injected", std::to_string(stats.total)});
+    table.add_row({"detected by suite", pct(stats.detected, stats.total)});
+    table.add_row({"localized exactly", pct(stats.localized,
+                                            stats.detected)});
+    table.add_row({"localized up to equivalence",
+                   pct(stats.localized_equiv, stats.detected)});
+    table.add_row(
+        {"truth among final diagnoses", pct(stats.sound, stats.detected)});
+    table.add_row({"mean initial diagnoses",
+                   fmt_double(stats.mean_initial_diagnoses, 2)});
+    table.add_row({"mean final diagnoses",
+                   fmt_double(stats.mean_final_diagnoses, 2)});
+    table.add_row({"mean additional tests",
+                   fmt_double(stats.mean_additional_tests, 2)});
+    table.add_row({"mean additional inputs",
+                   fmt_double(stats.mean_additional_inputs, 2)});
+    std::cout << table;
+
+    // A few sample runs, for flavour.
+    std::cout << "\nsample diagnoses:\n";
+    int shown = 0;
+    for (const auto& entry : stats.entries) {
+        if (!entry.detected || shown >= 5) continue;
+        ++shown;
+        std::cout << "  " << describe(spec, entry.fault) << "\n    -> "
+                  << to_string(entry.outcome) << " after "
+                  << entry.additional_tests << " additional test(s)\n";
+    }
+    return stats.sound == stats.detected ? 0 : 1;
+}

@@ -1,0 +1,162 @@
+// Diagnosing real code: a hand-written implementation behind the oracle.
+//
+//   $ ./handwritten_iut
+//
+// Every other example injects faults into the specification via overlays.
+// Here the implementation under test is ordinary C++ — a programmer's
+// version of the alternating-bit pair with a classic bug buried in the
+// receive path — and the diagnoser sees it only through the `oracle`
+// interface, exactly as it would see a device on a test bench.  The point:
+// nothing in the pipeline depends on the IUT being spec-shaped; the
+// diagnosis lands on the one spec transition whose behaviour the buggy
+// code fails to implement.
+#include <iostream>
+
+#include "cfsmdiag.hpp"
+
+namespace {
+
+using namespace cfsmdiag;
+
+/// A programmer's alternating-bit node pair.  Compare with
+/// models::alternating_bit(): same intended behaviour, independent code.
+class handwritten_pair final : public oracle {
+  public:
+    explicit handwritten_pair(const cfsmdiag::system& spec)
+        : spec_(&spec) {}
+
+    std::vector<observation> execute(
+        const std::vector<global_input>& test) override {
+        ++executions_;
+        inputs_applied_ += test.size();
+        reset();
+        std::vector<observation> out;
+        out.reserve(test.size());
+        for (const auto& in : test) out.push_back(step(in));
+        return out;
+    }
+
+    std::size_t executions() const noexcept override { return executions_; }
+    std::size_t inputs_applied() const noexcept override {
+        return inputs_applied_;
+    }
+
+  private:
+    // Sender state: which bit goes next, and whether we await an ack.
+    bool send_bit_ = false;
+    bool awaiting_ack_ = false;
+    // Receiver state: which bit we expect.
+    bool expect_bit_ = false;
+
+    void reset() {
+        send_bit_ = false;
+        awaiting_ack_ = false;
+        expect_bit_ = false;
+    }
+
+    [[nodiscard]] observation emit(std::uint32_t port,
+                                   const char* sym) const {
+        return observation::at(machine_id{port},
+                               spec_->symbols().lookup(sym));
+    }
+
+    observation step(const global_input& in) {
+        if (in.action == global_input::kind::reset) {
+            reset();
+            return observation::none();
+        }
+        const std::string& s = spec_->symbols().name(in.input);
+        if (in.port.value == 0) {  // sender port P1
+            if ((s == "send" && !awaiting_ack_) ||
+                (s == "retry" && awaiting_ack_)) {
+                if (s == "send") awaiting_ack_ = true;
+                return deliver_frame(send_bit_);
+            }
+            if (s == "a0" || s == "a1") {
+                const bool ack_bit = (s == "a1");
+                if (awaiting_ack_ && ack_bit == send_bit_) {
+                    awaiting_ack_ = false;
+                    send_bit_ = !send_bit_;
+                    return emit(0, "ok");
+                }
+                if (awaiting_ack_) return emit(0, "ign");
+                return observation::none();  // unexpected ack: ignore
+            }
+            return observation::none();
+        }
+        // receiver port P2
+        if (s == "d0" || s == "d1") return receive_frame(s == "d1");
+        if (s == "ackreq") {
+            // Acknowledge the last accepted frame: its bit is the
+            // complement of the currently expected one.
+            const bool acked = !expect_bit_;
+            return deliver_ack(acked);
+        }
+        return observation::none();
+    }
+
+    /// Data frame travels sender → receiver "queue" and is handled
+    /// immediately (synchronization assumption).
+    observation deliver_frame(bool bit) { return receive_frame(bit); }
+
+    observation receive_frame(bool bit) {
+        if (bit == expect_bit_) {
+            // THE BUG: on a correct bit-0 frame the programmer forgot to
+            // flip the expected bit — duplicate deliveries of frame 0 are
+            // accepted forever, exactly the "sequence-bit bug" of
+            // protocol folklore.
+            if (bit) expect_bit_ = !expect_bit_;  // only flips for d1!
+            return emit(1, bit ? "del1" : "del0");
+        }
+        return emit(1, "dup");
+    }
+
+    observation deliver_ack(bool bit) {
+        // Ack travels receiver → sender and is handled immediately.
+        const std::string sym = bit ? "a1" : "a0";
+        return step(global_input::at(machine_id{0},
+                                     spec_->symbols().lookup(sym)));
+    }
+
+    const cfsmdiag::system* spec_;
+    std::size_t executions_ = 0;
+    std::size_t inputs_applied_ = 0;
+};
+
+}  // namespace
+
+int main() {
+    using namespace cfsmdiag;
+
+    const cfsmdiag::system spec = models::alternating_bit();
+    handwritten_pair iut(spec);
+
+    test_suite suite = transition_tour(spec).suite;
+    rng wr(7);
+    suite.extend(random_walk_suite(spec, wr,
+                                   {.cases = 4, .steps_per_case = 12}));
+
+    const auto result = diagnose(spec, suite, iut);
+    std::cout << summarize(spec, result);
+
+    // What we expect the diagnoser to pin down: r_recv0 (exp0 -d0/del0→
+    // exp1) transfers to exp0 instead of exp1.
+    bool found = false;
+    for (const auto& d : result.final_diagnoses) {
+        found = found ||
+                (spec.transition_label(d.target) == "R.r_recv0" &&
+                 d.faulty_next.has_value());
+    }
+    std::cout << "\nhand-written bug "
+              << (found ? "pinned to R.r_recv0's next state"
+                        : "NOT localized as expected")
+              << " after " << result.additional_tests.size()
+              << " additional test(s)\n";
+    if (found && !result.final_diagnoses.empty()) {
+        if (auto w = witness_test(spec, result.final_diagnoses[0])) {
+            std::cout << "\nminimal demonstration for the bug report:\n"
+                      << w->describe(spec);
+        }
+    }
+    return found ? 0 : 1;
+}

@@ -1,0 +1,63 @@
+#include "cfsm/alphabet.hpp"
+
+#include <algorithm>
+
+namespace cfsmdiag {
+namespace {
+
+void sort_unique(std::vector<symbol>& v) {
+    std::sort(v.begin(), v.end());
+    v.erase(std::unique(v.begin(), v.end()), v.end());
+}
+
+}  // namespace
+
+std::vector<machine_alphabets> compute_alphabets(const system& sys) {
+    const std::size_t n = sys.machine_count();
+    std::vector<machine_alphabets> out(n);
+    for (auto& a : out) {
+        a.iio_to.resize(n);
+        a.oio_to.resize(n);
+        a.ieoq_from.resize(n);
+    }
+
+    for (std::uint32_t mi = 0; mi < n; ++mi) {
+        machine_alphabets& a = out[mi];
+        for (const auto& t : sys.machine(machine_id{mi}).transitions()) {
+            if (t.kind == output_kind::external) {
+                a.ieo.push_back(t.input);
+                if (!t.output.is_epsilon()) a.oeo.push_back(t.output);
+            } else {
+                a.iio.push_back(t.input);
+                if (t.destination.value < n) {
+                    a.iio_to[t.destination.value].push_back(t.input);
+                    a.oio_to[t.destination.value].push_back(t.output);
+                }
+            }
+        }
+        sort_unique(a.ieo);
+        sort_unique(a.iio);
+        sort_unique(a.oeo);
+        for (auto& v : a.iio_to) sort_unique(v);
+        for (auto& v : a.oio_to) sort_unique(v);
+    }
+
+    // IEOq_{i<j} = symbols M_j sends to M_i that are external-output inputs
+    // of M_i.  (After validation this equals OIO_{j>i} wholesale.)
+    for (std::uint32_t mi = 0; mi < n; ++mi) {
+        for (std::uint32_t mj = 0; mj < n; ++mj) {
+            if (mi == mj) continue;
+            for (symbol s : out[mj].oio_to[mi]) {
+                if (alphabet_contains(out[mi].ieo, s))
+                    out[mi].ieoq_from[mj].push_back(s);
+            }
+        }
+    }
+    return out;
+}
+
+bool alphabet_contains(const std::vector<symbol>& set, symbol s) {
+    return std::binary_search(set.begin(), set.end(), s);
+}
+
+}  // namespace cfsmdiag

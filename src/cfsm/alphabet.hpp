@@ -1,0 +1,46 @@
+// The paper's alphabet partitions (Section 2.1).
+//
+// For each machine M_i the input alphabet splits into
+//   IEO_i  — inputs of external-output transitions (appliable at port P_i,
+//            and a subset IEOq_{i<j} also arrives from M_j's messages),
+//   IIO_i  — inputs of internal-output transitions, further partitioned by
+//            destination: IIO_{i>j} sends its output to machine M_j,
+// and the output alphabet splits into
+//   OEO_i  — outputs emitted at P_i,
+//   OIO_{i>j} — outputs addressed to M_j's queue (must satisfy
+//               OIO_{i>j} ⊆ IEO_j; validated in cfsm/validate.hpp).
+//
+// These sets drive both validation and the diagnostic algorithm: output
+// faults of internal transitions range over OIO_{i>j} (message type only,
+// never the address), and Step 5B enumerates exactly that set.
+#pragma once
+
+#include <vector>
+
+#include "cfsm/system.hpp"
+
+namespace cfsmdiag {
+
+/// Alphabet partitions for one machine (all vectors sorted, deduplicated).
+struct machine_alphabets {
+    std::vector<symbol> ieo;  ///< inputs for external-output transitions
+    std::vector<symbol> iio;  ///< inputs for internal-output transitions
+    std::vector<symbol> oeo;  ///< outputs at the machine's own port
+    /// iio_to[j] / oio_to[j]: inputs/outputs of internal-output transitions
+    /// addressed to machine j (entry for j == self stays empty).
+    std::vector<std::vector<symbol>> iio_to;
+    std::vector<std::vector<symbol>> oio_to;
+    /// ieoq_from[j]: the IEOq_{i<j} subset — external-output inputs of this
+    /// machine that machine j can send (= OIO_{j>i}, once validated).
+    std::vector<std::vector<symbol>> ieoq_from;
+};
+
+/// Computes the partitions for every machine of the system.
+[[nodiscard]] std::vector<machine_alphabets> compute_alphabets(
+    const system& sys);
+
+/// True if `s` is contained in the sorted vector `set`.
+[[nodiscard]] bool alphabet_contains(const std::vector<symbol>& set,
+                                     symbol s);
+
+}  // namespace cfsmdiag

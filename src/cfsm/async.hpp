@@ -1,0 +1,85 @@
+// Asynchronous (queue-accurate) execution semantics.
+//
+// The synchronous simulator (cfsm/simulator.hpp) bakes in the paper's
+// synchronization assumption: one message in flight, observation before the
+// next input.  This module drops the assumption and models the real FIFO
+// input queues of Section 2.1, so we can *demonstrate* why the assumption
+// matters (the paper: "only one message will be circulating in the whole
+// system at any time ... guarantees the deterministic behavior") and test
+// that the synchronous semantics is the run-to-quiescence special case:
+//
+//   - apply() hands an input to a machine immediately; an internal output
+//     is enqueued at the receiver's per-sender FIFO queue instead of being
+//     delivered inline,
+//   - deliver() pops one message from a chosen queue and fires the
+//     receiver,
+//   - drain() delivers everything in a fixed (receiver-major, sender-minor)
+//     order until quiescence.
+//
+// Property (tested): for any input sequence, apply-then-drain reproduces
+// the synchronous simulator's observations step for step.  Conversely, with
+// two messages in flight, different delivery orders can produce different
+// behaviours — the nondeterminism the paper leaves to future work.
+#pragma once
+
+#include <deque>
+
+#include "cfsm/simulator.hpp"
+
+namespace cfsmdiag {
+
+class async_simulator {
+  public:
+    explicit async_simulator(const system& sys,
+                             std::optional<transition_override> override_ =
+                                 std::nullopt);
+
+    /// Resets machine states and empties every queue.
+    void reset();
+
+    /// Applies one input at a port.  Returns the direct observation: the
+    /// output of an external-output transition, or ε when the input was
+    /// unspecified or fired an internal-output transition (whose message
+    /// is now queued).
+    observation apply(const global_input& in);
+
+    /// Delivers the oldest message queued at `receiver` from `sender`.
+    /// Returns the receiver's observation, or nullopt if that queue is
+    /// empty.  A message the receiver has no transition for is consumed
+    /// with an ε observation (matching the synchronous semantics).
+    std::optional<observation> deliver(machine_id receiver,
+                                       machine_id sender);
+
+    /// Delivers all pending messages in receiver-major, sender-minor FIFO
+    /// order until quiescence; returns the non-trivial observations in
+    /// delivery order.
+    std::vector<observation> drain();
+
+    [[nodiscard]] bool quiescent() const noexcept;
+    [[nodiscard]] std::size_t pending() const noexcept;
+    /// Messages waiting at `receiver` from `sender`.
+    [[nodiscard]] std::size_t queue_depth(machine_id receiver,
+                                          machine_id sender) const;
+
+    [[nodiscard]] const system_state& state() const noexcept {
+        return state_;
+    }
+
+  private:
+    struct effective {
+        symbol output;
+        state_id next;
+        output_kind kind;
+        machine_id destination;
+    };
+    [[nodiscard]] effective resolve(global_transition_id id) const;
+    observation fire(machine_id machine, symbol input);
+
+    const system* sys_;
+    std::optional<transition_override> override_;
+    system_state state_;
+    /// queues_[receiver][sender]: FIFO of message symbols.
+    std::vector<std::vector<std::deque<symbol>>> queues_;
+};
+
+}  // namespace cfsmdiag

@@ -1,0 +1,46 @@
+// Composition of a CFSM system into one equivalent single machine.
+//
+// The paper's introduction dismisses this route: "the equivalent machine is,
+// in general, too big and is less convenient to handle... to avoid the high
+// transformation cost and the state explosion problem... we propose to solve
+// the diagnostic problem directly for the CFSMs model."  We implement the
+// transformation anyway, as the baseline the claim is measured against
+// (bench/composition_explosion, bench/adaptive_vs_w) and to drive the
+// single-FSM diagnoser of the authors' earlier work on composed systems.
+//
+// The product machine's states are the reachable global state tuples; its
+// inputs are port-tagged symbols ("a@P1"); every transition is external with
+// a port-tagged output ("c'@P3").  One product transition corresponds to the
+// one or two CFSM transitions that fire for that step.
+#pragma once
+
+#include <vector>
+
+#include "cfsm/simulator.hpp"
+
+namespace cfsmdiag {
+
+/// The product machine plus the maps back to the CFSM world.
+struct composition {
+    fsm machine;
+    symbol_table symbols;  ///< the product machine's own symbol table
+    /// Product state index -> global state tuple.
+    std::vector<system_state> state_tuples;
+    /// Product input symbol -> the global input it encodes (indexed by
+    /// symbol id; entry 0 for ε is unused).
+    std::vector<global_input> input_of_symbol;
+    /// Per product transition: the CFSM transitions that fire for it.
+    std::vector<std::vector<global_transition_id>> fired_of_transition;
+};
+
+/// Composes the system.  Throws model_error if more than `max_states`
+/// reachable global states are discovered (state explosion guard).
+[[nodiscard]] composition compose(const system& sys,
+                                  std::size_t max_states = 1'000'000);
+
+/// Counts reachable global states without building the machine (cheaper
+/// probe for the explosion benchmark); stops at `cap` and returns cap+1.
+[[nodiscard]] std::size_t count_reachable_global_states(
+    const system& sys, std::size_t cap = 10'000'000);
+
+}  // namespace cfsmdiag

@@ -1,0 +1,35 @@
+// Observational equivalence between whole systems.
+//
+// Two systems with the same number of ports are observationally equivalent
+// when every global input sequence (applied from reset, under the
+// synchronization assumption) yields identical observations.  Checked by
+// BFS over the joint state space; a counterexample is the shortest
+// distinguishing global test.  Used by the io round-trip tests, the mutant
+// tooling, and anywhere "did this transformation preserve behaviour?"
+// comes up (minimization, composition).
+#pragma once
+
+#include <optional>
+
+#include "cfsm/simulator.hpp"
+
+namespace cfsmdiag {
+
+struct equivalence_result {
+    bool equivalent = false;
+    /// Shortest distinguishing sequence when not equivalent (empty when
+    /// equivalent or when the bound was hit).
+    std::vector<global_input> counterexample;
+    /// True when the joint-state bound was exhausted before a verdict;
+    /// `equivalent` is then a conservative false.
+    bool bounded_out = false;
+};
+
+/// Compares observable behaviour of `a` and `b`.  Inputs probed are the
+/// union of both systems' port alphabets, matched by symbol *spelling*
+/// (the systems may own different symbol tables).  Requires equal port
+/// counts.
+[[nodiscard]] equivalence_result systems_equivalent(
+    const system& a, const system& b, std::size_t max_joint_states = 200'000);
+
+}  // namespace cfsmdiag

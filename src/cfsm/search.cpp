@@ -1,0 +1,84 @@
+#include "cfsm/search.hpp"
+
+#include <algorithm>
+#include <deque>
+#include <map>
+#include <set>
+
+namespace cfsmdiag {
+
+std::optional<std::vector<global_input>> global_transfer(
+    const system& spec, const system_state& start,
+    const std::function<bool(const system_state&)>& goal,
+    const global_search_options& options) {
+    if (goal(start)) return std::vector<global_input>{};
+
+    std::set<global_transition_id> banned(options.avoid.begin(),
+                                          options.avoid.end());
+    std::vector<global_input> inputs;
+    for (std::uint32_t mi = 0; mi < spec.machine_count(); ++mi) {
+        for (symbol s : spec.machine(machine_id{mi}).input_alphabet())
+            inputs.push_back(global_input::at(machine_id{mi}, s));
+    }
+
+    struct node {
+        system_state state;
+        std::uint32_t parent;
+        global_input via;
+    };
+    std::vector<node> nodes{{start, invalid_index, global_input::reset()}};
+    std::map<system_state, bool> visited{{start, true}};
+    std::deque<std::uint32_t> frontier{0};
+    simulator sim(spec);
+
+    while (!frontier.empty()) {
+        const std::uint32_t idx = frontier.front();
+        frontier.pop_front();
+        for (const auto& in : inputs) {
+            sim.set_state(nodes[idx].state);
+            std::vector<global_transition_id> fired;
+            (void)sim.apply(in, &fired);
+            if (options.skip_null_steps && fired.empty()) continue;
+            const bool uses_banned = std::any_of(
+                fired.begin(), fired.end(),
+                [&](global_transition_id g) { return banned.count(g) != 0; });
+            if (uses_banned) continue;
+            if (!visited.emplace(sim.state(), true).second) continue;
+            nodes.push_back({sim.state(), idx, in});
+            const std::uint32_t fresh =
+                static_cast<std::uint32_t>(nodes.size() - 1);
+            if (goal(sim.state())) {
+                std::vector<global_input> seq;
+                std::uint32_t cur = fresh;
+                while (nodes[cur].parent != invalid_index) {
+                    seq.push_back(nodes[cur].via);
+                    cur = nodes[cur].parent;
+                }
+                std::reverse(seq.begin(), seq.end());
+                return seq;
+            }
+            if (visited.size() >= options.max_states) return std::nullopt;
+            frontier.push_back(fresh);
+        }
+    }
+    return std::nullopt;
+}
+
+std::optional<std::vector<global_input>> global_transfer_to_machine_state(
+    const system& spec, const system_state& start, machine_id m, state_id s,
+    const global_search_options& options) {
+    return global_transfer(
+        spec, start,
+        [m, s](const system_state& st) { return st.states[m.value] == s; },
+        options);
+}
+
+system_state initial_global_state(const system& spec) {
+    system_state st;
+    st.states.reserve(spec.machine_count());
+    for (const auto& m : spec.machines())
+        st.states.push_back(m.initial_state());
+    return st;
+}
+
+}  // namespace cfsmdiag

@@ -1,0 +1,66 @@
+// A system of communicating finite state machines with distributed ports
+// (paper Section 2.1).
+//
+// N deterministic machines; machine M_i owns external port P_i and one input
+// queue per peer.  Under the paper's synchronization assumption at most one
+// message circulates at a time, so queues never hold more than one message
+// and are not materialized — message hand-off happens inside the simulator.
+#pragma once
+
+#include <string>
+#include <vector>
+
+#include "fsm/fsm.hpp"
+#include "fsm/symbol.hpp"
+
+namespace cfsmdiag {
+
+/// Immutable-after-construction container: shared symbol table + machines.
+/// Construction validates per-machine invariants; call
+/// `validate_structure()` (cfsm/validate.hpp) for the cross-machine model
+/// restrictions.
+class system {
+  public:
+    system(std::string name, symbol_table symbols, std::vector<fsm> machines);
+
+    [[nodiscard]] const std::string& name() const noexcept { return name_; }
+    [[nodiscard]] const symbol_table& symbols() const noexcept {
+        return symbols_;
+    }
+    [[nodiscard]] std::size_t machine_count() const noexcept {
+        return machines_.size();
+    }
+    [[nodiscard]] const fsm& machine(machine_id m) const;
+    [[nodiscard]] const std::vector<fsm>& machines() const noexcept {
+        return machines_;
+    }
+
+    [[nodiscard]] const transition& transition_at(
+        global_transition_id id) const {
+        return machine(id.machine).at(id.transition);
+    }
+
+    /// "M2.t'6"-style display name for a transition.
+    [[nodiscard]] std::string transition_label(global_transition_id id) const;
+
+    /// Total number of transitions across all machines.
+    [[nodiscard]] std::size_t total_transitions() const noexcept;
+
+    /// All transitions of all machines, in (machine, transition) order.
+    [[nodiscard]] std::vector<global_transition_id> all_transitions() const;
+
+    /// Returns a copy with one machine's transition replaced — full-copy
+    /// mutation used where a persistent mutated system is needed (fault
+    /// injection for IUTs, composition baselines).  The diagnostic replay
+    /// loop uses simulator overlays instead, which don't copy.
+    [[nodiscard]] system with_transition_replaced(
+        global_transition_id id, std::optional<symbol> new_output,
+        std::optional<state_id> new_target) const;
+
+  private:
+    std::string name_;
+    symbol_table symbols_;
+    std::vector<fsm> machines_;
+};
+
+}  // namespace cfsmdiag

@@ -1,0 +1,34 @@
+#include "cfsm/trace.hpp"
+
+namespace cfsmdiag {
+
+std::vector<trace_step> explain(const system& spec,
+                                const std::vector<global_input>& seq) {
+    simulator sim(spec);
+    sim.reset();
+    std::vector<trace_step> steps;
+    steps.reserve(seq.size());
+    for (const auto& in : seq) {
+        trace_step step;
+        step.input = in;
+        step.expected = sim.apply(in, &step.fired);
+        steps.push_back(std::move(step));
+    }
+    return steps;
+}
+
+std::string fired_label(const system& spec, const trace_step& step) {
+    if (step.fired.empty()) {
+        return step.input.action == global_input::kind::reset ? "tr" : "-";
+    }
+    std::string out;
+    for (std::size_t i = 0; i < step.fired.size(); ++i) {
+        if (i) out += " ";
+        out += spec.machine(step.fired[i].machine)
+                   .at(step.fired[i].transition)
+                   .name;
+    }
+    return out;
+}
+
+}  // namespace cfsmdiag

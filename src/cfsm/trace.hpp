@@ -1,0 +1,36 @@
+// Specification traces: which transitions a test step is *supposed* to fire.
+//
+// Step 1 of the diagnostic algorithm computes expected outputs; Step 4 needs
+// the specification's transition subsequence per step to form conflict sets
+// ("the set of transitions which are supposed to participate in the
+// generation of the symptom outputs").  This is Table 1's "Spec. transitions"
+// row.
+#pragma once
+
+#include <string>
+#include <vector>
+
+#include "cfsm/simulator.hpp"
+
+namespace cfsmdiag {
+
+/// One step of a specification run.
+struct trace_step {
+    global_input input;
+    observation expected;
+    /// Global ids of the transitions fired by the spec for this step, in
+    /// firing order (empty for reset and for unspecified inputs, two
+    /// entries for internal-input steps).
+    std::vector<global_transition_id> fired;
+};
+
+/// Full specification trace of an input sequence, from reset.
+[[nodiscard]] std::vector<trace_step> explain(
+    const system& spec, const std::vector<global_input>& seq);
+
+/// Renders a trace step's fired transitions like "t6 t'1" (Table 1 style):
+/// per-machine transition names joined by spaces, "-" if none.
+[[nodiscard]] std::string fired_label(const system& spec,
+                                      const trace_step& step);
+
+}  // namespace cfsmdiag

@@ -1,0 +1,95 @@
+#include "cfsm/validate.hpp"
+
+#include <algorithm>
+
+#include "util/error.hpp"
+
+namespace cfsmdiag {
+
+std::vector<structure_violation> check_structure(const system& sys) {
+    std::vector<structure_violation> out;
+    const std::size_t n = sys.machine_count();
+    const auto alphabets = compute_alphabets(sys);
+
+    auto note = [&](std::string msg) {
+        out.push_back({std::move(msg)});
+    };
+
+    for (std::uint32_t mi = 0; mi < n; ++mi) {
+        const fsm& m = sys.machine(machine_id{mi});
+        const machine_alphabets& a = alphabets[mi];
+
+        for (const auto& t : m.transitions()) {
+            if (t.kind != output_kind::internal) continue;
+            if (t.destination.value >= n) {
+                note(m.name() + "." + t.name +
+                     ": internal-output destination machine index " +
+                     std::to_string(t.destination.value) + " out of range");
+            } else if (t.destination.value == mi) {
+                note(m.name() + "." + t.name +
+                     ": internal-output transition addressed to its own "
+                     "machine");
+            }
+            if (t.output.is_epsilon()) {
+                note(m.name() + "." + t.name +
+                     ": internal-output transition must send a non-ε "
+                     "message");
+            }
+        }
+
+        // Rule 1: IEO_i ∩ IIO_i = ∅.
+        std::vector<symbol> both;
+        std::set_intersection(a.ieo.begin(), a.ieo.end(), a.iio.begin(),
+                              a.iio.end(), std::back_inserter(both));
+        for (symbol s : both) {
+            note(m.name() + ": input '" + sys.symbols().name(s) +
+                 "' labels both external-output and internal-output "
+                 "transitions (IEO ∩ IIO must be empty)");
+        }
+
+        // Rule 2: IIO_{i>x} ∩ IIO_{i>y} = ∅.
+        for (std::uint32_t x = 0; x < n; ++x) {
+            for (std::uint32_t y = x + 1; y < n; ++y) {
+                std::vector<symbol> shared;
+                std::set_intersection(
+                    a.iio_to[x].begin(), a.iio_to[x].end(),
+                    a.iio_to[y].begin(), a.iio_to[y].end(),
+                    std::back_inserter(shared));
+                for (symbol s : shared) {
+                    note(m.name() + ": internal input '" +
+                         sys.symbols().name(s) +
+                         "' sends to both M" + std::to_string(x + 1) +
+                         " and M" + std::to_string(y + 1) +
+                         " (IIO destination partition violated)");
+                }
+            }
+        }
+
+        // Rule 3: OIO_{i>j} ⊆ IEO_j.
+        for (std::uint32_t mj = 0; mj < n; ++mj) {
+            if (mj == mi) continue;
+            for (symbol s : a.oio_to[mj]) {
+                if (!alphabet_contains(alphabets[mj].ieo, s)) {
+                    note(m.name() + ": internal output '" +
+                         sys.symbols().name(s) + "' to " +
+                         sys.machine(machine_id{mj}).name() +
+                         " is not an external-output input there "
+                         "(OIO_{i>j} ⊆ IEO_j violated; internal chains "
+                         "must have length 2)");
+                }
+            }
+        }
+    }
+    return out;
+}
+
+void validate_structure(const system& sys) {
+    const auto violations = check_structure(sys);
+    if (violations.empty()) return;
+    std::string msg =
+        "system '" + sys.name() + "' violates the CFSM model restrictions:";
+    for (const auto& v : violations) msg += "\n  - " + v.message;
+    throw model_error(msg);
+}
+
+}  // namespace cfsmdiag

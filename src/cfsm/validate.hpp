@@ -1,0 +1,39 @@
+// Cross-machine structural validation (paper Section 2.1 restrictions).
+//
+// The diagnostic algorithm's correctness argument leans on three structural
+// properties of the model; `validate_structure` checks all of them and
+// reports every violation (not just the first):
+//
+//  1. IEO_i ∩ IIO_i = ∅ — within one machine an input symbol labels either
+//     external-output or internal-output transitions, never both.
+//  2. Internal input symbols are partitioned by destination
+//     (IIO_{i>x} ∩ IIO_{i>y} = ∅ for x ≠ y).
+//  3. OIO_{i>j} ⊆ IEO_j — an internal output always triggers an
+//     external-output transition at the receiver, so internal chains have
+//     length exactly two and every applied input yields exactly one
+//     (possibly ε) observation.
+//
+// Plus sanity rules: internal transitions name a valid destination ≠ self.
+#pragma once
+
+#include <string>
+#include <vector>
+
+#include "cfsm/alphabet.hpp"
+
+namespace cfsmdiag {
+
+/// One violation, human-readable.
+struct structure_violation {
+    std::string message;
+};
+
+/// All violations of the model restrictions; empty means the system is a
+/// valid CFSM system in the paper's sense.
+[[nodiscard]] std::vector<structure_violation> check_structure(
+    const system& sys);
+
+/// Throws model_error listing every violation if the system is invalid.
+void validate_structure(const system& sys);
+
+}  // namespace cfsmdiag

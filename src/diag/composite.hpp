@@ -1,0 +1,32 @@
+// The composition baseline: diagnose through the equivalent single machine.
+//
+// The route the paper rejects for its cost: compose the CFSM system into the
+// product machine, translate the suite and the IUT's port observations into
+// the product's port-tagged alphabet, run single-FSM diagnosis there, and
+// map surviving hypotheses back to CFSM transitions.  The benches use this
+// to quantify the introduction's claim — transformation cost, product size,
+// and diagnosis effort versus the direct CFSM algorithm.
+#pragma once
+
+#include "cfsm/compose.hpp"
+#include "diag/single_fsm.hpp"
+
+namespace cfsmdiag {
+
+struct composite_diagnosis_result {
+    /// Product machine statistics.
+    std::size_t product_states = 0;
+    std::size_t product_transitions = 0;
+    /// Diagnosis on the product machine.
+    diagnosis_result product_result;
+    /// Final product hypotheses rendered against the CFSM system, e.g.
+    /// "product transition t6+t'1 (fires M1.t6, M2.t'1): transfer fault ...".
+    std::vector<std::string> mapped_diagnoses;
+};
+
+[[nodiscard]] composite_diagnosis_result diagnose_via_composition(
+    const system& spec, const test_suite& suite, oracle& iut,
+    const diagnoser_options& options = {},
+    std::size_t max_product_states = 100'000);
+
+}  // namespace cfsmdiag

@@ -1,0 +1,198 @@
+#include "diag/diagnoser.hpp"
+
+#include <sstream>
+
+#include "util/strings.hpp"
+
+namespace cfsmdiag {
+
+std::string to_string(diagnosis_outcome outcome) {
+    switch (outcome) {
+        case diagnosis_outcome::passed: return "passed";
+        case diagnosis_outcome::localized: return "localized";
+        case diagnosis_outcome::localized_up_to_equivalence:
+            return "localized up to equivalence";
+        case diagnosis_outcome::ambiguous: return "ambiguous";
+        case diagnosis_outcome::no_consistent_hypothesis:
+            return "no consistent hypothesis";
+    }
+    return "?";
+}
+
+std::size_t diagnosis_result::additional_inputs() const noexcept {
+    std::size_t n = 0;
+    for (const auto& r : additional_tests) n += r.tc.inputs.size();
+    return n;
+}
+
+namespace {
+
+/// Applies one test to the IUT, records it, and filters the live set.
+void apply_test(const system& spec, oracle& iut, hypothesis_tracker& tracker,
+                diagnosis_result& result, test_case tc, std::string purpose,
+                bool from_fallback) {
+    additional_test_record rec;
+    rec.tc = std::move(tc);
+    rec.purpose = std::move(purpose);
+    rec.from_fallback = from_fallback;
+    rec.expected = observe(spec, rec.tc.inputs);
+    rec.observed = iut.execute(rec.tc.inputs);
+    rec.eliminated = tracker.apply_result(rec.tc.inputs, rec.observed);
+    result.additional_tests.push_back(std::move(rec));
+}
+
+}  // namespace
+
+diagnosis_result diagnose(const system& spec, const test_suite& suite,
+                          oracle& iut, const diagnoser_options& options) {
+    diagnosis_result result;
+
+    // Steps 1-3.
+    result.symptoms = collect_symptoms(spec, suite, iut);
+    if (!result.symptoms.has_symptoms()) {
+        result.outcome = diagnosis_outcome::passed;
+        return result;
+    }
+
+    // Step 4.
+    result.conflicts = generate_conflict_sets(spec, result.symptoms);
+
+    // Steps 5A-5C.
+    result.candidates =
+        generate_candidates(spec, result.symptoms, result.conflicts);
+    if (options.evaluation == evaluation_mode::complete) {
+        result.evaluated = evaluate_candidates_escalated(
+            spec, suite, result.symptoms, result.candidates,
+            options.include_addressing_faults);
+    } else {
+        result.evaluated = evaluate_candidates(spec, suite, result.symptoms,
+                                               result.candidates);
+    }
+    result.initial_diagnoses = result.evaluated.diagnoses();
+    if (result.initial_diagnoses.empty() && options.escalate_if_empty &&
+        options.evaluation == evaluation_mode::paper_flag_routing) {
+        result.used_escalation = true;
+        result.evaluated = evaluate_candidates_escalated(
+            spec, suite, result.symptoms, result.candidates,
+            options.include_addressing_faults);
+        result.initial_diagnoses = result.evaluated.diagnoses();
+    }
+    if (result.initial_diagnoses.empty()) {
+        result.outcome = diagnosis_outcome::no_consistent_hypothesis;
+        return result;
+    }
+
+    // Step 6: adaptive discrimination.
+    hypothesis_tracker tracker(spec, result.initial_diagnoses);
+    while (result.additional_tests.size() < options.max_additional_tests) {
+        if (tracker.count() == 0 && options.escalate_if_empty &&
+            options.evaluation == evaluation_mode::paper_flag_routing &&
+            !result.used_escalation) {
+            // Every flag-routed hypothesis was refuted: the routing dropped
+            // the truth (see evaluation_mode).  Widen to the full space and
+            // replay the evidence gathered so far.
+            result.used_escalation = true;
+            result.evaluated = evaluate_candidates_escalated(
+                spec, suite, result.symptoms, result.candidates,
+                options.include_addressing_faults);
+            tracker = hypothesis_tracker(spec, result.evaluated.diagnoses());
+            for (const auto& rec : result.additional_tests)
+                (void)tracker.apply_result(rec.tc.inputs, rec.observed);
+        }
+        if (tracker.count() <= 1) break;
+        bool progressed = false;
+        if (options.structured_step6) {
+            const auto proposals =
+                propose_structured_tests(spec, tracker, options.step6);
+            for (const auto& p : proposals) {
+                if (tracker.count() <= 1) break;
+                if (!tracker.splits(p.tc.inputs)) continue;
+                apply_test(spec, iut, tracker, result, p.tc, p.purpose,
+                           /*from_fallback=*/false);
+                progressed = true;
+                break;  // re-propose against the reduced live set
+            }
+        }
+        if (progressed) continue;
+
+        if (!options.fallback_search) break;
+        const auto seq =
+            tracker.find_splitting_sequence(options.max_joint_states);
+        if (!seq) break;  // remaining hypotheses are equivalent
+        result.used_fallback_search = true;
+        apply_test(spec, iut, tracker, result,
+                   test_case::from_inputs(
+                       "fb" + std::to_string(result.additional_tests.size() +
+                                             1),
+                       *seq),
+                   "joint-state splitting sequence",
+                   /*from_fallback=*/true);
+    }
+
+    result.final_diagnoses = tracker.alive();
+    if (tracker.count() == 0) {
+        // Every hypothesis was refuted by an additional test: the fault
+        // model does not hold (or the IUT is nondeterministic).
+        result.outcome = diagnosis_outcome::no_consistent_hypothesis;
+    } else if (tracker.count() == 1) {
+        result.outcome = diagnosis_outcome::localized;
+    } else if (!tracker.find_splitting_sequence(options.max_joint_states)) {
+        result.outcome = diagnosis_outcome::localized_up_to_equivalence;
+    } else {
+        result.outcome = diagnosis_outcome::ambiguous;
+    }
+    return result;
+}
+
+std::string summarize(const system& spec, const diagnosis_result& result) {
+    const symbol_table& sym = spec.symbols();
+    std::ostringstream out;
+    out << "outcome: " << to_string(result.outcome) << "\n";
+
+    out << "symptoms: " << result.symptoms.symptomatic_cases.size()
+        << " symptomatic test case(s)";
+    if (result.symptoms.ust) {
+        out << ", ust = " << spec.transition_label(*result.symptoms.ust)
+            << ", uso = " << to_string(result.symptoms.uso, sym);
+    }
+    out << ", flag = " << (result.symptoms.flag ? "true" : "false") << "\n";
+
+    for (std::uint32_t m = 0; m < result.candidates.itc.size(); ++m) {
+        if (result.candidates.itc[m].empty()) continue;
+        out << "ITC^" << (m + 1) << " = {";
+        bool first = true;
+        for (transition_id t : result.candidates.itc[m]) {
+            if (!first) out << ", ";
+            first = false;
+            out << spec.machine(machine_id{m}).at(t).name;
+        }
+        out << "}\n";
+    }
+
+    if (result.used_escalation) out << "(escalated hypothesis search)\n";
+    if (!result.initial_diagnoses.empty()) {
+        out << "step 6 situation: "
+            << to_string(classify_step6(result.evaluated)) << "\n";
+    }
+    out << "initial diagnoses (" << result.initial_diagnoses.size() << "):\n";
+    for (const auto& d : result.initial_diagnoses)
+        out << "  - " << describe(spec, d) << "\n";
+
+    for (const auto& rec : result.additional_tests) {
+        out << "additional test [" << rec.purpose
+            << "]: " << to_string(rec.tc, sym) << "\n";
+        std::vector<std::string> exp, obs;
+        for (const auto& o : rec.expected) exp.push_back(to_string(o, sym));
+        for (const auto& o : rec.observed) obs.push_back(to_string(o, sym));
+        out << "  expected: " << join(exp, ", ") << "\n";
+        out << "  observed: " << join(obs, ", ") << "  (eliminated "
+            << rec.eliminated << ")\n";
+    }
+
+    out << "final diagnoses (" << result.final_diagnoses.size() << "):\n";
+    for (const auto& d : result.final_diagnoses)
+        out << "  - " << describe(spec, d) << "\n";
+    return out.str();
+}
+
+}  // namespace cfsmdiag

@@ -1,0 +1,123 @@
+// The complete diagnostic algorithm (paper Section 3, Steps 1-6).
+//
+// diagnose() drives the whole pipeline against a black-box IUT:
+//
+//   1-3. run the suite, compare, collect symptoms (diag/symptom.hpp)
+//   4.   conflict sets                         (diag/conflict.hpp)
+//   5A/B. candidate sets + hypothesis replay   (diag/candidates.hpp,
+//                                               diag/diagnosis.hpp)
+//   5C.  diagnostic candidates and diagnoses
+//   6.   adaptive additional tests: structured proposals in the paper's
+//        shape first (diag/additional_tests.hpp), then — if suspects remain
+//        that the structured tests cannot separate — a joint-state search
+//        for a splitting sequence (diag/discriminate.hpp)
+//
+// Termination guarantee: when the IUT really has at most one faulty
+// transition, the true hypothesis is always live (Step 5B replay accepts it
+// by construction, escalation keeps it in even when the paper's flag
+// routing would drop it), so the loop ends with either exactly one live
+// hypothesis (localized) or a set of observationally equivalent ones
+// (localized up to equivalence — the best any black-box diagnosis can do).
+#pragma once
+
+#include "diag/additional_tests.hpp"
+
+namespace cfsmdiag {
+
+enum class diagnosis_outcome : std::uint8_t {
+    /// No symptoms: the suite does not detect any fault.
+    passed,
+    /// Exactly one hypothesis survived.
+    localized,
+    /// Several observationally-equivalent hypotheses survived.
+    localized_up_to_equivalence,
+    /// Distinguishable hypotheses remain (budget exhausted).
+    ambiguous,
+    /// No single-transition fault explains the observations (fault model
+    /// violated, or the IUT is nondeterministic).
+    no_consistent_hypothesis,
+};
+
+[[nodiscard]] std::string to_string(diagnosis_outcome outcome);
+
+/// One executed additional diagnostic test.
+struct additional_test_record {
+    test_case tc;
+    std::string purpose;
+    std::vector<observation> expected;  ///< on the unmutated spec
+    std::vector<observation> observed;  ///< on the IUT
+    std::size_t eliminated = 0;         ///< hypotheses killed by this test
+    bool from_fallback = false;
+};
+
+struct diagnosis_result {
+    diagnosis_outcome outcome = diagnosis_outcome::passed;
+    symptom_report symptoms;
+    conflict_sets conflicts;
+    candidate_sets candidates;
+    diagnostic_candidates evaluated;
+    /// Diagnoses after Step 5C (before additional tests).
+    std::vector<diagnosis> initial_diagnoses;
+    /// Live hypotheses at the end.
+    std::vector<diagnosis> final_diagnoses;
+    std::vector<additional_test_record> additional_tests;
+    bool used_escalation = false;
+    bool used_fallback_search = false;
+
+    /// Total inputs applied by additional tests (the paper's cost metric).
+    [[nodiscard]] std::size_t additional_inputs() const noexcept;
+    [[nodiscard]] bool is_localized() const noexcept {
+        return outcome == diagnosis_outcome::localized ||
+               outcome == diagnosis_outcome::localized_up_to_equivalence;
+    }
+};
+
+/// How Step 5B routes hypothesis checks.
+enum class evaluation_mode : std::uint8_t {
+    /// The paper's exact routing: the ust is checked against the uso only
+    /// (outputs when flag = false, statout when flag = true), FTCtr members
+    /// against EndStates, FTCco members against outputs/statout by flag.
+    /// This can drop the true hypothesis in corner cases (e.g. a pure
+    /// output fault whose symptom recurs sets flag = true, and statout
+    /// excludes output-only couples); the diagnoser compensates by
+    /// escalating to the full space when the routed pass finds nothing or
+    /// when every routed hypothesis is later refuted.
+    paper_flag_routing,
+    /// Evaluate every ITC member against the full single-transition
+    /// hypothesis space (EndStates ∪ outputs ∪ statout).  Complete: the
+    /// true hypothesis always survives Step 5B.  Costs roughly 3× the
+    /// replays of the routed pass.  Default.
+    complete,
+};
+
+struct diagnoser_options {
+    evaluation_mode evaluation = evaluation_mode::complete;
+    /// Also hypothesize addressing faults (wrong destination machine) for
+    /// internal-output candidates — the extension the paper's §5
+    /// recommends.  Off by default: the paper's fault model fixes the
+    /// address component.  Only effective with complete evaluation (or
+    /// after escalation).
+    bool include_addressing_faults = false;
+    /// Generate paper-shaped additional tests (Step 6 / Figure 2).
+    bool structured_step6 = true;
+    /// Search the joint hypothesis space when structured tests run dry.
+    bool fallback_search = true;
+    /// Re-evaluate with the full hypothesis space if the flag-routed pass
+    /// finds nothing (see diag/diagnosis.hpp).
+    bool escalate_if_empty = true;
+    std::size_t max_additional_tests = 200;
+    std::size_t max_joint_states = 100'000;
+    step6_options step6;
+};
+
+/// Runs the full algorithm.  The oracle is consulted once per suite case
+/// plus once per applied additional test.
+[[nodiscard]] diagnosis_result diagnose(const system& spec,
+                                        const test_suite& suite, oracle& iut,
+                                        const diagnoser_options& options = {});
+
+/// Multi-line human-readable report of a diagnosis run.
+[[nodiscard]] std::string summarize(const system& spec,
+                                    const diagnosis_result& result);
+
+}  // namespace cfsmdiag

@@ -1,0 +1,183 @@
+#include "diag/diagnosis.hpp"
+
+#include <algorithm>
+#include <set>
+
+#include "fault/enumerate.hpp"
+
+namespace cfsmdiag {
+namespace {
+
+/// Builds the survivor index lists (Step 5C) over `evaluated`.
+void select_survivors(diagnostic_candidates& dc) {
+    for (std::size_t i = 0; i < dc.evaluated.size(); ++i) {
+        const evaluated_candidate& c = dc.evaluated[i];
+        if (c.is_ust) {
+            if (!c.outputs.empty() || !c.statout.empty() ||
+                !c.end_states.empty())
+                dc.ust = i;
+            continue;
+        }
+        if (!c.end_states.empty()) dc.dctr.push_back(i);
+        if (!c.outputs.empty() || !c.statout.empty()) dc.dcco.push_back(i);
+    }
+}
+
+}  // namespace
+
+std::vector<diagnosis> diagnostic_candidates::diagnoses() const {
+    std::vector<diagnosis> out;
+    for (const evaluated_candidate& c : evaluated) {
+        for (state_id s : c.end_states)
+            out.push_back({c.id, std::nullopt, s, std::nullopt});
+        for (symbol o : c.outputs)
+            out.push_back({c.id, o, std::nullopt, std::nullopt});
+        for (const auto& [s, o] : c.statout)
+            out.push_back({c.id, o, s, std::nullopt});
+        for (machine_id d : c.destinations)
+            out.push_back({c.id, std::nullopt, std::nullopt, d});
+    }
+    std::sort(out.begin(), out.end());
+    out.erase(std::unique(out.begin(), out.end()), out.end());
+    return out;
+}
+
+diagnostic_candidates evaluate_candidates(const system& spec,
+                                          const test_suite& suite,
+                                          const symptom_report& report,
+                                          const candidate_sets& cands) {
+    diagnostic_candidates dc;
+    const auto alphabets = compute_alphabets(spec);
+
+    for (std::uint32_t m = 0; m < spec.machine_count(); ++m) {
+        for (transition_id t : cands.itc[m]) {
+            const global_transition_id gid{machine_id{m}, t};
+            evaluated_candidate c;
+            c.id = gid;
+            c.is_ust = cands.ust && *cands.ust == gid;
+
+            if (c.is_ust) {
+                // ustprocessing: pool is the single observed uso.
+                const std::vector<symbol> pool{report.uso.output};
+                if (report.flag) {
+                    c.statout = consistent_statout(spec, suite, report, gid,
+                                                   pool);
+                } else {
+                    c.outputs =
+                        consistent_outputs(spec, suite, report, gid, pool);
+                }
+            } else {
+                const bool in_ftctr = std::binary_search(
+                    cands.ftc_tr[m].begin(), cands.ftc_tr[m].end(), t);
+                const bool in_ftcco = std::binary_search(
+                    cands.ftc_co[m].begin(), cands.ftc_co[m].end(), t);
+                if (in_ftctr) {
+                    c.end_states = end_states(spec, suite, report, gid);
+                }
+                if (in_ftcco) {
+                    // inttransproc: pool = OIO_{i>j} minus the specified
+                    // output.
+                    const auto pool =
+                        admissible_faulty_outputs(spec, alphabets, gid);
+                    if (report.flag) {
+                        c.statout = consistent_statout(spec, suite, report,
+                                                       gid, pool);
+                    } else {
+                        c.outputs = consistent_outputs(spec, suite, report,
+                                                       gid, pool);
+                    }
+                }
+            }
+            dc.evaluated.push_back(std::move(c));
+        }
+    }
+    select_survivors(dc);
+    return dc;
+}
+
+std::string to_string(step6_case c) {
+    switch (c) {
+        case step6_case::none: return "none";
+        case step6_case::case1: return "Case 1";
+        case step6_case::case2: return "Case 2";
+        case step6_case::case3: return "Case 3";
+        case step6_case::case4: return "Case 4";
+        case step6_case::case5: return "Case 5";
+    }
+    return "?";
+}
+
+step6_case classify_step6(const diagnostic_candidates& dc) {
+    const bool others_empty = dc.dctr.empty() && dc.dcco.empty();
+    if (dc.ust) {
+        const evaluated_candidate& u = dc.evaluated[*dc.ust];
+        if (others_empty) {
+            if (u.outputs.size() == 1 && u.statout.empty() &&
+                u.end_states.empty())
+                return step6_case::case1;
+            if (u.statout.size() == 1 && u.outputs.empty() &&
+                u.end_states.empty())
+                return step6_case::case2;
+        }
+        return step6_case::case5;
+    }
+    if (others_empty) return step6_case::none;
+
+    // Count surviving candidates and their hypotheses.
+    std::size_t candidates = 0, hypotheses = 0;
+    auto tally = [&](std::size_t idx) {
+        const evaluated_candidate& c = dc.evaluated[idx];
+        ++candidates;
+        hypotheses +=
+            c.end_states.size() + c.outputs.size() + c.statout.size();
+    };
+    std::set<std::size_t> seen;
+    for (std::size_t i : dc.dctr) {
+        if (seen.insert(i).second) tally(i);
+    }
+    for (std::size_t i : dc.dcco) {
+        if (seen.insert(i).second) tally(i);
+    }
+    if (candidates == 1 && hypotheses == 1) return step6_case::case3;
+    return step6_case::case4;
+}
+
+diagnostic_candidates evaluate_candidates_escalated(
+    const system& spec, const test_suite& suite, const symptom_report& report,
+    const candidate_sets& cands, bool include_addressing) {
+    diagnostic_candidates dc;
+    const auto alphabets = compute_alphabets(spec);
+
+    for (std::uint32_t m = 0; m < spec.machine_count(); ++m) {
+        for (transition_id t : cands.itc[m]) {
+            const global_transition_id gid{machine_id{m}, t};
+            evaluated_candidate c;
+            c.id = gid;
+            c.is_ust = cands.ust && *cands.ust == gid;
+
+            auto pool = admissible_faulty_outputs(spec, alphabets, gid);
+            // For external-output transitions the observed uso is also a
+            // plausible faulty output even when outside OEO_i (the
+            // implementation may emit symbols the spec never does).
+            if (c.is_ust && !report.uso.output.is_epsilon() &&
+                std::find(pool.begin(), pool.end(), report.uso.output) ==
+                    pool.end() &&
+                report.uso.output != spec.transition_at(gid).output) {
+                pool.push_back(report.uso.output);
+            }
+
+            c.end_states = end_states(spec, suite, report, gid);
+            c.outputs = consistent_outputs(spec, suite, report, gid, pool);
+            c.statout = consistent_statout(spec, suite, report, gid, pool);
+            if (include_addressing) {
+                c.destinations =
+                    consistent_destinations(spec, suite, report, gid);
+            }
+            dc.evaluated.push_back(std::move(c));
+        }
+    }
+    select_survivors(dc);
+    return dc;
+}
+
+}  // namespace cfsmdiag

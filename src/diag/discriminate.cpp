@@ -1,0 +1,155 @@
+#include "diag/discriminate.hpp"
+
+#include <algorithm>
+#include <deque>
+#include <map>
+
+namespace cfsmdiag {
+namespace {
+
+std::vector<global_input> all_port_inputs(const system& spec) {
+    std::vector<global_input> inputs;
+    for (std::uint32_t mi = 0; mi < spec.machine_count(); ++mi) {
+        for (symbol s : spec.machine(machine_id{mi}).input_alphabet())
+            inputs.push_back(global_input::at(machine_id{mi}, s));
+    }
+    return inputs;
+}
+
+}  // namespace
+
+hypothesis_tracker::hypothesis_tracker(const system& spec,
+                                       std::vector<diagnosis> initial)
+    : spec_(&spec), alive_(std::move(initial)) {
+    std::sort(alive_.begin(), alive_.end());
+    alive_.erase(std::unique(alive_.begin(), alive_.end()), alive_.end());
+}
+
+std::vector<observation> hypothesis_tracker::predict(
+    std::size_t i, const std::vector<global_input>& inputs) const {
+    return observe(*spec_, inputs, alive_[i].to_override());
+}
+
+bool hypothesis_tracker::splits(
+    const std::vector<global_input>& inputs) const {
+    if (alive_.size() < 2) return false;
+    const auto first = predict(0, inputs);
+    for (std::size_t i = 1; i < alive_.size(); ++i) {
+        if (predict(i, inputs) != first) return true;
+    }
+    return false;
+}
+
+std::size_t hypothesis_tracker::apply_result(
+    const std::vector<global_input>& inputs,
+    const std::vector<observation>& observed) {
+    const std::size_t before = alive_.size();
+    std::vector<diagnosis> survivors;
+    survivors.reserve(alive_.size());
+    for (std::size_t i = 0; i < alive_.size(); ++i) {
+        if (predict(i, inputs) == observed)
+            survivors.push_back(alive_[i]);
+    }
+    alive_ = std::move(survivors);
+    return before - alive_.size();
+}
+
+std::optional<std::vector<global_input>>
+hypothesis_tracker::find_splitting_sequence(
+    std::size_t max_joint_states) const {
+    std::vector<std::vector<transition_override>> hyps;
+    hyps.reserve(alive_.size());
+    for (const diagnosis& d : alive_) hyps.push_back({d.to_override()});
+    return splitting_sequence(*spec_, hyps, max_joint_states);
+}
+
+std::optional<std::vector<global_input>> splitting_sequence(
+    const system& spec,
+    const std::vector<std::vector<transition_override>>& hypotheses,
+    std::size_t max_joint_states) {
+    if (hypotheses.size() < 2) return std::nullopt;
+
+    const auto inputs = all_port_inputs(spec);
+    const std::size_t k = hypotheses.size();
+
+    // One simulator per hypothesis; joint state = the k global states.
+    std::vector<simulator> sims;
+    sims.reserve(k);
+    for (const auto& overrides : hypotheses)
+        sims.emplace_back(spec, overrides);
+
+    using joint = std::vector<system_state>;
+    auto reset_joint = [&]() {
+        joint j;
+        j.reserve(k);
+        for (auto& sim : sims) {
+            sim.reset();
+            j.push_back(sim.state());
+        }
+        return j;
+    };
+
+    struct node {
+        joint state;
+        std::uint32_t parent;
+        global_input via;
+    };
+    std::vector<node> nodes{{reset_joint(), invalid_index,
+                             global_input::reset()}};
+    std::map<joint, bool> visited{{nodes[0].state, true}};
+    std::deque<std::uint32_t> frontier{0};
+
+    while (!frontier.empty()) {
+        const std::uint32_t idx = frontier.front();
+        frontier.pop_front();
+        for (const auto& in : inputs) {
+            // Step every hypothesis; if observations disagree, this input
+            // completes a splitting sequence.
+            joint next;
+            next.reserve(k);
+            std::optional<observation> common;
+            bool disagree = false;
+            bool progressed = false;
+            for (std::size_t i = 0; i < k; ++i) {
+                sims[i].set_state(nodes[idx].state[i]);
+                std::vector<global_transition_id> fired;
+                const observation obs = sims[i].apply(in, &fired);
+                progressed = progressed || !fired.empty();
+                if (!common) {
+                    common = obs;
+                } else if (*common != obs) {
+                    disagree = true;
+                }
+                next.push_back(sims[i].state());
+            }
+            if (disagree) {
+                std::vector<global_input> seq{in};
+                std::uint32_t cur = idx;
+                while (nodes[cur].parent != invalid_index) {
+                    seq.push_back(nodes[cur].via);
+                    cur = nodes[cur].parent;
+                }
+                std::reverse(seq.begin(), seq.end());
+                return seq;
+            }
+            if (!progressed) continue;  // ε step in every hypothesis
+            if (visited.size() >= max_joint_states) continue;
+            if (visited.emplace(next, true).second) {
+                nodes.push_back({std::move(next), idx, in});
+                frontier.push_back(
+                    static_cast<std::uint32_t>(nodes.size() - 1));
+            }
+        }
+    }
+    return std::nullopt;
+}
+
+bool observationally_equivalent(const system& spec, const diagnosis& a,
+                                const diagnosis& b,
+                                std::size_t max_states) {
+    hypothesis_tracker tracker(spec, {a, b});
+    if (tracker.count() < 2) return true;  // identical hypotheses
+    return !tracker.find_splitting_sequence(max_states).has_value();
+}
+
+}  // namespace cfsmdiag

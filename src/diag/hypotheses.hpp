@@ -1,0 +1,60 @@
+// Step 5B (hypothesis checking): EndStates, outputs, statout.
+//
+// Every check follows the paper's procedures `findendingstates`, `calouts`
+// and `processtate&out`: mutate the specification's suspect transition,
+// re-run the *entire* test suite against the mutated spec, and keep the
+// hypothesis iff the new expected outputs equal the IUT's observed outputs
+// on every test case.  The mutation is a simulator overlay, so no system is
+// copied.
+//
+//   EndStates(T) — states s ≠ NextState(T) such that "T transfers to s"
+//                  explains all observations (transfer-fault hypotheses),
+//   outputs(T)   — outputs o ≠ Output(T) from the admissible pool such that
+//                  "T outputs o" explains all observations (output-fault
+//                  hypotheses; pool respects the address component),
+//   statout(T)   — couples (s, o) such that "T outputs o and transfers to s"
+//                  explains all observations (double-fault hypotheses; the
+//                  couple with s = NextState(T) degenerates to a pure output
+//                  fault and is reported in outputs instead).
+#pragma once
+
+#include <utility>
+
+#include "diag/symptom.hpp"
+
+namespace cfsmdiag {
+
+/// True iff the mutated spec reproduces the IUT's observed outputs on every
+/// test case of the report.
+[[nodiscard]] bool hypothesis_consistent(const system& spec,
+                                         const test_suite& suite,
+                                         const symptom_report& report,
+                                         const transition_override& ov);
+
+/// findendingstates for one transition.
+[[nodiscard]] std::vector<state_id> end_states(const system& spec,
+                                               const test_suite& suite,
+                                               const symptom_report& report,
+                                               global_transition_id t);
+
+/// calouts for one transition over an explicit pool of candidate outputs
+/// (the caller supplies the admissible faulty outputs; entries equal to the
+/// specified output are skipped).
+[[nodiscard]] std::vector<symbol> consistent_outputs(
+    const system& spec, const test_suite& suite, const symptom_report& report,
+    global_transition_id t, const std::vector<symbol>& pool);
+
+/// processtate&out: all (state, output) couples, state ≠ NextState(T),
+/// output from `pool` (≠ specified output).
+[[nodiscard]] std::vector<std::pair<state_id, symbol>> consistent_statout(
+    const system& spec, const test_suite& suite, const symptom_report& report,
+    global_transition_id t, const std::vector<symbol>& pool);
+
+/// Addressing extension: destinations d ≠ the specified one such that "T
+/// sends its message to M_d" explains all observations.  Empty for
+/// external-output transitions.
+[[nodiscard]] std::vector<machine_id> consistent_destinations(
+    const system& spec, const test_suite& suite, const symptom_report& report,
+    global_transition_id t);
+
+}  // namespace cfsmdiag

@@ -1,0 +1,178 @@
+#include "diag/report.hpp"
+
+namespace cfsmdiag {
+namespace {
+
+json_value inputs_to_json(const system& spec,
+                          const std::vector<global_input>& inputs) {
+    auto arr = json_value::array();
+    for (const auto& in : inputs)
+        arr.push(json_value::string(to_string(in, spec.symbols())));
+    return arr;
+}
+
+json_value observations_to_json(const system& spec,
+                                const std::vector<observation>& obs) {
+    auto arr = json_value::array();
+    for (const auto& o : obs)
+        arr.push(json_value::string(to_string(o, spec.symbols())));
+    return arr;
+}
+
+json_value additional_tests_to_json(
+    const system& spec, const std::vector<additional_test_record>& tests) {
+    auto arr = json_value::array();
+    for (const auto& rec : tests) {
+        auto t = json_value::object();
+        t.set("purpose", json_value::string(rec.purpose));
+        t.set("inputs", inputs_to_json(spec, rec.tc.inputs));
+        t.set("expected", observations_to_json(spec, rec.expected));
+        t.set("observed", observations_to_json(spec, rec.observed));
+        t.set("eliminated", json_value::number(rec.eliminated));
+        t.set("fallback", json_value::boolean(rec.from_fallback));
+        arr.push(std::move(t));
+    }
+    return arr;
+}
+
+}  // namespace
+
+json_value fault_to_json(const system& spec,
+                         const single_transition_fault& f) {
+    auto v = json_value::object();
+    v.set("transition",
+          json_value::string(spec.transition_label(f.target)));
+    v.set("kind", json_value::string(to_string(f.kind())));
+    v.set("faulty_output",
+          f.faulty_output
+              ? json_value::string(spec.symbols().name(*f.faulty_output))
+              : json_value::null());
+    v.set("faulty_next",
+          f.faulty_next
+              ? json_value::string(
+                    spec.machine(f.target.machine).state_name(
+                        *f.faulty_next))
+              : json_value::null());
+    v.set("faulty_destination",
+          f.faulty_destination
+              ? json_value::string(
+                    spec.machine(*f.faulty_destination).name())
+              : json_value::null());
+    return v;
+}
+
+json_value report_to_json(const system& spec,
+                          const diagnosis_result& result) {
+    auto root = json_value::object();
+    root.set("outcome", json_value::string(to_string(result.outcome)));
+
+    if (!result.initial_diagnoses.empty()) {
+        root.set("step6_case",
+                 json_value::string(
+                     to_string(classify_step6(result.evaluated))));
+    }
+
+    {
+        auto s = json_value::object();
+        auto cases = json_value::array();
+        for (std::size_t ci : result.symptoms.symptomatic_cases)
+            cases.push(json_value::number(ci));
+        s.set("symptomatic_cases", std::move(cases));
+        s.set("ust", result.symptoms.ust
+                         ? json_value::string(spec.transition_label(
+                               *result.symptoms.ust))
+                         : json_value::null());
+        s.set("uso",
+              result.symptoms.ust
+                  ? json_value::string(
+                        to_string(result.symptoms.uso, spec.symbols()))
+                  : json_value::null());
+        s.set("flag", json_value::boolean(result.symptoms.flag));
+        root.set("symptoms", std::move(s));
+    }
+
+    {
+        auto itc = json_value::object();
+        for (std::uint32_t m = 0; m < result.candidates.itc.size(); ++m) {
+            if (result.candidates.itc[m].empty()) continue;
+            auto arr = json_value::array();
+            for (transition_id t : result.candidates.itc[m])
+                arr.push(json_value::string(
+                    spec.machine(machine_id{m}).at(t).name));
+            itc.set(spec.machine(machine_id{m}).name(), std::move(arr));
+        }
+        auto c = json_value::object();
+        c.set("itc", std::move(itc));
+        root.set("candidates", std::move(c));
+    }
+
+    {
+        auto evaluated = json_value::array();
+        for (const auto& c : result.evaluated.evaluated) {
+            auto e = json_value::object();
+            e.set("transition",
+                  json_value::string(spec.transition_label(c.id)));
+            const fsm& m = spec.machine(c.id.machine);
+            auto ends = json_value::array();
+            for (state_id s : c.end_states)
+                ends.push(json_value::string(m.state_name(s)));
+            e.set("end_states", std::move(ends));
+            auto outs = json_value::array();
+            for (symbol o : c.outputs)
+                outs.push(json_value::string(spec.symbols().name(o)));
+            e.set("outputs", std::move(outs));
+            auto so = json_value::array();
+            for (const auto& [s, o] : c.statout) {
+                auto pair = json_value::array();
+                pair.push(json_value::string(m.state_name(s)));
+                pair.push(json_value::string(spec.symbols().name(o)));
+                so.push(std::move(pair));
+            }
+            e.set("statout", std::move(so));
+            e.set("ust", json_value::boolean(c.is_ust));
+            evaluated.push(std::move(e));
+        }
+        root.set("evaluated", std::move(evaluated));
+    }
+
+    {
+        auto arr = json_value::array();
+        for (const auto& d : result.initial_diagnoses)
+            arr.push(fault_to_json(spec, d));
+        root.set("initial_diagnoses", std::move(arr));
+    }
+    root.set("additional_tests",
+             additional_tests_to_json(spec, result.additional_tests));
+    {
+        auto arr = json_value::array();
+        for (const auto& d : result.final_diagnoses)
+            arr.push(fault_to_json(spec, d));
+        root.set("final_diagnoses", std::move(arr));
+    }
+    root.set("used_escalation", json_value::boolean(result.used_escalation));
+    root.set("used_fallback_search",
+             json_value::boolean(result.used_fallback_search));
+    return root;
+}
+
+json_value report_to_json(const system& spec,
+                          const multi_fault_result& result) {
+    auto root = json_value::object();
+    root.set("outcome", json_value::string(to_string(result.outcome)));
+    root.set("initial_hypotheses",
+             json_value::number(result.initial_hypotheses));
+    root.set("truncated_hypotheses",
+             json_value::boolean(result.truncated_hypotheses));
+    root.set("additional_tests",
+             additional_tests_to_json(spec, result.additional_tests));
+    auto finals = json_value::array();
+    for (const auto& fs : result.final_hypotheses) {
+        auto set = json_value::array();
+        for (const auto& f : fs.faults) set.push(fault_to_json(spec, f));
+        finals.push(std::move(set));
+    }
+    root.set("final_hypotheses", std::move(finals));
+    return root;
+}
+
+}  // namespace cfsmdiag

@@ -1,0 +1,44 @@
+// Machine-readable diagnosis reports.
+//
+// Serializes a diagnosis_result (or multi_fault_result) to JSON for
+// downstream tooling — CI dashboards, regression diffing, the CLI's
+// `--json` mode.  The shape is stable and documented here:
+//
+// {
+//   "outcome": "localized",
+//   "step6_case": "Case 5",
+//   "symptoms": { "symptomatic_cases": [...], "ust": "M1.t7",
+//                 "uso": "c'@P1", "flag": false },
+//   "candidates": { "itc": {"M1": ["t1", ...], ...} },
+//   "evaluated": [ {"transition": "M3.t''4", "end_states": ["s0"],
+//                   "outputs": [], "statout": [], "ust": false}, ... ],
+//   "initial_diagnoses": [ {...fault...}, ... ],
+//   "additional_tests": [ {"purpose": ..., "inputs": [...],
+//                          "expected": [...], "observed": [...],
+//                          "eliminated": 1, "fallback": false}, ... ],
+//   "final_diagnoses": [ {"transition": "M3.t''4",
+//                         "faulty_output": null, "faulty_next": "s0",
+//                         "kind": "transfer"}, ... ],
+//   "used_escalation": false, "used_fallback_search": false
+// }
+#pragma once
+
+#include "diag/diagnoser.hpp"
+#include "diag/multi_fault.hpp"
+#include "util/json.hpp"
+
+namespace cfsmdiag {
+
+/// One fault as JSON.
+[[nodiscard]] json_value fault_to_json(const system& spec,
+                                       const single_transition_fault& f);
+
+/// Full report for a single-fault diagnosis run.
+[[nodiscard]] json_value report_to_json(const system& spec,
+                                        const diagnosis_result& result);
+
+/// Report for a multiple-fault diagnosis run.
+[[nodiscard]] json_value report_to_json(const system& spec,
+                                        const multi_fault_result& result);
+
+}  // namespace cfsmdiag

@@ -1,0 +1,29 @@
+// Single-FSM diagnosis — the authors' earlier algorithm (ICDCS'92, ref [6])
+// as a baseline.
+//
+// The paper presents its CFSM algorithm as a generalization of the
+// single-FSM case (N = 1, every transition external, no FTCco sets because
+// no output is ever hidden).  Our pipeline specializes cleanly: wrap the
+// machine as a one-machine system and run the same diagnoser.  Used by the
+// composite baseline (diag/composite.hpp) and by tests demonstrating the
+// generalization claim.
+#pragma once
+
+#include "diag/diagnoser.hpp"
+
+namespace cfsmdiag {
+
+/// Wraps a standalone Mealy machine (every transition must be
+/// external-output) as a one-machine system.
+[[nodiscard]] system wrap_single_fsm(fsm machine, symbol_table symbols);
+
+/// Test case over a single machine: symbols all applied at its only port.
+[[nodiscard]] test_case single_fsm_test(std::string name,
+                                        const std::vector<symbol>& seq);
+
+/// diagnose() on the wrapped machine.
+[[nodiscard]] diagnosis_result diagnose_single_fsm(
+    const system& wrapped, const test_suite& suite, oracle& iut,
+    const diagnoser_options& options = {});
+
+}  // namespace cfsmdiag

@@ -1,0 +1,71 @@
+#include "diag/symptom.hpp"
+
+#include "util/error.hpp"
+
+namespace cfsmdiag {
+
+symptom_report collect_symptoms(const system& spec, const test_suite& suite,
+                                oracle& iut) {
+    symptom_report report;
+    report.runs.reserve(suite.size());
+
+    for (std::size_t ci = 0; ci < suite.cases.size(); ++ci) {
+        const test_case& tc = suite.cases[ci];
+        executed_case run;
+        run.case_index = ci;
+        run.trace = explain(spec, tc.inputs);
+        run.observed = iut.execute(tc.inputs);
+        detail::require(run.observed.size() == tc.inputs.size(),
+                        "collect_symptoms: oracle returned " +
+                            std::to_string(run.observed.size()) +
+                            " observations for " +
+                            std::to_string(tc.inputs.size()) + " inputs");
+
+        for (std::size_t step = 0; step < run.trace.size(); ++step) {
+            if (run.trace[step].expected != run.observed[step])
+                run.symptom_steps.push_back(step);
+        }
+        if (!run.symptom_steps.empty()) {
+            run.first_symptom = run.symptom_steps.front();
+            const trace_step& at = run.trace[*run.first_symptom];
+            if (!at.fired.empty()) run.symptom_transition = at.fired.back();
+            report.symptomatic_cases.push_back(ci);
+
+            // flag: any discrepancy strictly after first_symptom + 1
+            // (the paper checks the tail o_{m+2..n}).
+            for (std::size_t s : run.symptom_steps) {
+                if (s > *run.first_symptom + 1) {
+                    report.flag = true;
+                    break;
+                }
+            }
+        }
+        report.runs.push_back(std::move(run));
+    }
+
+    // Unique symptom transition: all symptomatic cases name the same one.
+    std::optional<global_transition_id> ust;
+    bool unique = !report.symptomatic_cases.empty();
+    for (std::size_t ci : report.symptomatic_cases) {
+        const auto& t = report.runs[ci].symptom_transition;
+        if (!t) {
+            unique = false;
+            break;
+        }
+        if (!ust) {
+            ust = *t;
+        } else if (*ust != *t) {
+            unique = false;
+            break;
+        }
+    }
+    if (unique && ust) {
+        report.ust = *ust;
+        const executed_case& first =
+            report.runs[report.symptomatic_cases.front()];
+        report.uso = first.observed[*first.first_symptom];
+    }
+    return report;
+}
+
+}  // namespace cfsmdiag

@@ -1,0 +1,67 @@
+// Steps 1-3 of the diagnostic algorithm: expected outputs, execution on the
+// IUT, symptom generation.
+//
+// A symptom is a position where the observed output differs from the
+// expected one (Step 3).  The *symptom transition* of a test case is the
+// specification transition that was supposed to produce the output at the
+// first symptom (Definition 4); if every symptomatic test case has the same
+// symptom transition it is the unique symptom transition (ust) and the
+// observed output there is the unique symptom output (uso).
+//
+// Step 4's `flag` is also computed here because it is a property of the
+// comparison: flag is true iff discrepancies continue after the position
+// immediately following the first symptom (o_{m+2..n} ≠ ô_{m+2..n}) in some
+// test case — the hint that the faulty transition corrupted the state
+// (transfer component), not just one output.
+#pragma once
+
+#include <optional>
+#include <vector>
+
+#include "cfsm/trace.hpp"
+#include "fault/oracle.hpp"
+#include "testgen/testcase.hpp"
+
+namespace cfsmdiag {
+
+/// One executed test case with everything the later steps need.
+struct executed_case {
+    std::size_t case_index = 0;
+    std::vector<trace_step> trace;       ///< spec run (inputs + expected)
+    std::vector<observation> observed;   ///< IUT run
+    /// Index of the first differing step, if any.
+    std::optional<std::size_t> first_symptom;
+    /// All differing step indices.
+    std::vector<std::size_t> symptom_steps;
+    /// Spec transition that generated the expected output at the first
+    /// symptom (the last transition fired in that step); nullopt when the
+    /// spec fired nothing there (expected ε).
+    std::optional<global_transition_id> symptom_transition;
+};
+
+/// Steps 1-3 result.
+struct symptom_report {
+    std::vector<executed_case> runs;  ///< one per test case, in suite order
+    /// Indices of test cases with at least one symptom.
+    std::vector<std::size_t> symptomatic_cases;
+    /// Step 4's flag (see file comment).
+    bool flag = false;
+    /// The unique symptom transition, if all symptomatic cases agree.
+    std::optional<global_transition_id> ust;
+    /// The unique symptom output (observed output at the ust), meaningful
+    /// only when `ust` is set.  May be ε (observed nothing where output was
+    /// expected).
+    observation uso;
+
+    [[nodiscard]] bool has_symptoms() const noexcept {
+        return !symptomatic_cases.empty();
+    }
+};
+
+/// Runs the suite on the spec (Step 1) and the IUT (Step 2) and compares
+/// (Step 3).
+[[nodiscard]] symptom_report collect_symptoms(const system& spec,
+                                              const test_suite& suite,
+                                              oracle& iut);
+
+}  // namespace cfsmdiag

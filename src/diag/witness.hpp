@@ -1,0 +1,33 @@
+// Fault witnesses: the shortest demonstration of a diagnosis.
+//
+// After localization, engineers want one concrete, minimal test that shows
+// the defect: "run THIS, the spec says X, your implementation says Y".
+// `witness_test` computes exactly that — the shortest global input
+// sequence (from reset) on which the faulty hypothesis diverges from the
+// specification, with both predicted observation sequences and the
+// divergence position.  Returns nullopt for hypotheses observationally
+// equivalent to the spec (nothing can demonstrate those).
+#pragma once
+
+#include <optional>
+
+#include "diag/discriminate.hpp"
+#include "testgen/testcase.hpp"
+
+namespace cfsmdiag {
+
+struct fault_witness {
+    test_case tc;                       ///< reset-prefixed inputs
+    std::vector<observation> expected;  ///< spec behaviour
+    std::vector<observation> faulty;    ///< hypothesis behaviour
+    std::size_t divergence = 0;         ///< first differing step index
+
+    /// Multi-line human-readable rendering.
+    [[nodiscard]] std::string describe(const system& spec) const;
+};
+
+[[nodiscard]] std::optional<fault_witness> witness_test(
+    const system& spec, const single_transition_fault& fault,
+    std::size_t max_joint_states = 100'000);
+
+}  // namespace cfsmdiag

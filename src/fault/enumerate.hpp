@@ -1,0 +1,48 @@
+// Exhaustive fault enumeration for injection campaigns.
+//
+// The paper guarantees "correct diagnosis of any single or double faults
+// (output and/or transfer) in at most one of the transitions"; the campaign
+// benchmarks check exactly that by enumerating the full fault universe and
+// diagnosing every member.  Output faults respect the model: an external
+// transition's faulty output is drawn from the machine's port output
+// alphabet OEO_i, an internal transition's from OIO_{i>j} for its specified
+// destination j (the address component never changes).
+#pragma once
+
+#include <vector>
+
+#include "cfsm/alphabet.hpp"
+#include "fault/fault.hpp"
+
+namespace cfsmdiag {
+
+/// All pure output faults.
+[[nodiscard]] std::vector<single_transition_fault> enumerate_output_faults(
+    const system& spec);
+
+/// All pure transfer faults.
+[[nodiscard]] std::vector<single_transition_fault> enumerate_transfer_faults(
+    const system& spec);
+
+/// All combined output+transfer faults.
+[[nodiscard]] std::vector<single_transition_fault> enumerate_double_faults(
+    const system& spec);
+
+/// Union of the three classes, in (transition, kind) order.  Addressing
+/// faults are NOT included — they live outside the paper's fault model;
+/// campaigns opt in via enumerate_addressing_faults.
+[[nodiscard]] std::vector<single_transition_fault> enumerate_all_faults(
+    const system& spec);
+
+/// All pure addressing faults (extension; paper §5 future work): every
+/// internal-output transition redirected to every other machine.
+[[nodiscard]] std::vector<single_transition_fault>
+enumerate_addressing_faults(const system& spec);
+
+/// The admissible faulty outputs for one transition (excludes the
+/// specified output; respects the address component).
+[[nodiscard]] std::vector<symbol> admissible_faulty_outputs(
+    const system& spec, const std::vector<machine_alphabets>& alphabets,
+    global_transition_id id);
+
+}  // namespace cfsmdiag

@@ -1,0 +1,108 @@
+#include "fault/fault.hpp"
+
+#include "util/error.hpp"
+
+namespace cfsmdiag {
+
+std::string to_string(fault_kind kind) {
+    switch (kind) {
+        case fault_kind::output: return "output";
+        case fault_kind::transfer: return "transfer";
+        case fault_kind::output_and_transfer: return "output+transfer";
+        case fault_kind::addressing: return "addressing";
+    }
+    return "?";
+}
+
+fault_kind single_transition_fault::kind() const {
+    if (faulty_destination) return fault_kind::addressing;
+    if (faulty_output && faulty_next) return fault_kind::output_and_transfer;
+    if (faulty_output) return fault_kind::output;
+    return fault_kind::transfer;
+}
+
+transition_override single_transition_fault::to_override() const {
+    return transition_override{target, faulty_output, faulty_next,
+                               faulty_destination};
+}
+
+void validate_fault(const system& spec, const single_transition_fault& f) {
+    detail::require(f.target.machine.value < spec.machine_count(),
+                    "fault: machine index out of range");
+    const fsm& m = spec.machine(f.target.machine);
+    detail::require(f.target.transition.value < m.transitions().size(),
+                    "fault: transition index out of range");
+    detail::require(
+        f.faulty_output || f.faulty_next || f.faulty_destination,
+        "fault: must change the output, the next state, the destination, "
+        "or a combination");
+    if (f.faulty_destination) {
+        const transition& t = m.at(f.target.transition);
+        detail::require(t.kind == output_kind::internal,
+                        "fault: addressing fault on an external-output "
+                        "transition");
+        detail::require(
+            f.faulty_destination->value < spec.machine_count() &&
+                *f.faulty_destination != f.target.machine,
+            "fault: faulty destination out of range or self");
+        detail::require(*f.faulty_destination != t.destination,
+                        "fault: faulty destination equals the specified "
+                        "one");
+    }
+    const transition& t = m.at(f.target.transition);
+    if (f.faulty_output) {
+        detail::require(*f.faulty_output != t.output,
+                        "fault: faulty output equals the specified output");
+        detail::require(
+            t.kind == output_kind::external ||
+                !f.faulty_output->is_epsilon(),
+            "fault: internal-output transition cannot send ε");
+    }
+    if (f.faulty_next) {
+        detail::require(f.faulty_next->value < m.state_count(),
+                        "fault: faulty next state out of range");
+        detail::require(*f.faulty_next != t.to,
+                        "fault: faulty next state equals the specified one");
+    }
+}
+
+std::string describe(const system& spec, const single_transition_fault& f) {
+    const fsm& m = spec.machine(f.target.machine);
+    const transition& t = m.at(f.target.transition);
+    std::string s = spec.transition_label(f.target) + ": ";
+    std::vector<std::string> parts;
+    if (f.faulty_output) {
+        parts.push_back("output fault (" +
+                        spec.symbols().name(*f.faulty_output) +
+                        " instead of " + spec.symbols().name(t.output) +
+                        ")");
+    }
+    if (f.faulty_next) {
+        parts.push_back("transfer fault (next state " +
+                        m.state_name(*f.faulty_next) + " instead of " +
+                        m.state_name(t.to) + ")");
+    }
+    if (f.faulty_destination) {
+        parts.push_back("addressing fault (sends to " +
+                        spec.machine(*f.faulty_destination).name() +
+                        " instead of " +
+                        spec.machine(t.destination).name() + ")");
+    }
+    for (std::size_t i = 0; i < parts.size(); ++i) {
+        if (i) s += " and ";
+        s += parts[i];
+    }
+    // Single-component faults keep the paper's terser phrasing.
+    if (parts.size() == 1 && f.faulty_output) {
+        s = spec.transition_label(f.target) + ": output fault, " +
+            spec.symbols().name(*f.faulty_output) + " instead of " +
+            spec.symbols().name(t.output);
+    } else if (parts.size() == 1 && f.faulty_next) {
+        s = spec.transition_label(f.target) + ": transfer fault, next state " +
+            m.state_name(*f.faulty_next) + " instead of " +
+            m.state_name(t.to);
+    }
+    return s;
+}
+
+}  // namespace cfsmdiag

@@ -1,0 +1,67 @@
+// The single-transition fault model (paper Section 2.2).
+//
+// An implementation may differ from its specification in at most one
+// transition, which may have
+//   - an output fault: a different output *message type* (Definition 2; the
+//     address component — own port vs. destination queue — never changes),
+//   - a transfer fault: a different next state (Definition 3),
+//   - or both at once (the "single transition faults" hypothesis this paper
+//     adds over the authors' earlier single-fault work).
+#pragma once
+
+#include <optional>
+#include <string>
+
+#include "cfsm/simulator.hpp"
+
+namespace cfsmdiag {
+
+enum class fault_kind : std::uint8_t {
+    output,
+    transfer,
+    output_and_transfer,
+    /// Any fault involving the address component (paper §5 future work):
+    /// the internal output lands in the wrong machine's queue, possibly
+    /// combined with message-type and/or transfer faults.
+    addressing,
+};
+
+[[nodiscard]] std::string to_string(fault_kind kind);
+
+/// A concrete fault: which transition, and what it wrongly does.
+struct single_transition_fault {
+    global_transition_id target;
+    /// Faulty output (message type), if the output component is faulty.
+    std::optional<symbol> faulty_output;
+    /// Faulty next state, if the transfer component is faulty.
+    std::optional<state_id> faulty_next;
+    /// Faulty destination (address component), if the transition is
+    /// internal-output and misroutes its message — the paper's fault model
+    /// excludes this; the extension re-admits it.
+    std::optional<machine_id> faulty_destination;
+
+    [[nodiscard]] fault_kind kind() const;
+    [[nodiscard]] bool has_addressing() const noexcept {
+        return faulty_destination.has_value();
+    }
+
+    /// The simulator overlay realizing this fault.
+    [[nodiscard]] transition_override to_override() const;
+
+    friend constexpr auto operator<=>(const single_transition_fault&,
+                                      const single_transition_fault&) =
+        default;
+};
+
+/// Checks that the fault actually changes behaviour and respects the model:
+/// the target exists, a faulty output differs from the specified one (and
+/// is non-ε for internal transitions), a faulty next state differs from the
+/// specified one.  Throws cfsmdiag::error otherwise.
+void validate_fault(const system& spec, const single_transition_fault& f);
+
+/// Human-readable description, e.g.
+/// "M3.t''4: transfer fault, next state s0 instead of s1".
+[[nodiscard]] std::string describe(const system& spec,
+                                   const single_transition_fault& f);
+
+}  // namespace cfsmdiag

@@ -1,0 +1,11 @@
+#include "fault/mutate.hpp"
+
+namespace cfsmdiag {
+
+system inject(const system& spec, const single_transition_fault& f) {
+    validate_fault(spec, f);
+    return spec.with_transition_replaced(f.target, f.faulty_output,
+                                         f.faulty_next);
+}
+
+}  // namespace cfsmdiag

@@ -1,0 +1,17 @@
+// Persistent fault injection: spec + fault -> mutated system.
+//
+// Most of the library uses simulator overlays (no copy); this module builds
+// a real mutated system for the places that need one — composing a faulty
+// implementation into a product machine, or checking observational
+// equivalence between hypothesis systems.
+#pragma once
+
+#include "fault/fault.hpp"
+
+namespace cfsmdiag {
+
+/// A copy of `spec` with the fault applied to its transition table.
+[[nodiscard]] system inject(const system& spec,
+                            const single_transition_fault& f);
+
+}  // namespace cfsmdiag

@@ -1,0 +1,18 @@
+#include "fault/oracle.hpp"
+
+namespace cfsmdiag {
+
+simulated_iut::simulated_iut(const system& spec) : sim_(spec) {}
+
+simulated_iut::simulated_iut(const system& spec,
+                             const single_transition_fault& fault)
+    : sim_(spec, (validate_fault(spec, fault), fault.to_override())) {}
+
+std::vector<observation> simulated_iut::execute(
+    const std::vector<global_input>& test) {
+    ++executions_;
+    inputs_applied_ += test.size();
+    return sim_.run_from_reset(test);
+}
+
+}  // namespace cfsmdiag

@@ -1,0 +1,59 @@
+// The implementation under test as a black box.
+//
+// The diagnostic algorithm may only interact with the IUT the way a tester
+// can: reset it, feed external inputs, observe port outputs.  The `oracle`
+// interface enforces that boundary; `simulated_iut` realizes it with the
+// spec plus an injected fault (our stand-in for the paper's physical
+// implementation).  Execution counters feed the benchmark harness — the
+// paper's headline advantage is measured in additional test effort.
+#pragma once
+
+#include <memory>
+#include <vector>
+
+#include "fault/fault.hpp"
+
+namespace cfsmdiag {
+
+/// Black-box access to an implementation under test.
+class oracle {
+  public:
+    virtual ~oracle() = default;
+
+    /// Runs one test case from reset; returns one observation per input.
+    [[nodiscard]] virtual std::vector<observation> execute(
+        const std::vector<global_input>& test) = 0;
+
+    /// Number of execute() calls so far.
+    [[nodiscard]] virtual std::size_t executions() const noexcept = 0;
+
+    /// Total inputs applied across all executions (test effort).
+    [[nodiscard]] virtual std::size_t inputs_applied() const noexcept = 0;
+};
+
+/// Oracle backed by a simulator over spec ⊕ fault.
+class simulated_iut final : public oracle {
+  public:
+    /// Fault-free implementation (conformance runs).
+    explicit simulated_iut(const system& spec);
+
+    /// Faulty implementation.  The fault is validated against the spec.
+    simulated_iut(const system& spec, const single_transition_fault& fault);
+
+    [[nodiscard]] std::vector<observation> execute(
+        const std::vector<global_input>& test) override;
+
+    [[nodiscard]] std::size_t executions() const noexcept override {
+        return executions_;
+    }
+    [[nodiscard]] std::size_t inputs_applied() const noexcept override {
+        return inputs_applied_;
+    }
+
+  private:
+    simulator sim_;
+    std::size_t executions_ = 0;
+    std::size_t inputs_applied_ = 0;
+};
+
+}  // namespace cfsmdiag

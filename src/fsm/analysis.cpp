@@ -1,0 +1,119 @@
+#include "fsm/analysis.hpp"
+
+#include <algorithm>
+#include <deque>
+#include <map>
+
+namespace cfsmdiag {
+
+local_view::local_view(const fsm& machine)
+    : machine_(&machine), inputs_(machine.input_alphabet()) {}
+
+local_step local_view::step(state_id s, symbol input) const {
+    if (auto t = machine_->find(s, input)) {
+        const transition& tr = machine_->at(*t);
+        const symbol label = tr.kind == output_kind::external
+                                 ? tr.output
+                                 : symbol::epsilon();
+        return {tr.to, label};
+    }
+    return {s, symbol::epsilon()};
+}
+
+std::vector<symbol> local_view::run(state_id s,
+                                    const std::vector<symbol>& seq) const {
+    std::vector<symbol> labels;
+    labels.reserve(seq.size());
+    state_id cur = s;
+    for (symbol in : seq) {
+        local_step st = step(cur, in);
+        labels.push_back(st.label);
+        cur = st.next;
+    }
+    return labels;
+}
+
+std::vector<std::uint32_t> equivalence_classes(const local_view& view) {
+    const std::size_t n = view.state_count();
+    std::vector<std::uint32_t> cls(n, 0);
+
+    // Initial split on output signatures, then refine on (output, class of
+    // successor) signatures until stable.
+    bool changed = true;
+    while (changed) {
+        changed = false;
+        // Signature of a state: for each input, (label, class of next).
+        std::map<std::vector<std::pair<std::uint32_t, std::uint32_t>>,
+                 std::uint32_t>
+            sig_to_class;
+        std::vector<std::uint32_t> next_cls(n, 0);
+        for (std::size_t s = 0; s < n; ++s) {
+            std::vector<std::pair<std::uint32_t, std::uint32_t>> sig;
+            sig.reserve(view.inputs().size() + 1);
+            // Include the current class so refinement never merges.
+            sig.emplace_back(cls[s], 0);
+            for (symbol in : view.inputs()) {
+                local_step st =
+                    view.step(state_id{static_cast<std::uint32_t>(s)}, in);
+                sig.emplace_back(st.label.id, cls[st.next.value]);
+            }
+            auto [it, inserted] = sig_to_class.emplace(
+                std::move(sig),
+                static_cast<std::uint32_t>(sig_to_class.size()));
+            next_cls[s] = it->second;
+        }
+        if (next_cls != cls) {
+            cls = std::move(next_cls);
+            changed = true;
+        }
+    }
+    return cls;
+}
+
+bool locally_distinguishable(const local_view& view, state_id a, state_id b) {
+    if (a == b) return false;
+    const auto cls = equivalence_classes(view);
+    return cls[a.value] != cls[b.value];
+}
+
+std::vector<bool> reachable_states(const fsm& machine) {
+    std::vector<bool> seen(machine.state_count(), false);
+    std::deque<state_id> frontier{machine.initial_state()};
+    seen[machine.initial_state().value] = true;
+    while (!frontier.empty()) {
+        const state_id s = frontier.front();
+        frontier.pop_front();
+        for (const auto& t : machine.transitions()) {
+            if (t.from == s && !seen[t.to.value]) {
+                seen[t.to.value] = true;
+                frontier.push_back(t.to);
+            }
+        }
+    }
+    return seen;
+}
+
+bool is_complete(const fsm& machine) {
+    const auto alphabet = machine.input_alphabet();
+    for (std::uint32_t s = 0; s < machine.state_count(); ++s) {
+        for (symbol in : alphabet) {
+            if (!machine.find(state_id{s}, in)) return false;
+        }
+    }
+    return true;
+}
+
+bool is_initially_connected(const fsm& machine) {
+    const auto seen = reachable_states(machine);
+    return std::all_of(seen.begin(), seen.end(), [](bool b) { return b; });
+}
+
+bool is_reduced(const fsm& machine) {
+    const local_view view(machine);
+    const auto cls = equivalence_classes(view);
+    std::vector<std::uint32_t> sorted = cls;
+    std::sort(sorted.begin(), sorted.end());
+    return std::adjacent_find(sorted.begin(), sorted.end()) == sorted.end();
+}
+
+}  // namespace cfsmdiag

@@ -1,0 +1,86 @@
+// Local observability view and state equivalence for one machine.
+//
+// When a machine M_i of a CFSM system is analysed in isolation (for
+// characterization sets, UIO sequences, ...), only part of its behaviour is
+// visible at its own port P_i:
+//   - an external-output transition shows its output symbol at P_i,
+//   - an internal-output transition's output is hidden (it lands in another
+//     machine's queue; what the environment eventually sees depends on the
+//     *other* machine's state, which a per-machine analysis cannot know),
+//   - an unspecified (state, input) pair produces the null output ε and
+//     leaves the state unchanged (the model's completeness convention; the
+//     paper's §4 example observes exactly such an "ε" in a diagnostic test).
+//
+// `local_view` totalizes the machine under those rules.  Analyses built on
+// it (equivalence, separating sequences, W sets) are therefore *sound*: any
+// difference they predict is observable at P_i alone.  They can be
+// incomplete — differences mediated by other machines are invisible here;
+// the diagnoser falls back to global discrimination for those (see
+// diag/discriminate.hpp).
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+#include "fsm/fsm.hpp"
+
+namespace cfsmdiag {
+
+/// Result of one totalized step in the local view.
+struct local_step {
+    state_id next;
+    /// Observable label at the machine's own port: the output symbol for
+    /// external-output transitions, ε for internal-output transitions and
+    /// for unspecified inputs.
+    symbol label;
+};
+
+/// Totalized, port-local Mealy view of one machine (see file comment).
+class local_view {
+  public:
+    explicit local_view(const fsm& machine);
+
+    [[nodiscard]] const fsm& machine() const noexcept { return *machine_; }
+    [[nodiscard]] std::size_t state_count() const noexcept {
+        return machine_->state_count();
+    }
+    /// The inputs worth applying: every input used anywhere in the machine.
+    [[nodiscard]] const std::vector<symbol>& inputs() const noexcept {
+        return inputs_;
+    }
+
+    [[nodiscard]] local_step step(state_id s, symbol input) const;
+
+    /// Observable label sequence for an input sequence from `s`.
+    [[nodiscard]] std::vector<symbol> run(state_id s,
+                                          const std::vector<symbol>& seq)
+        const;
+
+  private:
+    const fsm* machine_;
+    std::vector<symbol> inputs_;
+};
+
+/// Moore-style partition refinement on the local view.  Returns one class
+/// index per state; equal class == locally indistinguishable.
+[[nodiscard]] std::vector<std::uint32_t> equivalence_classes(
+    const local_view& view);
+
+/// True if the two states are locally distinguishable.
+[[nodiscard]] bool locally_distinguishable(const local_view& view, state_id a,
+                                           state_id b);
+
+/// States reachable from the initial state via defined transitions.
+[[nodiscard]] std::vector<bool> reachable_states(const fsm& machine);
+
+/// True if every (state, input-alphabet) pair has a defined transition.
+[[nodiscard]] bool is_complete(const fsm& machine);
+
+/// True if the machine is initially connected (all states reachable).
+[[nodiscard]] bool is_initially_connected(const fsm& machine);
+
+/// True if no two distinct states are locally equivalent (machine is
+/// reduced/minimal w.r.t. its own port).
+[[nodiscard]] bool is_reduced(const fsm& machine);
+
+}  // namespace cfsmdiag

@@ -1,0 +1,61 @@
+// Fluent construction of machines.
+//
+// Hand-written specifications (the paper's Figure 1, the examples, the unit
+// tests) read much better as named states and symbol spellings than as raw
+// indices; the builder does the interning and index bookkeeping.
+#pragma once
+
+#include <string>
+#include <string_view>
+#include <vector>
+
+#include "fsm/fsm.hpp"
+
+namespace cfsmdiag {
+
+/// Builds one machine against a shared symbol table.
+///
+///     fsm_builder b{"M1", table};
+///     b.state("s0").state("s1");
+///     b.external("t1", "s0", "a", "c'", "s1");
+///     b.internal("t6", "s1", "c", "c'", "s2", machine_id{1});
+///     fsm m = b.build("s0");
+class fsm_builder {
+  public:
+    fsm_builder(std::string machine_name, symbol_table& symbols);
+
+    /// Declares a state (idempotent).  States may also be declared
+    /// implicitly by transitions.
+    fsm_builder& state(std::string_view name);
+
+    /// Adds an external-output transition: output observed at this
+    /// machine's own port.
+    fsm_builder& external(std::string_view transition_name,
+                          std::string_view from, std::string_view input,
+                          std::string_view output, std::string_view to);
+
+    /// Adds an internal-output transition: output enqueued at `destination`.
+    fsm_builder& internal(std::string_view transition_name,
+                          std::string_view from, std::string_view input,
+                          std::string_view output, std::string_view to,
+                          machine_id destination);
+
+    /// Finalizes.  `initial` must be a declared state.
+    [[nodiscard]] fsm build(std::string_view initial) const;
+
+    /// State id for a declared name (useful in tests).
+    [[nodiscard]] state_id id_of(std::string_view state_name) const;
+
+  private:
+    state_id intern_state(std::string_view name);
+    void add(std::string_view transition_name, std::string_view from,
+             std::string_view input, std::string_view output,
+             std::string_view to, output_kind kind, machine_id destination);
+
+    std::string name_;
+    symbol_table& symbols_;
+    std::vector<std::string> state_names_;
+    std::vector<transition> transitions_;
+};
+
+}  // namespace cfsmdiag

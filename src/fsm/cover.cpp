@@ -1,0 +1,95 @@
+#include "fsm/cover.hpp"
+
+#include <algorithm>
+#include <deque>
+#include <unordered_set>
+
+namespace cfsmdiag {
+
+std::optional<std::vector<symbol>> transfer_sequence(
+    const fsm& machine, state_id from, state_id to,
+    const std::vector<transition_id>& avoid) {
+    std::unordered_set<std::uint32_t> banned;
+    for (transition_id t : avoid) banned.insert(t.value);
+
+    if (from == to) return std::vector<symbol>{};
+
+    struct node {
+        state_id state;
+        std::uint32_t parent;
+        symbol via;
+    };
+    std::vector<node> nodes{{from, invalid_index, symbol::epsilon()}};
+    std::vector<bool> seen(machine.state_count(), false);
+    seen[from.value] = true;
+    std::deque<std::uint32_t> frontier{0};
+
+    while (!frontier.empty()) {
+        const std::uint32_t idx = frontier.front();
+        frontier.pop_front();
+        const state_id s = nodes[idx].state;
+        for (std::uint32_t ti = 0;
+             ti < static_cast<std::uint32_t>(machine.transitions().size());
+             ++ti) {
+            const transition& t = machine.transitions()[ti];
+            if (t.from != s || banned.count(ti) != 0) continue;
+            if (seen[t.to.value]) continue;
+            nodes.push_back({t.to, idx, t.input});
+            if (t.to == to) {
+                std::vector<symbol> seq;
+                std::uint32_t cur =
+                    static_cast<std::uint32_t>(nodes.size() - 1);
+                while (nodes[cur].parent != invalid_index) {
+                    seq.push_back(nodes[cur].via);
+                    cur = nodes[cur].parent;
+                }
+                std::reverse(seq.begin(), seq.end());
+                return seq;
+            }
+            seen[t.to.value] = true;
+            frontier.push_back(static_cast<std::uint32_t>(nodes.size() - 1));
+        }
+    }
+    return std::nullopt;
+}
+
+std::vector<std::optional<std::vector<symbol>>> state_cover(
+    const fsm& machine) {
+    std::vector<std::optional<std::vector<symbol>>> cover(
+        machine.state_count());
+    // Single BFS from the initial state finds all shortest sequences.
+    cover[machine.initial_state().value] = std::vector<symbol>{};
+    std::deque<state_id> frontier{machine.initial_state()};
+    while (!frontier.empty()) {
+        const state_id s = frontier.front();
+        frontier.pop_front();
+        for (const auto& t : machine.transitions()) {
+            if (t.from != s || cover[t.to.value]) continue;
+            auto seq = *cover[s.value];
+            seq.push_back(t.input);
+            cover[t.to.value] = std::move(seq);
+            frontier.push_back(t.to);
+        }
+    }
+    return cover;
+}
+
+transition_cover_result transition_cover(const fsm& machine) {
+    transition_cover_result result;
+    const auto cover = state_cover(machine);
+    for (std::uint32_t ti = 0;
+         ti < static_cast<std::uint32_t>(machine.transitions().size());
+         ++ti) {
+        const transition& t = machine.transitions()[ti];
+        if (!cover[t.from.value]) {
+            result.unreachable.push_back(transition_id{ti});
+            continue;
+        }
+        auto seq = *cover[t.from.value];
+        seq.push_back(t.input);
+        result.sequences.emplace_back(transition_id{ti}, std::move(seq));
+    }
+    return result;
+}
+
+}  // namespace cfsmdiag

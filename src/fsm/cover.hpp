@@ -1,0 +1,40 @@
+// State and transition covers for one machine.
+//
+// A state cover is a set of shortest input sequences (transfer sequences)
+// reaching every reachable state from the initial state; a transition cover
+// extends each by one input.  Both are ingredients of the W-method test
+// suites used as baselines and of the diagnoser's additional-test
+// construction (the paper's "transfer sequence" in Step 6).
+#pragma once
+
+#include <optional>
+#include <vector>
+
+#include "fsm/fsm.hpp"
+
+namespace cfsmdiag {
+
+/// Shortest defined-transition input sequence from `from` to `to`, or
+/// nullopt if unreachable.  `avoid` lists transitions that must not be
+/// exercised (the paper requires additional diagnostic tests to avoid every
+/// remaining diagnostic candidate).
+[[nodiscard]] std::optional<std::vector<symbol>> transfer_sequence(
+    const fsm& machine, state_id from, state_id to,
+    const std::vector<transition_id>& avoid = {});
+
+/// Per-state shortest transfer sequences from the initial state.  Entry for
+/// an unreachable state is nullopt; the initial state's entry is the empty
+/// sequence.
+[[nodiscard]] std::vector<std::optional<std::vector<symbol>>> state_cover(
+    const fsm& machine);
+
+/// One input sequence per transition: transfer to its source, then its
+/// input.  Transitions whose source is unreachable are skipped and reported.
+struct transition_cover_result {
+    std::vector<std::pair<transition_id, std::vector<symbol>>> sequences;
+    std::vector<transition_id> unreachable;
+};
+
+[[nodiscard]] transition_cover_result transition_cover(const fsm& machine);
+
+}  // namespace cfsmdiag

@@ -1,0 +1,183 @@
+#include "fsm/distinguish.hpp"
+
+#include <algorithm>
+#include <deque>
+#include <set>
+
+namespace cfsmdiag {
+namespace {
+
+/// One thread of the successor tree: where state `init` currently is.
+struct thread {
+    std::uint32_t init;
+    std::uint32_t cur;
+};
+
+/// A node is a partition of the initial states into blocks with identical
+/// output history.  Canonical form: threads sorted by init within blocks,
+/// blocks sorted by their first init.
+using node = std::vector<std::vector<thread>>;
+
+node canonical(node n) {
+    for (auto& block : n) {
+        std::sort(block.begin(), block.end(),
+                  [](const thread& a, const thread& b) {
+                      return a.init < b.init;
+                  });
+    }
+    std::sort(n.begin(), n.end(),
+              [](const std::vector<thread>& a, const std::vector<thread>& b) {
+                  return a.front().init < b.front().init;
+              });
+    return n;
+}
+
+std::vector<std::uint32_t> key_of(const node& n) {
+    std::vector<std::uint32_t> key;
+    for (const auto& block : n) {
+        key.push_back(invalid_index);  // block separator
+        for (const thread& t : block) {
+            key.push_back(t.init);
+            key.push_back(t.cur);
+        }
+    }
+    return key;
+}
+
+bool solved(const node& n) {
+    return std::all_of(n.begin(), n.end(), [](const std::vector<thread>& b) {
+        return b.size() == 1;
+    });
+}
+
+}  // namespace
+
+std::optional<std::vector<symbol>> preset_distinguishing_sequence(
+    const local_view& view, std::size_t max_length) {
+    const auto n_states = static_cast<std::uint32_t>(view.state_count());
+    if (n_states <= 1) return std::vector<symbol>{};
+
+    node root(1);
+    for (std::uint32_t s = 0; s < n_states; ++s)
+        root[0].push_back({s, s});
+    root = canonical(root);
+    if (solved(root)) return std::vector<symbol>{};
+
+    struct search_node {
+        node part;
+        std::uint32_t parent;
+        symbol via;
+        std::size_t depth;
+    };
+    std::vector<search_node> nodes{{root, invalid_index, symbol::epsilon(),
+                                    0}};
+    std::set<std::vector<std::uint32_t>> visited{key_of(root)};
+    std::deque<std::uint32_t> frontier{0};
+
+    auto reconstruct = [&](std::uint32_t idx) {
+        std::vector<symbol> seq;
+        while (nodes[idx].parent != invalid_index) {
+            seq.push_back(nodes[idx].via);
+            idx = nodes[idx].parent;
+        }
+        std::reverse(seq.begin(), seq.end());
+        return seq;
+    };
+
+    while (!frontier.empty()) {
+        const std::uint32_t idx = frontier.front();
+        frontier.pop_front();
+        if (nodes[idx].depth >= max_length) continue;
+        const node part = nodes[idx].part;  // copy: nodes may reallocate
+
+        for (symbol in : view.inputs()) {
+            // Validity: within one block, two threads that produce the
+            // same label must not converge to the same current state —
+            // that would make their initial states forever inseparable.
+            bool valid = true;
+            node next;
+            for (const auto& block : part) {
+                // Split the block by label.
+                std::vector<std::pair<symbol, thread>> stepped;
+                stepped.reserve(block.size());
+                for (const thread& t : block) {
+                    const local_step st = view.step(state_id{t.cur}, in);
+                    stepped.push_back({st.label, {t.init, st.next.value}});
+                }
+                std::sort(stepped.begin(), stepped.end(),
+                          [](const auto& a, const auto& b) {
+                              if (a.first != b.first)
+                                  return a.first < b.first;
+                              return a.second.cur < b.second.cur;
+                          });
+                for (std::size_t i = 0; i + 1 < stepped.size() && valid;
+                     ++i) {
+                    if (stepped[i].first == stepped[i + 1].first &&
+                        stepped[i].second.cur == stepped[i + 1].second.cur)
+                        valid = false;
+                }
+                if (!valid) break;
+                // Emit one sub-block per label value.
+                std::size_t start = 0;
+                while (start < stepped.size()) {
+                    std::size_t end = start;
+                    std::vector<thread> sub;
+                    while (end < stepped.size() &&
+                           stepped[end].first == stepped[start].first) {
+                        sub.push_back(stepped[end].second);
+                        ++end;
+                    }
+                    next.push_back(std::move(sub));
+                    start = end;
+                }
+            }
+            if (!valid) continue;
+            next = canonical(std::move(next));
+            if (solved(next)) {
+                auto seq = reconstruct(idx);
+                seq.push_back(in);
+                return seq;
+            }
+            auto key = key_of(next);
+            if (!visited.insert(std::move(key)).second) continue;
+            nodes.push_back({std::move(next), idx, in,
+                             nodes[idx].depth + 1});
+            frontier.push_back(static_cast<std::uint32_t>(nodes.size() - 1));
+        }
+    }
+    return std::nullopt;
+}
+
+identification_set_result state_identification_set(
+    const local_view& view, state_id s,
+    const std::vector<std::vector<symbol>>& w) {
+    identification_set_result result;
+    const auto cls = equivalence_classes(view);
+    std::vector<std::size_t> chosen;  // indices into w
+
+    for (std::uint32_t other = 0; other < view.state_count(); ++other) {
+        if (other == s.value) continue;
+        if (cls[other] == cls[s.value]) continue;  // inseparable anyway
+        // Already separated by a chosen sequence?
+        bool done = std::any_of(
+            chosen.begin(), chosen.end(), [&](std::size_t i) {
+                return view.run(s, w[i]) != view.run(state_id{other}, w[i]);
+            });
+        if (done) continue;
+        bool found = false;
+        for (std::size_t i = 0; i < w.size(); ++i) {
+            if (view.run(s, w[i]) != view.run(state_id{other}, w[i])) {
+                chosen.push_back(i);
+                found = true;
+                break;
+            }
+        }
+        if (!found) result.uncovered.push_back(state_id{other});
+    }
+    std::sort(chosen.begin(), chosen.end());
+    chosen.erase(std::unique(chosen.begin(), chosen.end()), chosen.end());
+    for (std::size_t i : chosen) result.sequences.push_back(w[i]);
+    return result;
+}
+
+}  // namespace cfsmdiag

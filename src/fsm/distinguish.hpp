@@ -1,0 +1,41 @@
+// Preset distinguishing sequences and state-identification sets.
+//
+// The paper's conclusion contrasts its adaptive diagnosis with "existing
+// test selection methods with a strong diagnostic power (i.e., W or DS
+// methods for single deterministic FSMs)".  This module supplies the DS
+// half of that comparison and the identification sets used by the
+// Wp-method:
+//
+//  - `preset_distinguishing_sequence`: one input sequence whose observable
+//    label sequence is different from every state (classic Gönenc-style
+//    successor-tree search; exponential in the worst case, so the search is
+//    bounded and returns nullopt on timeout or true absence),
+//  - `state_identification_set`: a minimal-ish subset of a characterization
+//    set that separates one state from every other state (the Wp-method's
+//    W_s).
+#pragma once
+
+#include "fsm/separate.hpp"
+
+namespace cfsmdiag {
+
+/// A preset distinguishing sequence over the local view, or nullopt if none
+/// exists within `max_length` (DS existence is rarer than UIO existence;
+/// many minimal machines have none).
+[[nodiscard]] std::optional<std::vector<symbol>>
+preset_distinguishing_sequence(const local_view& view,
+                               std::size_t max_length = 12);
+
+/// Sequences from `w` that together separate `s` from every other locally
+/// distinguishable state.  Pairs that no `w` member separates are reported
+/// in `uncovered` (possible when `w` is not a full characterization set).
+struct identification_set_result {
+    std::vector<std::vector<symbol>> sequences;
+    std::vector<state_id> uncovered;
+};
+
+[[nodiscard]] identification_set_result state_identification_set(
+    const local_view& view, state_id s,
+    const std::vector<std::vector<symbol>>& w);
+
+}  // namespace cfsmdiag

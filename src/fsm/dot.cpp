@@ -1,0 +1,34 @@
+#include "fsm/dot.hpp"
+
+#include <sstream>
+
+namespace cfsmdiag {
+
+std::string to_dot(const fsm& machine, const symbol_table& symbols) {
+    std::ostringstream out;
+    out << "digraph \"" << machine.name() << "\" {\n";
+    out << "  rankdir=LR;\n";
+    out << "  node [shape=circle];\n";
+    out << "  __init [shape=point];\n";
+    out << "  __init -> \"" << machine.state_name(machine.initial_state())
+        << "\";\n";
+    for (std::uint32_t s = 0; s < machine.state_count(); ++s) {
+        out << "  \"" << machine.state_name(state_id{s}) << "\";\n";
+    }
+    for (const auto& t : machine.transitions()) {
+        out << "  \"" << machine.state_name(t.from) << "\" -> \""
+            << machine.state_name(t.to) << "\" [label=\"" << t.name << ": "
+            << symbols.name(t.input) << "/" << symbols.name(t.output);
+        if (t.kind == output_kind::internal) {
+            out << " => M" << (t.destination.value + 1)
+                << "\", style=bold";
+        } else {
+            out << "\"";
+        }
+        out << "];\n";
+    }
+    out << "}\n";
+    return out.str();
+}
+
+}  // namespace cfsmdiag

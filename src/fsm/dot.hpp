@@ -1,0 +1,19 @@
+// Graphviz export.
+//
+// Regenerates the paper's Figure 1 as a .dot state-transition diagram:
+// external-output transitions as plain edges, internal-output transitions as
+// bold edges labelled with their destination machine — matching the figure's
+// drawing convention (plain vs bold/dashed bold lines).
+#pragma once
+
+#include <string>
+
+#include "fsm/fsm.hpp"
+
+namespace cfsmdiag {
+
+/// DOT digraph for one machine.  `symbols` resolves label spellings.
+[[nodiscard]] std::string to_dot(const fsm& machine,
+                                 const symbol_table& symbols);
+
+}  // namespace cfsmdiag

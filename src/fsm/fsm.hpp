@@ -1,0 +1,109 @@
+// The deterministic Mealy machine at the heart of the CFSM model.
+//
+// One `fsm` is one machine M_i of Definition 1: a quintuple
+// (S_i, I_i, O_i, NextStaFunc_i, OutFunc_i) with *partial* next-state and
+// output functions (the paper writes "S × I --→ S").  Each transition also
+// carries the paper's addressing information: an external-output transition
+// emits at the machine's own port, an internal-output transition enqueues its
+// output at another machine's input queue.
+#pragma once
+
+#include <cstdint>
+#include <optional>
+#include <string>
+#include <unordered_map>
+#include <vector>
+
+#include "fsm/symbol.hpp"
+#include "util/error.hpp"
+#include "util/ids.hpp"
+
+namespace cfsmdiag {
+
+/// Where a transition's output goes (the "address component" of an output in
+/// the paper's fault model — never subject to faults).
+enum class output_kind : std::uint8_t {
+    external,  ///< emitted at the machine's own external port
+    internal,  ///< enqueued at another machine's input queue
+};
+
+/// One labelled transition: from --input/output--> to.
+struct transition {
+    state_id from;
+    symbol input;
+    symbol output;
+    state_id to;
+    output_kind kind = output_kind::external;
+    /// Receiver machine for internal-output transitions; unused otherwise.
+    machine_id destination{};
+    /// Display name, e.g. "t7" or "t''4".  Defaults to "t<index+1>".
+    std::string name;
+};
+
+/// Deterministic Mealy machine with partial transition functions.
+///
+/// Invariants (established by fsm_builder / checked by `validate()`):
+///  - at most one transition per (state, input) pair — determinism,
+///  - all state indices are < state_count(),
+///  - internal-output transitions name a destination machine != self
+///    (self is only known at system level, checked there).
+class fsm {
+  public:
+    fsm() = default;
+
+    /// Constructs from parts.  Prefer fsm_builder for hand-written machines.
+    fsm(std::string name, std::vector<std::string> state_names,
+        state_id initial, std::vector<transition> transitions);
+
+    [[nodiscard]] const std::string& name() const noexcept { return name_; }
+    [[nodiscard]] std::size_t state_count() const noexcept {
+        return state_names_.size();
+    }
+    [[nodiscard]] state_id initial_state() const noexcept { return initial_; }
+    [[nodiscard]] const std::string& state_name(state_id s) const;
+
+    [[nodiscard]] const std::vector<transition>& transitions() const noexcept {
+        return transitions_;
+    }
+    [[nodiscard]] const transition& at(transition_id t) const;
+
+    /// The deterministic lookup: transition defined for (state, input), if
+    /// any.  This *is* NextStaFunc/OutFunc, fused.
+    [[nodiscard]] std::optional<transition_id> find(state_id s,
+                                                    symbol input) const;
+
+    /// All inputs with a defined transition anywhere in the machine.
+    [[nodiscard]] std::vector<symbol> input_alphabet() const;
+
+    /// All inputs with a defined transition out of state `s`.
+    [[nodiscard]] std::vector<symbol> inputs_from(state_id s) const;
+
+    /// Throws cfsmdiag::error on broken invariants (range errors,
+    /// nondeterminism).  Builders call this; deserializers should too.
+    void validate() const;
+
+    /// Returns a copy with one transition's output and/or target replaced —
+    /// the mutation primitive behind fault injection and the diagnostic
+    /// algorithm's hypothesis replay (Step 5B).
+    [[nodiscard]] fsm with_transition_replaced(
+        transition_id t, std::optional<symbol> new_output,
+        std::optional<state_id> new_target) const;
+
+  private:
+    void reindex();
+
+    std::string name_;
+    std::vector<std::string> state_names_;
+    state_id initial_{};
+    std::vector<transition> transitions_;
+    /// (state, input) -> transition index; key = state * 2^32 + symbol.
+    std::unordered_map<std::uint64_t, std::uint32_t> lookup_;
+};
+
+/// Key helper for the (state, input) lookup map.
+[[nodiscard]] constexpr std::uint64_t state_input_key(state_id s,
+                                                      symbol i) noexcept {
+    return (static_cast<std::uint64_t>(s.value) << 32) | i.id;
+}
+
+}  // namespace cfsmdiag

@@ -1,0 +1,70 @@
+#include "fsm/minimize.hpp"
+
+#include <map>
+#include <unordered_map>
+
+namespace cfsmdiag {
+
+minimize_result minimize(const fsm& machine) {
+    const local_view view(machine);
+    const auto cls = equivalence_classes(view);
+    const auto reachable = reachable_states(machine);
+
+    // Representative = lowest-numbered reachable state of each class.
+    // Quotient states are numbered in order of first appearance along a
+    // scan, with the initial state's class first.
+    std::unordered_map<std::uint32_t, std::uint32_t> class_to_new;
+    std::vector<std::string> new_names;
+    auto map_class = [&](std::uint32_t c,
+                         const std::string& name) -> std::uint32_t {
+        auto it = class_to_new.find(c);
+        if (it != class_to_new.end()) return it->second;
+        const auto fresh = static_cast<std::uint32_t>(new_names.size());
+        new_names.push_back(name);
+        class_to_new.emplace(c, fresh);
+        return fresh;
+    };
+
+    const std::uint32_t init_new =
+        map_class(cls[machine.initial_state().value],
+                  machine.state_name(machine.initial_state()));
+    for (std::uint32_t s = 0; s < machine.state_count(); ++s) {
+        if (reachable[s])
+            map_class(cls[s], machine.state_name(state_id{s}));
+    }
+
+    // One transition per (new source, input): take it from any member of
+    // the class (all members agree up to equivalence).
+    std::map<std::pair<std::uint32_t, std::uint32_t>, transition> chosen;
+    for (std::uint32_t s = 0; s < machine.state_count(); ++s) {
+        if (!reachable[s]) continue;
+        const std::uint32_t ns = class_to_new.at(cls[s]);
+        for (const auto& t : machine.transitions()) {
+            if (t.from.value != s) continue;
+            const auto key = std::make_pair(ns, t.input.id);
+            if (chosen.count(key) != 0) continue;
+            transition nt = t;
+            nt.from = state_id{ns};
+            nt.to = state_id{class_to_new.at(cls[t.to.value])};
+            chosen.emplace(key, std::move(nt));
+        }
+    }
+
+    std::vector<transition> transitions;
+    transitions.reserve(chosen.size());
+    for (auto& [key, t] : chosen) transitions.push_back(std::move(t));
+
+    minimize_result result{
+        fsm(machine.name() + "_min", std::move(new_names),
+            state_id{init_new}, std::move(transitions)),
+        {}};
+    result.state_map.resize(machine.state_count());
+    for (std::uint32_t s = 0; s < machine.state_count(); ++s) {
+        result.state_map[s] = reachable[s]
+                                  ? state_id{class_to_new.at(cls[s])}
+                                  : state_id{init_new};
+    }
+    return result;
+}
+
+}  // namespace cfsmdiag

@@ -1,0 +1,23 @@
+// Quotient machine by local equivalence.
+//
+// Used on composed product machines (cfsm/compose.hpp), whose raw state
+// space contains many equivalent global states; the baselines in the
+// benchmark suite measure both raw and minimized sizes.
+#pragma once
+
+#include "fsm/analysis.hpp"
+
+namespace cfsmdiag {
+
+/// Result of minimization: the quotient machine plus the state map.
+struct minimize_result {
+    fsm machine;
+    /// Original state -> quotient state.
+    std::vector<state_id> state_map;
+};
+
+/// Merges locally-equivalent states and drops unreachable ones.  Transition
+/// names of representatives are preserved.
+[[nodiscard]] minimize_result minimize(const fsm& machine);
+
+}  // namespace cfsmdiag

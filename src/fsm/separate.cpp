@@ -1,0 +1,209 @@
+#include "fsm/separate.hpp"
+
+#include <algorithm>
+#include <deque>
+#include <set>
+#include <unordered_map>
+#include <unordered_set>
+
+namespace cfsmdiag {
+namespace {
+
+/// Normalized pair key for the pair-BFS visited set.
+constexpr std::uint64_t pair_key(state_id a, state_id b) noexcept {
+    const std::uint32_t lo = std::min(a.value, b.value);
+    const std::uint32_t hi = std::max(a.value, b.value);
+    return (static_cast<std::uint64_t>(lo) << 32) | hi;
+}
+
+}  // namespace
+
+std::optional<std::vector<symbol>> separating_sequence(const local_view& view,
+                                                       state_id a,
+                                                       state_id b) {
+    if (a == b) return std::nullopt;
+
+    // BFS over state pairs.  Node = (sa, sb); an edge labelled `in` leads to
+    // (step(sa,in).next, step(sb,in).next); goal = labels differ on `in`.
+    struct node {
+        state_id sa, sb;
+        std::uint32_t parent;  // index into `nodes`, or invalid_index
+        symbol via;            // input taken from parent
+    };
+    std::vector<node> nodes;
+    std::unordered_set<std::uint64_t> visited;
+    std::deque<std::uint32_t> frontier;
+
+    nodes.push_back({a, b, invalid_index, symbol::epsilon()});
+    visited.insert(pair_key(a, b));
+    frontier.push_back(0);
+
+    auto reconstruct = [&](std::uint32_t idx, symbol last) {
+        std::vector<symbol> seq{last};
+        while (idx != invalid_index) {
+            if (nodes[idx].parent != invalid_index)
+                seq.push_back(nodes[idx].via);
+            idx = nodes[idx].parent;
+        }
+        std::reverse(seq.begin(), seq.end());
+        return seq;
+    };
+
+    while (!frontier.empty()) {
+        const std::uint32_t idx = frontier.front();
+        frontier.pop_front();
+        const node cur = nodes[idx];
+        for (symbol in : view.inputs()) {
+            const local_step sa = view.step(cur.sa, in);
+            const local_step sb = view.step(cur.sb, in);
+            if (sa.label != sb.label) return reconstruct(idx, in);
+            if (sa.next == sb.next) continue;  // pair merged: dead end
+            if (!visited.insert(pair_key(sa.next, sb.next)).second) continue;
+            nodes.push_back({sa.next, sb.next, idx, in});
+            frontier.push_back(static_cast<std::uint32_t>(nodes.size() - 1));
+        }
+    }
+    return std::nullopt;
+}
+
+namespace {
+
+/// Removes sequences that are prefixes of other sequences (a longer sequence
+/// separates everything its prefixes do... only for label-prefix reasons:
+/// if w separates (a,b) then any extension of w also separates (a,b), so
+/// keeping maximal sequences preserves the separation property).
+std::vector<std::vector<symbol>> prefix_reduce(
+    std::vector<std::vector<symbol>> seqs) {
+    std::sort(seqs.begin(), seqs.end());
+    seqs.erase(std::unique(seqs.begin(), seqs.end()), seqs.end());
+    std::vector<std::vector<symbol>> out;
+    for (const auto& s : seqs) {
+        bool is_prefix = false;
+        for (const auto& other : seqs) {
+            if (&other == &s || other.size() <= s.size()) continue;
+            if (std::equal(s.begin(), s.end(), other.begin())) {
+                is_prefix = true;
+                break;
+            }
+        }
+        if (!is_prefix) out.push_back(s);
+    }
+    return out;
+}
+
+}  // namespace
+
+std::vector<std::vector<symbol>> characterization_set(const local_view& view) {
+    std::vector<std::vector<symbol>> seqs;
+    const auto cls = equivalence_classes(view);
+    const auto n = static_cast<std::uint32_t>(view.state_count());
+    for (std::uint32_t i = 0; i < n; ++i) {
+        for (std::uint32_t j = i + 1; j < n; ++j) {
+            if (cls[i] == cls[j]) continue;
+            auto seq = separating_sequence(view, state_id{i}, state_id{j});
+            if (seq) seqs.push_back(std::move(*seq));
+        }
+    }
+    if (seqs.empty() && n > 0) {
+        // Degenerate single-class machine: W = {any single input} keeps the
+        // W-method's bookkeeping uniform.
+        if (!view.inputs().empty()) seqs.push_back({view.inputs().front()});
+    }
+    return prefix_reduce(std::move(seqs));
+}
+
+limited_w_result limited_characterization_set(
+    const local_view& view, const std::vector<state_id>& states) {
+    limited_w_result result;
+    std::vector<std::vector<symbol>> seqs;
+    for (std::size_t i = 0; i < states.size(); ++i) {
+        for (std::size_t j = i + 1; j < states.size(); ++j) {
+            if (states[i] == states[j]) continue;
+            auto seq = separating_sequence(view, states[i], states[j]);
+            if (seq) {
+                seqs.push_back(std::move(*seq));
+            } else {
+                result.indistinguishable.emplace_back(states[i], states[j]);
+            }
+        }
+    }
+    result.sequences = prefix_reduce(std::move(seqs));
+    return result;
+}
+
+std::optional<std::vector<symbol>> uio_sequence(const local_view& view,
+                                                state_id s,
+                                                std::size_t max_length) {
+    // BFS over (current state of s, multiset of states still matching s's
+    // label sequence).  Goal: the matching set contains only s's thread.
+    struct node {
+        state_id cur;
+        std::vector<state_id> others;  // sorted survivor states
+        std::uint32_t parent;
+        symbol via;
+        std::size_t depth;
+    };
+
+    std::vector<state_id> all_others;
+    for (std::uint32_t i = 0; i < view.state_count(); ++i) {
+        if (i != s.value) all_others.push_back(state_id{i});
+    }
+    if (all_others.empty()) return std::vector<symbol>{};
+
+    std::vector<node> nodes;
+    std::set<std::pair<std::uint32_t, std::vector<std::uint32_t>>> visited;
+    std::deque<std::uint32_t> frontier;
+
+    auto key_of = [](state_id cur, const std::vector<state_id>& others) {
+        std::vector<std::uint32_t> v;
+        v.reserve(others.size());
+        for (auto o : others) v.push_back(o.value);
+        std::sort(v.begin(), v.end());
+        v.erase(std::unique(v.begin(), v.end()), v.end());
+        return std::make_pair(cur.value, std::move(v));
+    };
+
+    nodes.push_back({s, all_others, invalid_index, symbol::epsilon(), 0});
+    visited.insert(key_of(s, all_others));
+    frontier.push_back(0);
+
+    auto reconstruct = [&](std::uint32_t idx) {
+        std::vector<symbol> seq;
+        while (idx != invalid_index && nodes[idx].parent != invalid_index) {
+            seq.push_back(nodes[idx].via);
+            idx = nodes[idx].parent;
+        }
+        std::reverse(seq.begin(), seq.end());
+        return seq;
+    };
+
+    while (!frontier.empty()) {
+        const std::uint32_t idx = frontier.front();
+        frontier.pop_front();
+        if (nodes[idx].depth >= max_length) continue;
+        // Copy: nodes may reallocate below.
+        const node cur = nodes[idx];
+        for (symbol in : view.inputs()) {
+            const local_step mine = view.step(cur.cur, in);
+            std::vector<state_id> survivors;
+            for (state_id o : cur.others) {
+                const local_step theirs = view.step(o, in);
+                if (theirs.label == mine.label)
+                    survivors.push_back(theirs.next);
+            }
+            if (survivors.empty()) {
+                auto seq = reconstruct(idx);
+                seq.push_back(in);
+                return seq;
+            }
+            auto key = key_of(mine.next, survivors);
+            if (!visited.insert(std::move(key)).second) continue;
+            nodes.push_back({mine.next, std::move(survivors), idx, in,
+                             cur.depth + 1});
+            frontier.push_back(static_cast<std::uint32_t>(nodes.size() - 1));
+        }
+    }
+    return std::nullopt;
+}
+
+}  // namespace cfsmdiag

@@ -1,0 +1,54 @@
+// Separating experiments on one machine's local view.
+//
+// These are the building blocks of the paper's Step 6:
+//  - `separating_sequence`: shortest input sequence whose observable label
+//    sequence differs between two states,
+//  - `characterization_set`: the classic W set over all states (Chow [2]),
+//  - `limited_characterization_set`: the paper's W_k — a W set restricted to
+//    EndStates(T_k) ∪ {correct end state}, which is the whole point of the
+//    diagnostic optimization ("only suspicious transitions require
+//    additional tests"),
+//  - `uio_sequence`: a UIO for one state, used by the test generators.
+//
+// All results are over the *local view* (see analysis.hpp): differences they
+// certify are observable at the machine's own port regardless of the other
+// machines' states.
+#pragma once
+
+#include <optional>
+#include <vector>
+
+#include "fsm/analysis.hpp"
+
+namespace cfsmdiag {
+
+/// Shortest input sequence over `view.inputs()` whose label sequences from
+/// `a` and `b` differ, or nullopt if the states are locally equivalent.
+[[nodiscard]] std::optional<std::vector<symbol>> separating_sequence(
+    const local_view& view, state_id a, state_id b);
+
+/// A characterization set W: every pair of locally-inequivalent states is
+/// separated by at least one sequence in the result.  Sequences are
+/// deduplicated and prefix-reduced.
+[[nodiscard]] std::vector<std::vector<symbol>> characterization_set(
+    const local_view& view);
+
+/// The paper's limited characterization set W_k: separates every pair of
+/// *locally distinguishable* states within `states`.  Pairs that are locally
+/// equivalent are reported in `indistinguishable` (the caller escalates them
+/// to global discrimination).
+struct limited_w_result {
+    std::vector<std::vector<symbol>> sequences;
+    std::vector<std::pair<state_id, state_id>> indistinguishable;
+};
+
+[[nodiscard]] limited_w_result limited_characterization_set(
+    const local_view& view, const std::vector<state_id>& states);
+
+/// A UIO sequence for `s`: its label sequence from `s` differs from the
+/// label sequence from every other state.  Depth-capped search; nullopt if
+/// none found within `max_length`.
+[[nodiscard]] std::optional<std::vector<symbol>> uio_sequence(
+    const local_view& view, state_id s, std::size_t max_length = 12);
+
+}  // namespace cfsmdiag

@@ -1,0 +1,69 @@
+// Interned input/output symbols.
+//
+// All machines of one system share a single symbol_table, so a symbol id is
+// meaningful across machines — the paper's model relies on that: the output
+// alphabet of M_i's internal-output transitions is literally a subset of the
+// input alphabet of M_j's external-output transitions (Section 2.1).
+//
+// Id 0 is reserved for the null symbol ε (the paper writes "-" for the reset
+// output and "ε" for the empty observation).
+#pragma once
+
+#include <compare>
+#include <cstdint>
+#include <string>
+#include <string_view>
+#include <unordered_map>
+#include <vector>
+
+#include "util/error.hpp"
+
+namespace cfsmdiag {
+
+/// An interned symbol.  Cheap to copy and compare; resolve text through the
+/// owning symbol_table.
+struct symbol {
+    std::uint32_t id = 0;
+
+    /// The null symbol ε — "no observable output".
+    [[nodiscard]] static constexpr symbol epsilon() noexcept { return {}; }
+
+    [[nodiscard]] constexpr bool is_epsilon() const noexcept {
+        return id == 0;
+    }
+
+    friend constexpr auto operator<=>(symbol, symbol) = default;
+};
+
+/// Interns symbol spellings.  Index 0 is always ε.
+class symbol_table {
+  public:
+    symbol_table();
+
+    /// Interns `text` (idempotent).  "ε" and "-" both resolve to epsilon.
+    symbol intern(std::string_view text);
+
+    /// Looks up an already-interned spelling; throws if unknown.
+    [[nodiscard]] symbol lookup(std::string_view text) const;
+
+    /// True if the spelling has been interned.
+    [[nodiscard]] bool contains(std::string_view text) const;
+
+    /// Spelling of a symbol.  ε renders as "-" to match the paper's tables.
+    [[nodiscard]] const std::string& name(symbol s) const;
+
+    [[nodiscard]] std::size_t size() const noexcept { return names_.size(); }
+
+  private:
+    std::vector<std::string> names_;
+    std::unordered_map<std::string, std::uint32_t> index_;
+};
+
+}  // namespace cfsmdiag
+
+template <>
+struct std::hash<cfsmdiag::symbol> {
+    std::size_t operator()(cfsmdiag::symbol s) const noexcept {
+        return std::hash<std::uint32_t>{}(s.id);
+    }
+};

@@ -1,0 +1,64 @@
+// Fault-injection campaigns: the extended evaluation of the paper's
+// guarantee.
+//
+// For every fault in a given universe: build the IUT (spec ⊕ fault), run the
+// full diagnostic pipeline, and score the result —
+//   - detected: the suite produced at least one symptom,
+//   - sound: the true fault (or an observationally equivalent hypothesis)
+//     is among the final diagnoses,
+//   - exact: the diagnosis localized to a single hypothesis (or an
+//     equivalence class containing the truth).
+// Aggregates feed bench/fault_campaign and the property tests.
+#pragma once
+
+#include "diag/diagnoser.hpp"
+#include "fault/enumerate.hpp"
+#include "testgen/testcase.hpp"
+
+namespace cfsmdiag {
+
+struct campaign_options {
+    diagnoser_options diag;
+    /// Stop after this many faults (for time-boxed benches).
+    std::size_t max_faults = static_cast<std::size_t>(-1);
+};
+
+/// One fault's scored run.
+struct campaign_entry {
+    single_transition_fault fault;
+    diagnosis_outcome outcome = diagnosis_outcome::passed;
+    bool detected = false;
+    bool sound = false;
+    std::size_t initial_diagnoses = 0;
+    std::size_t final_diagnoses = 0;
+    std::size_t additional_tests = 0;
+    std::size_t additional_inputs = 0;
+    bool escalated = false;
+    bool used_fallback = false;
+};
+
+struct campaign_stats {
+    std::size_t total = 0;
+    std::size_t detected = 0;
+    std::size_t localized = 0;          ///< outcome == localized
+    std::size_t localized_equiv = 0;    ///< localized up to equivalence
+    std::size_t ambiguous = 0;
+    std::size_t no_hypothesis = 0;
+    std::size_t sound = 0;              ///< truth among final diagnoses
+    std::size_t escalations = 0;
+    std::size_t fallbacks = 0;
+    double mean_initial_diagnoses = 0.0;  ///< over detected faults
+    double mean_final_diagnoses = 0.0;
+    double mean_additional_tests = 0.0;
+    double mean_additional_inputs = 0.0;
+
+    std::vector<campaign_entry> entries;
+};
+
+/// Runs the campaign over `faults`.
+[[nodiscard]] campaign_stats run_campaign(
+    const system& spec, const test_suite& suite,
+    const std::vector<single_transition_fault>& faults,
+    const campaign_options& options = {});
+
+}  // namespace cfsmdiag

@@ -1,0 +1,41 @@
+// Random CFSM system generation for the extended evaluation.
+//
+// Generates deterministic systems that satisfy the paper's structural
+// restrictions by construction:
+//   - per-machine external input/output alphabets plus one message alphabet
+//     per ordered machine pair,
+//   - internal input symbols are pair-specific (destination partition holds
+//     trivially),
+//   - every message symbol that a sender can emit gets at least one
+//     external-output transition at the receiver (OIO_{i>j} ⊆ IEO_j),
+//   - each machine is initially connected (random spanning tree first, then
+//     density filling).
+#pragma once
+
+#include "cfsm/system.hpp"
+#include "util/rng.hpp"
+
+namespace cfsmdiag {
+
+struct random_system_options {
+    std::size_t machines = 3;
+    std::size_t states_per_machine = 4;
+    /// Port-only external input symbols per machine.
+    std::size_t external_inputs = 2;
+    /// External output symbols per machine.
+    std::size_t external_outputs = 2;
+    /// Message symbols per ordered machine pair.
+    std::size_t messages_per_pair = 2;
+    /// Internal input symbols per ordered machine pair.
+    std::size_t internal_inputs_per_pair = 2;
+    /// Extra transitions beyond the spanning tree, per machine.
+    std::size_t extra_transitions = 6;
+    /// Probability that an extra transition is internal-output.
+    double internal_ratio = 0.35;
+};
+
+/// Builds a random system.  Deterministic in (options, rng state).
+[[nodiscard]] system random_system(const random_system_options& options,
+                                   rng& random);
+
+}  // namespace cfsmdiag

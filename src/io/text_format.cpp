@@ -1,0 +1,269 @@
+#include "io/text_format.hpp"
+
+#include <algorithm>
+#include <sstream>
+#include <vector>
+
+#include "fsm/builder.hpp"
+#include "util/strings.hpp"
+
+namespace cfsmdiag {
+namespace {
+
+[[noreturn]] void fail(std::size_t line_no, const std::string& msg) {
+    throw error("text_format: line " + std::to_string(line_no) + ": " + msg);
+}
+
+/// Strips a trailing comment and surrounding whitespace.
+std::string_view clean(std::string_view line) {
+    const auto hash = line.find('#');
+    if (hash != std::string_view::npos) line = line.substr(0, hash);
+    return trim(line);
+}
+
+/// Splits on whitespace runs.
+std::vector<std::string> words(std::string_view text) {
+    std::vector<std::string> out;
+    std::string cur;
+    for (char c : text) {
+        if (std::isspace(static_cast<unsigned char>(c))) {
+            if (!cur.empty()) out.push_back(std::exchange(cur, {}));
+        } else {
+            cur += c;
+        }
+    }
+    if (!cur.empty()) out.push_back(std::move(cur));
+    return out;
+}
+
+}  // namespace
+
+std::string write_system(const system& sys) {
+    std::ostringstream out;
+    out << "system " << sys.name() << "\n";
+    for (const fsm& m : sys.machines()) {
+        out << "\nmachine " << m.name() << " initial "
+            << m.state_name(m.initial_state()) << "\n";
+        for (const auto& t : m.transitions()) {
+            out << "  " << t.name << ": " << m.state_name(t.from) << "  "
+                << sys.symbols().name(t.input) << " / "
+                << sys.symbols().name(t.output) << " -> "
+                << m.state_name(t.to);
+            if (t.kind == output_kind::internal) {
+                out << " => "
+                    << sys.machine(t.destination).name();
+            }
+            out << "\n";
+        }
+        out << "end\n";
+    }
+    return out.str();
+}
+
+system parse_system(std::string_view text) {
+    struct raw_transition {
+        std::size_t line_no;
+        std::string name, from, input, output, to, dest_machine;
+    };
+    struct raw_machine {
+        std::string name, initial;
+        std::vector<raw_transition> transitions;
+    };
+
+    std::string system_name = "system";
+    std::vector<raw_machine> raw;
+    bool in_machine = false;
+
+    std::size_t line_no = 0;
+    for (const auto& raw_line : split(text, '\n')) {
+        ++line_no;
+        const std::string_view line = clean(raw_line);
+        if (line.empty()) continue;
+        const auto w = words(line);
+
+        if (w[0] == "system") {
+            if (w.size() != 2) fail(line_no, "expected: system <name>");
+            system_name = w[1];
+        } else if (w[0] == "machine") {
+            if (in_machine) fail(line_no, "missing 'end' before 'machine'");
+            if (w.size() != 4 || w[2] != "initial")
+                fail(line_no, "expected: machine <name> initial <state>");
+            raw.push_back({w[1], w[3], {}});
+            in_machine = true;
+        } else if (w[0] == "end") {
+            if (!in_machine) fail(line_no, "'end' outside a machine block");
+            in_machine = false;
+        } else {
+            if (!in_machine)
+                fail(line_no, "transition outside a machine block");
+            // <name>: <from> <input> / <output> -> <to> [=> <machine>]
+            raw_transition t;
+            t.line_no = line_no;
+            if (w.size() < 7 || w[0].back() != ':' || w[3] != "/" ||
+                w[5] != "->")
+                fail(line_no,
+                     "expected: <name>: <from> <input> / <output> -> <to> "
+                     "[=> <machine>]");
+            t.name = w[0].substr(0, w[0].size() - 1);
+            t.from = w[1];
+            t.input = w[2];
+            t.output = w[4];
+            t.to = w[6];
+            if (w.size() == 9 && w[7] == "=>") {
+                t.dest_machine = w[8];
+            } else if (w.size() != 7) {
+                fail(line_no, "trailing tokens after transition");
+            }
+            raw.back().transitions.push_back(std::move(t));
+        }
+    }
+    if (in_machine) fail(line_no, "missing final 'end'");
+    if (raw.empty()) fail(line_no, "no machines defined");
+
+    auto machine_index = [&](const std::string& name,
+                             std::size_t at_line) -> machine_id {
+        for (std::size_t i = 0; i < raw.size(); ++i) {
+            if (raw[i].name == name)
+                return machine_id{static_cast<std::uint32_t>(i)};
+        }
+        fail(at_line, "unknown machine '" + name + "'");
+    };
+
+    symbol_table symbols;
+    std::vector<fsm> machines;
+    for (const raw_machine& rm : raw) {
+        fsm_builder b(rm.name, symbols);
+        b.state(rm.initial);
+        for (const raw_transition& t : rm.transitions) {
+            if (t.dest_machine.empty()) {
+                b.external(t.name, t.from, t.input, t.output, t.to);
+            } else {
+                b.internal(t.name, t.from, t.input, t.output, t.to,
+                           machine_index(t.dest_machine, t.line_no));
+            }
+        }
+        machines.push_back(b.build(rm.initial));
+    }
+    return system(system_name, std::move(symbols), std::move(machines));
+}
+
+std::string write_suite(const test_suite& suite,
+                        const symbol_table& symbols) {
+    std::ostringstream out;
+    for (const test_case& tc : suite.cases) {
+        out << tc.name << ": " << to_string(tc, symbols) << "\n";
+    }
+    return out.str();
+}
+
+test_suite parse_suite(std::string_view text, const symbol_table& symbols) {
+    test_suite suite;
+    std::size_t line_no = 0;
+    for (const auto& raw_line : split(text, '\n')) {
+        ++line_no;
+        const std::string_view line = clean(raw_line);
+        if (line.empty()) continue;
+        const auto colon = line.find(':');
+        if (colon == std::string_view::npos)
+            fail(line_no, "expected: <name>: <inputs>");
+        const std::string name{trim(line.substr(0, colon))};
+        const std::string body{trim(line.substr(colon + 1))};
+
+        // Accept both "a@P1" and the compact "a1".  Normalize @P tokens to
+        // compact form, then reuse parse_compact.
+        std::vector<std::string> tokens;
+        for (const auto& piece : split(body, ',')) {
+            std::string tok{trim(piece)};
+            const auto at = tok.find("@P");
+            if (at != std::string::npos)
+                tok = tok.substr(0, at) + tok.substr(at + 2);
+            tokens.push_back(std::move(tok));
+        }
+        suite.add(parse_compact(name, join(tokens, ", "), symbols));
+    }
+    return suite;
+}
+
+std::string write_fault(const system& sys,
+                        const single_transition_fault& fault) {
+    std::string out = sys.transition_label(fault.target);
+    if (fault.faulty_output)
+        out += " / " + sys.symbols().name(*fault.faulty_output);
+    if (fault.faulty_next)
+        out += " -> " +
+               sys.machine(fault.target.machine).state_name(
+                   *fault.faulty_next);
+    if (fault.faulty_destination)
+        out += " => " + sys.machine(*fault.faulty_destination).name();
+    return out;
+}
+
+single_transition_fault parse_fault(std::string_view text,
+                                    const system& sys) {
+    const auto w = words(clean(text));
+    detail::require(!w.empty(), "parse_fault: empty fault spec");
+
+    // w[0] = Machine.transition
+    const auto dot = w[0].find('.');
+    detail::require(dot != std::string::npos,
+                    "parse_fault: expected <machine>.<transition>");
+    const std::string machine_name = w[0].substr(0, dot);
+    const std::string transition_name = w[0].substr(dot + 1);
+
+    single_transition_fault fault;
+    bool found = false;
+    for (std::uint32_t mi = 0; mi < sys.machine_count() && !found; ++mi) {
+        const fsm& m = sys.machine(machine_id{mi});
+        if (m.name() != machine_name) continue;
+        for (std::uint32_t ti = 0;
+             ti < static_cast<std::uint32_t>(m.transitions().size());
+             ++ti) {
+            if (m.transitions()[ti].name == transition_name) {
+                fault.target = {machine_id{mi}, transition_id{ti}};
+                found = true;
+                break;
+            }
+        }
+    }
+    detail::require(found, "parse_fault: no transition '" + w[0] + "'");
+
+    const fsm& m = sys.machine(fault.target.machine);
+    std::size_t i = 1;
+    while (i < w.size()) {
+        if (w[i] == "/" && i + 1 < w.size()) {
+            fault.faulty_output = sys.symbols().lookup(w[i + 1]);
+            i += 2;
+        } else if (w[i] == "->" && i + 1 < w.size()) {
+            bool state_found = false;
+            for (std::uint32_t s = 0; s < m.state_count(); ++s) {
+                if (m.state_name(state_id{s}) == w[i + 1]) {
+                    fault.faulty_next = state_id{s};
+                    state_found = true;
+                    break;
+                }
+            }
+            detail::require(state_found, "parse_fault: unknown state '" +
+                                             w[i + 1] + "'");
+            i += 2;
+        } else if (w[i] == "=>" && i + 1 < w.size()) {
+            bool machine_found = false;
+            for (std::uint32_t mi = 0; mi < sys.machine_count(); ++mi) {
+                if (sys.machine(machine_id{mi}).name() == w[i + 1]) {
+                    fault.faulty_destination = machine_id{mi};
+                    machine_found = true;
+                    break;
+                }
+            }
+            detail::require(machine_found,
+                            "parse_fault: unknown machine '" + w[i + 1] +
+                                "'");
+            i += 2;
+        } else {
+            throw error("parse_fault: unexpected token '" + w[i] + "'");
+        }
+    }
+    validate_fault(sys, fault);
+    return fault;
+}
+
+}  // namespace cfsmdiag

@@ -1,0 +1,66 @@
+// Human-readable text format for CFSM systems, test suites, and faults.
+//
+// A system file looks like:
+//
+//     system figure1
+//
+//     machine M1 initial s0
+//       t1: s0  a / c' -> s1
+//       t6: s1  c / c' -> s2 => M2     # internal-output, receiver M2
+//       t7: s2  b / d' -> s0
+//     end
+//
+//     machine M2 initial s0
+//       ...
+//     end
+//
+// '#' starts a comment; blank lines are ignored; machine port numbers are
+// positional (first machine = P1).  The writer emits exactly this shape, so
+// write → parse is the identity on the model (round-trip tested).
+//
+// Suites use one test case per line, in either notation:
+//
+//     tc1: R, a@P1, c'@P3            # explicit ports
+//     tc2: R, a1, c'3                # the paper's compact digits
+//
+// Faults are one-liners referencing transitions by machine and name:
+//
+//     M3.t''4 -> s0                  # transfer fault
+//     M1.t7 / c'                     # output fault
+//     M3.t''4 / a -> s0              # both
+#pragma once
+
+#include <string>
+#include <string_view>
+
+#include "fault/fault.hpp"
+#include "testgen/testcase.hpp"
+
+namespace cfsmdiag {
+
+/// Serializes a system to the text format.
+[[nodiscard]] std::string write_system(const system& sys);
+
+/// Parses a system file.  Throws cfsmdiag::error with a line number on any
+/// syntax problem; the result is validated per-machine (determinism etc.)
+/// but NOT structurally — call validate_structure() for that.
+[[nodiscard]] system parse_system(std::string_view text);
+
+/// Serializes a suite ("name: R, a@P1, ..." per line).
+[[nodiscard]] std::string write_suite(const test_suite& suite,
+                                      const symbol_table& symbols);
+
+/// Parses a suite against an existing system's symbols (accepts both the
+/// explicit sym@P# and the paper's compact sym# notations).
+[[nodiscard]] test_suite parse_suite(std::string_view text,
+                                     const symbol_table& symbols);
+
+/// Serializes a fault as a one-liner (see file comment).
+[[nodiscard]] std::string write_fault(const system& sys,
+                                      const single_transition_fault& fault);
+
+/// Parses a fault one-liner against a system.  The fault is validated.
+[[nodiscard]] single_transition_fault parse_fault(std::string_view text,
+                                                  const system& sys);
+
+}  // namespace cfsmdiag

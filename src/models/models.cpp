@@ -1,0 +1,123 @@
+#include "models/models.hpp"
+
+#include "cfsm/validate.hpp"
+#include "fsm/builder.hpp"
+
+namespace cfsmdiag::models {
+
+system alternating_bit() {
+    symbol_table symbols;
+    const machine_id S{0}, R{1};
+
+    // Sender (port P1): 'send'/'retry' are local commands; a0/a1 arrive
+    // from the receiver; 'ok'/'ign' are observable at P1.
+    fsm_builder s("S", symbols);
+    s.internal("s_send0", "idle0", "send", "d0", "sent0", R);
+    s.internal("s_retry0", "sent0", "retry", "d0", "sent0", R);
+    s.external("s_ack0", "sent0", "a0", "ok", "idle1");
+    s.external("s_stale1", "sent0", "a1", "ign", "sent0");
+    s.internal("s_send1", "idle1", "send", "d1", "sent1", R);
+    s.internal("s_retry1", "sent1", "retry", "d1", "sent1", R);
+    s.external("s_ack1", "sent1", "a1", "ok", "idle0");
+    s.external("s_stale0", "sent1", "a0", "ign", "sent1");
+
+    // Receiver (port P2): d0/d1 arrive from the sender (or the port for
+    // direct probing); 'ackreq' is the local command that acknowledges.
+    fsm_builder r("R", symbols);
+    r.external("r_recv0", "exp0", "d0", "del0", "exp1");
+    r.external("r_dup1", "exp0", "d1", "dup", "exp0");
+    r.internal("r_ack1", "exp0", "ackreq", "a1", "exp0", S);
+    r.external("r_recv1", "exp1", "d1", "del1", "exp0");
+    r.external("r_dup0", "exp1", "d0", "dup", "exp1");
+    r.internal("r_ack0", "exp1", "ackreq", "a0", "exp1", S);
+
+    std::vector<fsm> machines;
+    machines.push_back(s.build("idle0"));
+    machines.push_back(r.build("exp0"));
+    system sys("alternating_bit", std::move(symbols), std::move(machines));
+    validate_structure(sys);
+    return sys;
+}
+
+system connection_management() {
+    symbol_table symbols;
+    const machine_id I{0}, R{1};
+
+    // Initiator (port P1).  Local commands: conn, data, disc.  Messages
+    // from the responder: cacc (accepted), crej (rejected), cls (closed by
+    // peer indication is not modelled — disconnection is initiator-driven).
+    fsm_builder i("I", symbols);
+    i.internal("i_conn", "closed", "conn", "creq", "waiting", R);
+    i.external("i_confirm", "waiting", "cacc", "confirmed", "open");
+    i.external("i_refused", "waiting", "crej", "refused", "closed");
+    i.internal("i_data", "open", "data", "dat", "open", R);
+    i.internal("i_disc", "open", "disc", "dreq", "closed", R);
+    i.external("i_status_c", "closed", "status", "is_closed", "closed");
+    i.external("i_status_w", "waiting", "status", "is_waiting", "waiting");
+    i.external("i_status_o", "open", "status", "is_open", "open");
+
+    // Responder (port P2).  Local commands: accept, reject.  Messages from
+    // the initiator: creq, dat, dreq.
+    fsm_builder r("Resp", symbols);
+    r.external("r_indicate", "listen", "creq", "indication", "pending");
+    r.internal("r_accept", "pending", "accept", "cacc", "open", I);
+    r.internal("r_reject", "pending", "reject", "crej", "listen", I);
+    r.external("r_deliver", "open", "dat", "deliver", "open");
+    r.external("r_closed", "open", "dreq", "closed_ind", "listen");
+    r.external("r_stale", "listen", "dreq", "stale", "listen");
+    r.external("r_status_l", "listen", "qstate", "is_listen", "listen");
+    r.external("r_status_p", "pending", "qstate", "is_pending", "pending");
+    r.external("r_status_o", "open", "qstate", "is_open2", "open");
+
+    std::vector<fsm> machines;
+    machines.push_back(i.build("closed"));
+    machines.push_back(r.build("listen"));
+    system sys("connection_management", std::move(symbols),
+               std::move(machines));
+    validate_structure(sys);
+    return sys;
+}
+
+system token_ring3() {
+    symbol_table symbols;
+    const machine_id M1{0}, M2{1}, M3{2};
+
+    // Each station: 'inject' (P1 only) creates the token, 'pass' forwards
+    // it to the next station (observable "got" at the receiver's port),
+    // 'query' reports token ownership, a duplicate token is flagged.
+    auto station = [&](const std::string& name, machine_id next,
+                       const std::string& tok_out,
+                       const std::string& tok_in) {
+        fsm_builder b(name, symbols);
+        b.external("recv_" + name, "idle", tok_in, "got", "has");
+        b.external("dup_" + name, "has", tok_in, "dup_err", "has");
+        b.internal("pass_" + name, "has", "pass", tok_out, "idle", next);
+        b.external("qi_" + name, "idle", "query", "no", "idle");
+        b.external("qh_" + name, "has", "query", "yes", "has");
+        return b;
+    };
+
+    fsm_builder b1 = station("St1", M2, "tok12", "tok31");
+    // Station 1 additionally owns token injection.
+    b1.external("inject1", "idle", "inject", "created", "has");
+    fsm_builder b2 = station("St2", M3, "tok23", "tok12");
+    fsm_builder b3 = station("St3", M1, "tok31", "tok23");
+
+    std::vector<fsm> machines;
+    machines.push_back(b1.build("idle"));
+    machines.push_back(b2.build("idle"));
+    machines.push_back(b3.build("idle"));
+    system sys("token_ring3", std::move(symbols), std::move(machines));
+    validate_structure(sys);
+    return sys;
+}
+
+std::vector<std::pair<std::string, system>> all_models() {
+    std::vector<std::pair<std::string, system>> out;
+    out.emplace_back("alternating_bit", alternating_bit());
+    out.emplace_back("connection_management", connection_management());
+    out.emplace_back("token_ring3", token_ring3());
+    return out;
+}
+
+}  // namespace cfsmdiag::models

@@ -1,0 +1,35 @@
+// A small library of realistic protocol models, ready to validate,
+// test-generate, and diagnose.
+//
+// These are the kind of systems the paper's introduction motivates
+// (communication protocols implemented as communicating FSMs).  They serve
+// the examples, widen the test/benchmark workloads beyond random systems,
+// and double as documentation of the modelling idioms:
+//
+//  - `alternating_bit()`  — sender/receiver with sequence bits, retransmit
+//    commands, duplicate detection and explicit acknowledgements (2
+//    machines),
+//  - `connection_management()` — connect/accept/reject/data/disconnect
+//    handshake between an initiator and a responder (2 machines),
+//  - `token_ring3()` — a three-machine token ring with injection, passing
+//    and status queries (3 machines).
+//
+// All models pass validate_structure() and are initially connected; the
+// model tests run exhaustive fault-injection campaigns over each.
+#pragma once
+
+#include <string>
+#include <vector>
+
+#include "cfsm/system.hpp"
+
+namespace cfsmdiag::models {
+
+[[nodiscard]] system alternating_bit();
+[[nodiscard]] system connection_management();
+[[nodiscard]] system token_ring3();
+
+/// Every model with its name (for parameterized tests and benches).
+[[nodiscard]] std::vector<std::pair<std::string, system>> all_models();
+
+}  // namespace cfsmdiag::models

@@ -1,0 +1,166 @@
+#include "nondet/behaviours.hpp"
+
+#include <algorithm>
+#include <map>
+
+#include "util/error.hpp"
+
+namespace cfsmdiag {
+
+bool behaviour_set::contains(const observation_stream& s) const {
+    return std::binary_search(streams.begin(), streams.end(), s);
+}
+
+namespace {
+
+/// Full interleaving state: machine states, queue contents, next input.
+struct config {
+    system_state machines;
+    std::vector<std::vector<std::vector<symbol>>> queues;  // [recv][send]
+    std::size_t next_input = 0;
+
+    friend auto operator<=>(const config&, const config&) = default;
+};
+
+}  // namespace
+
+behaviour_set possible_behaviours(const system& sys,
+                                  const std::vector<global_input>& schedule,
+                                  std::optional<transition_override>
+                                      override_,
+                                  const behaviour_options& options) {
+    behaviour_set result;
+    std::set<observation_stream> streams;
+
+    // Explicit-state DFS keeping its own queue model (the async simulator
+    // is rebuilt per step via set_state-like replays; simpler and fast
+    // enough at these sizes to just re-derive transitions directly).
+    struct node {
+        config cfg;
+        observation_stream stream;
+    };
+
+    // Effective transition lookup honouring the override.
+    auto resolve = [&](global_transition_id id) {
+        const transition& t = sys.transition_at(id);
+        struct eff {
+            symbol output;
+            state_id next;
+            output_kind kind;
+            machine_id destination;
+        } e{t.output, t.to, t.kind, t.destination};
+        if (override_ && override_->target == id) {
+            if (override_->output) e.output = *override_->output;
+            if (override_->next_state) e.next = *override_->next_state;
+            if (override_->destination && e.kind == output_kind::internal)
+                e.destination = *override_->destination;
+        }
+        return e;
+    };
+
+    // Fires `input` at `machine` in cfg; appends any observation to
+    // stream; enqueues internal outputs.
+    auto fire = [&](config& cfg, observation_stream& stream,
+                    machine_id machine, symbol input) {
+        const fsm& m = sys.machine(machine);
+        const auto found = m.find(cfg.machines.states[machine.value], input);
+        if (!found) return;  // unspecified: invisible ε
+        const auto e = resolve({machine, *found});
+        cfg.machines.states[machine.value] = e.next;
+        if (e.kind == output_kind::external) {
+            if (!e.output.is_epsilon())
+                stream.push_back(observation::at(machine, e.output));
+        } else {
+            cfg.queues[e.destination.value][machine.value].push_back(
+                e.output);
+        }
+    };
+
+    config initial;
+    for (const auto& m : sys.machines())
+        initial.machines.states.push_back(m.initial_state());
+    initial.queues.assign(sys.machine_count(),
+                          std::vector<std::vector<symbol>>(
+                              sys.machine_count()));
+
+    std::vector<node> stack{{initial, {}}};
+    std::set<std::pair<config, observation_stream>> visited;
+    std::size_t explored = 0;
+
+    while (!stack.empty()) {
+        node cur = std::move(stack.back());
+        stack.pop_back();
+        if (++explored > options.max_states ||
+            streams.size() >= options.max_behaviours) {
+            result.truncated = true;
+            break;
+        }
+        if (!visited.emplace(cur.cfg, cur.stream).second) continue;
+
+        bool has_successor = false;
+        bool pending = false;
+
+        // Action 1: deliver any pending message.
+        for (std::uint32_t r = 0; r < sys.machine_count(); ++r) {
+            for (std::uint32_t s = 0; s < sys.machine_count(); ++s) {
+                if (cur.cfg.queues[r][s].empty()) continue;
+                pending = true;
+                has_successor = true;
+                node next = cur;
+                const symbol msg = next.cfg.queues[r][s].front();
+                next.cfg.queues[r][s].erase(
+                    next.cfg.queues[r][s].begin());
+                fire(next.cfg, next.stream, machine_id{r}, msg);
+                stack.push_back(std::move(next));
+            }
+        }
+
+        // Action 2: apply the next scheduled input (a synchronizing
+        // tester waits for quiescence first).
+        if (cur.cfg.next_input < schedule.size() &&
+            !(options.synchronize && pending)) {
+            has_successor = true;
+            node next = cur;
+            const global_input& in = schedule[next.cfg.next_input];
+            ++next.cfg.next_input;
+            if (in.action == global_input::kind::reset) {
+                // Reset wipes machines and queues (in-flight messages are
+                // lost).
+                for (std::uint32_t m = 0; m < sys.machine_count(); ++m)
+                    next.cfg.machines.states[m] =
+                        sys.machine(machine_id{m}).initial_state();
+                for (auto& row : next.cfg.queues) {
+                    for (auto& q : row) q.clear();
+                }
+            } else {
+                fire(next.cfg, next.stream, in.port, in.input);
+            }
+            stack.push_back(std::move(next));
+        }
+
+        if (!has_successor) {
+            // Quiescent with the schedule exhausted: a complete behaviour.
+            streams.insert(std::move(cur.stream));
+        }
+    }
+
+    result.streams.assign(streams.begin(), streams.end());
+    return result;
+}
+
+observation_stream synchronous_stream(const system& sys,
+                                      const std::vector<global_input>&
+                                          schedule,
+                                      std::optional<transition_override>
+                                          override_) {
+    simulator sim(sys, std::move(override_));
+    sim.reset();
+    observation_stream stream;
+    for (const auto& in : schedule) {
+        const observation obs = sim.apply(in);
+        if (!obs.is_null()) stream.push_back(obs);
+    }
+    return stream;
+}
+
+}  // namespace cfsmdiag

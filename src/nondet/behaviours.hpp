@@ -1,0 +1,76 @@
+// Possible behaviours of a CFSM system WITHOUT the synchronization
+// assumption.
+//
+// The paper's first future-work item (§5): "the diagnostic of distributed
+// systems which are represented by CFSMs and have non-deterministic
+// behaviors.  The non-determinism can be caused by the absence of
+// synchronization between the different ports."  This module makes that
+// nondeterminism computable:
+//
+// A *schedule* is a sequence of global inputs the testers apply in order,
+// but — unlike the synchronous model — an input may be applied while
+// internal messages are still queued.  Between any two tester actions the
+// system may deliver any pending message, so one schedule admits many
+// executions.  A *behaviour* is what the testers can actually see: the
+// stream of non-ε port outputs in the order they occurred (ε steps are
+// invisible without the synchronization discipline — there is no "slot"
+// to observe them in).
+//
+// `possible_behaviours` enumerates the behaviour set exactly (bounded DFS
+// over interleavings with memoized duplicate suppression).  The
+// possibilistic diagnosis of diag/nondet.hpp builds on it: a hypothesis is
+// consistent iff the observed stream is one of its possible behaviours.
+#pragma once
+
+#include <optional>
+#include <set>
+#include <vector>
+
+#include "cfsm/simulator.hpp"
+
+namespace cfsmdiag {
+
+/// The tester-visible trace of one execution: non-ε observations in order.
+using observation_stream = std::vector<observation>;
+
+struct behaviour_options {
+    /// Cap on distinct behaviours collected (search aborts beyond it).
+    std::size_t max_behaviours = 10'000;
+    /// Cap on explored interleaving states.
+    std::size_t max_states = 200'000;
+    /// When true, an input may only be applied at quiescence — the
+    /// tester waits out pending deliveries, which is exactly the paper's
+    /// synchronization assumption.  With the model's single-message
+    /// chains this collapses the behaviour set to the synchronous
+    /// semantics (tested).  When false the testers free-run: the source
+    /// of the nondeterminism the paper defers to future work.  Note the
+    /// distinction is about *waiting*, not input order: even a tour whose
+    /// input order follows observations has many behaviours when applied
+    /// without waiting.
+    bool synchronize = false;
+};
+
+struct behaviour_set {
+    /// Sorted, deduplicated behaviours.
+    std::vector<observation_stream> streams;
+    /// True when a cap was hit: `streams` is then a lower bound.
+    bool truncated = false;
+
+    [[nodiscard]] bool contains(const observation_stream& s) const;
+};
+
+/// All behaviours of `schedule` on `sys` (optionally faulty), deliveries
+/// interleaving freely.  A schedule that respects the synchronization
+/// assumption yields exactly one behaviour — the synchronous semantics
+/// (tested).
+[[nodiscard]] behaviour_set possible_behaviours(
+    const system& sys, const std::vector<global_input>& schedule,
+    std::optional<transition_override> override_ = std::nullopt,
+    const behaviour_options& options = {});
+
+/// Tester-visible stream of a synchronous run (non-ε observations).
+[[nodiscard]] observation_stream synchronous_stream(
+    const system& sys, const std::vector<global_input>& schedule,
+    std::optional<transition_override> override_ = std::nullopt);
+
+}  // namespace cfsmdiag

@@ -1,0 +1,141 @@
+#include "nondet/diagnose.hpp"
+
+#include <algorithm>
+
+#include "util/rng.hpp"
+
+namespace cfsmdiag {
+
+simulated_nondet_iut::simulated_nondet_iut(
+    const system& spec, std::optional<single_transition_fault> fault,
+    std::uint64_t seed)
+    : spec_(&spec), seed_(seed) {
+    if (fault) {
+        validate_fault(spec, *fault);
+        override_ = fault->to_override();
+    }
+}
+
+observation_stream simulated_nondet_iut::execute(
+    const std::vector<global_input>& schedule) {
+    // Deterministic per (seed, call index): pick one behaviour of the set
+    // pseudo-randomly — "reality chose an interleaving".
+    const auto behaviours =
+        possible_behaviours(*spec_, schedule, override_);
+    rng random(seed_ ^ (0x9e3779b97f4a7c15ULL * ++nonce_));
+    if (behaviours.streams.empty()) return {};
+    return behaviours.streams[random.index(behaviours.streams.size())];
+}
+
+std::string to_string(nondet_outcome outcome) {
+    switch (outcome) {
+        case nondet_outcome::consistent_with_spec:
+            return "consistent with spec";
+        case nondet_outcome::localized: return "localized";
+        case nondet_outcome::ambiguous: return "ambiguous";
+        case nondet_outcome::no_consistent_hypothesis:
+            return "no consistent hypothesis";
+    }
+    return "?";
+}
+
+nondet_diagnosis_result diagnose_nondet(
+    const system& spec, const test_suite& suite,
+    const test_suite& discrimination_pool, stream_oracle& iut,
+    const nondet_diagnosis_options& options) {
+    nondet_diagnosis_result result;
+
+    struct executed {
+        std::vector<global_input> schedule;
+        observation_stream observed;
+    };
+    std::vector<executed> runs;
+    for (const auto& tc : suite.cases) {
+        runs.push_back({tc.inputs, iut.execute(tc.inputs)});
+        ++result.schedules_executed;
+    }
+
+    // Detection: some observed stream outside the spec's behaviour set.
+    bool detected = false;
+    for (const auto& run : runs) {
+        const auto spec_set = possible_behaviours(
+            spec, run.schedule, std::nullopt, options.behaviours);
+        result.truncated_behaviours |= spec_set.truncated;
+        if (!spec_set.contains(run.observed)) {
+            detected = true;
+            break;
+        }
+    }
+    if (!detected) {
+        result.outcome = nondet_outcome::consistent_with_spec;
+        return result;
+    }
+
+    // Possibilistic consistency over the full fault universe.
+    std::vector<single_transition_fault> alive;
+    for (const auto& f : enumerate_all_faults(spec)) {
+        bool ok = true;
+        for (const auto& run : runs) {
+            const auto set = possible_behaviours(
+                spec, run.schedule, f.to_override(), options.behaviours);
+            result.truncated_behaviours |= set.truncated;
+            if (!set.contains(run.observed)) {
+                ok = false;
+                break;
+            }
+        }
+        if (ok) alive.push_back(f);
+    }
+    result.initial_hypotheses = alive.size();
+    if (alive.empty()) {
+        result.outcome = nondet_outcome::no_consistent_hypothesis;
+        return result;
+    }
+
+    // Discrimination: run pool schedules; every observation prunes the
+    // hypotheses whose behaviour sets exclude it.  Prefer schedules whose
+    // sets are disjoint for some live pair (guaranteed progress); fall
+    // back to any schedule that *could* prune.
+    std::size_t tried = 0;
+    for (const auto& tc : discrimination_pool.cases) {
+        if (alive.size() <= 1) break;
+        if (tried >= options.max_additional_schedules) break;
+
+        // Behaviour sets per live hypothesis for this schedule.
+        std::vector<behaviour_set> sets;
+        sets.reserve(alive.size());
+        for (const auto& f : alive) {
+            sets.push_back(possible_behaviours(
+                spec, tc.inputs, f.to_override(), options.behaviours));
+        }
+        bool useful = false;
+        for (std::size_t i = 0; i < sets.size() && !useful; ++i) {
+            for (std::size_t j = i + 1; j < sets.size(); ++j) {
+                if (sets[i].streams != sets[j].streams) {
+                    useful = true;
+                    break;
+                }
+            }
+        }
+        if (!useful) continue;
+
+        ++tried;
+        ++result.schedules_executed;
+        const observation_stream observed = iut.execute(tc.inputs);
+        std::vector<single_transition_fault> survivors;
+        for (std::size_t i = 0; i < alive.size(); ++i) {
+            if (sets[i].contains(observed))
+                survivors.push_back(alive[i]);
+        }
+        if (!survivors.empty()) alive = std::move(survivors);
+        // (an all-eliminating observation would mean caps truncated a
+        // behaviour set; keep the previous live set conservatively)
+    }
+
+    result.final_hypotheses = alive;
+    result.outcome = alive.size() == 1 ? nondet_outcome::localized
+                                       : nondet_outcome::ambiguous;
+    return result;
+}
+
+}  // namespace cfsmdiag

@@ -1,0 +1,94 @@
+// Possibilistic diagnosis under missing synchronization (paper §5, first
+// future-work item).
+//
+// Without the synchronization assumption a hypothesis no longer *predicts*
+// an observation — it admits a *set* of behaviours per schedule.  The
+// logic weakens accordingly:
+//
+//   - consistency: hypothesis h survives iff the observed stream is in
+//     h's behaviour set for every executed schedule,
+//   - detection: a fault is detected iff some observed stream lies outside
+//     the *specification's* behaviour set (an in-set stream proves
+//     nothing — it may be the spec on an unlucky interleaving),
+//   - discrimination: a schedule can only *guarantee* to split two
+//     hypotheses when their behaviour sets are disjoint; overlapping sets
+//     may split by luck (observed lands outside one of them), so the
+//     adaptive loop retries schedules with partial overlap but cannot
+//     promise progress.
+//
+// The diagnoser below implements exactly this: candidate transitions from
+// the paper's conflict reasoning are no longer available (streams cannot
+// be aligned with spec steps), so the hypothesis space is the full
+// single-transition fault universe filtered by possibilistic consistency,
+// then discriminated with disjoint-set schedules drawn from a schedule
+// pool.  Outcomes are accordingly weaker — "ambiguous" is a legitimate
+// final answer here, quantified by bench/nondet_diagnosis.
+#pragma once
+
+#include "fault/enumerate.hpp"
+#include "nondet/behaviours.hpp"
+#include "testgen/testcase.hpp"
+
+namespace cfsmdiag {
+
+/// Black-box access to an unsynchronized IUT: one schedule in, one
+/// behaviour stream out (whichever interleaving reality picked).
+class stream_oracle {
+  public:
+    virtual ~stream_oracle() = default;
+    [[nodiscard]] virtual observation_stream execute(
+        const std::vector<global_input>& schedule) = 0;
+};
+
+/// Simulated unsynchronized IUT: spec ⊕ fault with a seeded adversarial
+/// delivery policy (deterministic per seed).
+class simulated_nondet_iut final : public stream_oracle {
+  public:
+    simulated_nondet_iut(const system& spec,
+                         std::optional<single_transition_fault> fault,
+                         std::uint64_t seed);
+
+    [[nodiscard]] observation_stream execute(
+        const std::vector<global_input>& schedule) override;
+
+  private:
+    const system* spec_;
+    std::optional<transition_override> override_;
+    std::uint64_t seed_;
+    std::uint64_t nonce_ = 0;
+};
+
+enum class nondet_outcome : std::uint8_t {
+    /// Every observed stream was a possible spec behaviour.
+    consistent_with_spec,
+    localized,
+    ambiguous,
+    no_consistent_hypothesis,
+};
+
+[[nodiscard]] std::string to_string(nondet_outcome outcome);
+
+struct nondet_diagnosis_options {
+    behaviour_options behaviours;
+    /// Additional discrimination schedules tried (from the given pool).
+    std::size_t max_additional_schedules = 50;
+};
+
+struct nondet_diagnosis_result {
+    nondet_outcome outcome = nondet_outcome::consistent_with_spec;
+    std::vector<single_transition_fault> final_hypotheses;
+    std::size_t initial_hypotheses = 0;
+    std::size_t schedules_executed = 0;
+    bool truncated_behaviours = false;
+};
+
+/// Runs the possibilistic pipeline: execute `suite`'s cases as schedules,
+/// filter the fault universe by behaviour-set membership, then try
+/// schedules from `discrimination_pool` whose behaviour sets separate live
+/// hypotheses.
+[[nodiscard]] nondet_diagnosis_result diagnose_nondet(
+    const system& spec, const test_suite& suite,
+    const test_suite& discrimination_pool, stream_oracle& iut,
+    const nondet_diagnosis_options& options = {});
+
+}  // namespace cfsmdiag

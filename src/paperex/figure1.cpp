@@ -1,0 +1,94 @@
+#include "paperex/figure1.hpp"
+
+#include "fsm/builder.hpp"
+#include "util/error.hpp"
+
+namespace cfsmdiag::paperex {
+
+global_transition_id paper_example::t(machine_id m,
+                                      const std::string& name) const {
+    const fsm& machine = spec.machine(m);
+    for (std::uint32_t ti = 0;
+         ti < static_cast<std::uint32_t>(machine.transitions().size());
+         ++ti) {
+        if (machine.transitions()[ti].name == name)
+            return {m, transition_id{ti}};
+    }
+    throw error("paper_example: no transition named '" + name + "' in " +
+                machine.name());
+}
+
+paper_example make_paper_example() {
+    symbol_table symbols;
+    // Intern in the paper's presentation order so symbol ids (and therefore
+    // deterministic tie-breaks in searches) follow Section 2.1.
+    for (const char* s : {"a", "b", "c", "d", "e", "f", "c'", "d'", "o", "p",
+                          "q", "r", "s", "t", "u", "v", "w", "x", "y", "z"})
+        (void)symbols.intern(s);
+
+    const machine_id m1{0}, m2{1}, m3{2};
+
+    fsm_builder b1("M1", symbols);
+    b1.state("s0").state("s1").state("s2");
+    b1.external("t1", "s0", "a", "c'", "s1");
+    b1.external("t2", "s0", "b", "d'", "s0");
+    b1.external("t3", "s1", "a", "d'", "s1");
+    b1.external("t4", "s1", "b", "d'", "s1");
+    b1.internal("t5", "s1", "f", "c'", "s0", m3);
+    b1.internal("t6", "s1", "c", "c'", "s2", m2);
+    b1.external("t7", "s2", "b", "d'", "s0");
+    b1.internal("t8", "s0", "c", "c'", "s2", m2);
+    b1.external("t9", "s2", "a", "c'", "s0");
+    b1.internal("t10", "s2", "d", "d'", "s1", m2);
+    b1.internal("t11", "s0", "e", "d'", "s0", m3);
+
+    fsm_builder b2("M2", symbols);
+    b2.state("s0").state("s1").state("s2");
+    b2.external("t'1", "s0", "c'", "a", "s1");
+    b2.external("t'2", "s0", "d'", "b", "s0");
+    b2.external("t'3", "s2", "o", "a", "s0");
+    b2.external("t'4", "s1", "d'", "b", "s0");
+    b2.internal("t'5", "s1", "q", "a", "s2", m1);
+    b2.internal("t'6", "s1", "t", "v", "s0", m3);
+    b2.external("t'7", "s2", "p", "b", "s1");
+    b2.internal("t'8", "s0", "r", "b", "s1", m1);
+    b2.internal("t'9", "s2", "s", "u", "s0", m3);
+
+    fsm_builder b3("M3", symbols);
+    b3.state("s0").state("s1").state("s2");
+    b3.external("t''1", "s0", "c'", "a", "s1");
+    b3.external("t''2", "s2", "c'", "b", "s0");
+    b3.external("t''3", "s1", "d'", "a", "s2");
+    b3.external("t''4", "s1", "v", "b", "s1");
+    b3.internal("t''5", "s1", "x", "b", "s0", m1);
+    b3.internal("t''6", "s0", "x", "a", "s0", m1);
+    b3.external("t''7", "s0", "u", "b", "s2");
+    b3.internal("t''8", "s2", "w", "a", "s0", m1);
+    b3.internal("t''9", "s1", "y", "o", "s1", m2);
+    b3.internal("t''10", "s2", "z", "p", "s0", m2);
+
+    std::vector<fsm> machines;
+    machines.push_back(b1.build("s0"));
+    machines.push_back(b2.build("s0"));
+    machines.push_back(b3.build("s0"));
+
+    paper_example ex{
+        system("figure1", symbols, std::move(machines)),
+        {},
+        {},
+    };
+
+    ex.suite.add(parse_compact("tc1", "R, a1, c'3, c1, t2, x3",
+                               ex.spec.symbols()));
+    ex.suite.add(parse_compact("tc2", "R, a1, c'2, d'2, c'3, x3, f1",
+                               ex.spec.symbols()));
+
+    // Section 4: "the implementation equals the specification with the
+    // exception of transition t''4 which has a transfer fault" to s0.
+    ex.fault =
+        single_transition_fault{ex.t(m3, "t''4"), std::nullopt, state_id{0}};
+    validate_fault(ex.spec, ex.fault);
+    return ex;
+}
+
+}  // namespace cfsmdiag::paperex

@@ -1,0 +1,49 @@
+// The paper's running example: the three-CFSM system of Figure 1, the test
+// suite of Table 1, and the injected fault of Section 4.
+//
+// Figure 1's drawing is not recoverable from the paper text, but Section 2.1
+// fixes all alphabet partitions, Table 1 fixes the transitions executed by
+// both test cases and their outputs, and the Section 4 walkthrough fixes
+// every intermediate diagnostic set (conflict sets, ITC/FTCtr/FTCco/ustset,
+// EndStates, outputs, the three diagnoses and both additional tests).  The
+// system built here is a reconstruction satisfying *all* of those
+// constraints; tests/paper_example_test.cpp machine-checks each one.
+//
+// Machines (prime marks follow the paper: t = M1, t' = M2, t'' = M3):
+//   M1: t1  s0 -a/c'→ s1     t2  s0 -b/d'→ s0     t3  s1 -a/d'→ s1
+//       t4  s1 -b/d'→ s1     t5  s1 -f/c'⇒M3 → s0 t6  s1 -c/c'⇒M2 → s2
+//       t7  s2 -b/d'→ s0     t8  s0 -c/c'⇒M2 → s2 t9  s2 -a/c'→ s0
+//       t10 s2 -d/d'⇒M2 → s1 t11 s0 -e/d'⇒M3 → s0
+//   M2: t'1 s0 -c'/a→ s1     t'2 s0 -d'/b→ s0     t'3 s2 -o/a→ s0
+//       t'4 s1 -d'/b→ s0     t'5 s1 -q/a⇒M1 → s2  t'6 s1 -t/v⇒M3 → s0
+//       t'7 s2 -p/b→ s1      t'8 s0 -r/b⇒M1 → s1  t'9 s2 -s/u⇒M3 → s0
+//   M3: t''1 s0 -c'/a→ s1    t''2 s2 -c'/b→ s0    t''3 s1 -d'/a→ s2
+//       t''4 s1 -v/b→ s1     t''5 s1 -x/b⇒M1 → s0 t''6 s0 -x/a⇒M1 → s0
+//       t''7 s0 -u/b→ s2     t''8 s2 -w/a⇒M1 → s0 t''9 s1 -y/o⇒M2 → s1
+//       t''10 s2 -z/p⇒M2 → s0
+//
+// The IUT of Section 4 is the spec with a transfer fault in t''4 (next
+// state s0 instead of s1).
+#pragma once
+
+#include "cfsm/system.hpp"
+#include "fault/fault.hpp"
+#include "testgen/testcase.hpp"
+
+namespace cfsmdiag::paperex {
+
+struct paper_example {
+    system spec;
+    /// TS = { tc1 = R,a1,c'3,c1,t2,x3 ;  tc2 = R,a1,c'2,d'2,c'3,x3,f1 }.
+    test_suite suite;
+    /// Section 4's fault: t''4 transfers to s0 instead of s1.
+    single_transition_fault fault;
+
+    /// Transition lookup by machine index and display name ("t''4").
+    [[nodiscard]] global_transition_id t(machine_id m,
+                                         const std::string& name) const;
+};
+
+[[nodiscard]] paper_example make_paper_example();
+
+}  // namespace cfsmdiag::paperex

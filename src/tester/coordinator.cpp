@@ -1,0 +1,76 @@
+#include "tester/coordinator.hpp"
+
+#include "cfsm/trace.hpp"
+
+namespace cfsmdiag {
+
+test_coordinator::test_coordinator(sut_connection& sut) : sut_(&sut) {}
+
+std::vector<observation> test_coordinator::run(const test_case& tc) {
+    std::vector<observation> out;
+    out.reserve(tc.inputs.size());
+    for (const auto& in : tc.inputs) {
+        if (in.action == global_input::kind::reset) {
+            // One broadcast command; every tester acknowledges implicitly
+            // via the quiescent reset (modelled as a single command).
+            ++stats_.commands;
+            ++stats_.resets;
+            sut_->reset();
+            out.push_back(observation::none());
+            continue;
+        }
+        // Command the owning tester to apply the input…
+        ++stats_.commands;
+        ++stats_.inputs_applied;
+        const observation obs = sut_->apply(in.port, in.input);
+        // …and receive the observation (or timeout) report from the
+        // observing tester before releasing the next input.
+        ++stats_.reports;
+        out.push_back(obs);
+    }
+    return out;
+}
+
+coordinated_oracle::coordinated_oracle(sut_connection& sut)
+    : coordinator_(sut) {}
+
+std::vector<observation> coordinated_oracle::execute(
+    const std::vector<global_input>& test) {
+    ++executions_;
+    test_case tc;
+    tc.name = "coordinated";
+    tc.inputs = test;
+    return coordinator_.run(tc);
+}
+
+synchronization_report synchronization_analysis(const system& spec,
+                                                const test_case& tc) {
+    synchronization_report report;
+    const auto trace = explain(spec, tc.inputs);
+
+    // Who witnessed step k?  The applier always; the observer too.
+    // Reset steps are witnessed by every tester (broadcast).
+    for (std::size_t step = 1; step < trace.size(); ++step) {
+        const auto& cur = trace[step];
+        if (cur.input.action == global_input::kind::reset) continue;
+        const auto& prev = trace[step - 1];
+        if (prev.input.action == global_input::kind::reset) continue;
+
+        const machine_id applier = cur.input.port;
+        const bool witnessed =
+            prev.input.port == applier ||
+            (prev.expected.port && *prev.expected.port == applier);
+        if (!witnessed) report.unsynchronized_steps.push_back(step);
+    }
+    return report;
+}
+
+std::size_t count_sync_messages(const system& spec,
+                                const test_suite& suite) {
+    std::size_t n = 0;
+    for (const auto& tc : suite.cases)
+        n += synchronization_analysis(spec, tc).unsynchronized_steps.size();
+    return n;
+}
+
+}  // namespace cfsmdiag

@@ -1,0 +1,106 @@
+// Distributed test architecture: per-port local testers plus a coordinator.
+//
+// The paper's synchronization assumption needs "some coordinating
+// procedures between the different external ports of the system" (§2.1).
+// This module makes those procedures concrete and countable:
+//
+//   - a `local_tester` sits at one port; it can apply inputs there and it
+//     reports the outputs it observes,
+//   - the `test_coordinator` serializes a test case: it commands the owning
+//     tester to apply the next input, waits for the observation report from
+//     whichever tester saw the output (or a timeout report = ε), and only
+//     then releases the next input.
+//
+// Every command and report is a *coordination message*; the stats expose
+// how many the architecture exchanges — the cost of the synchronization
+// assumption.  `synchronization_analysis` (Sarikaya & v. Bochmann, the
+// paper's ref [17]) computes how many of those messages a decentralized
+// setup could avoid: consecutive steps are intrinsically synchronized when
+// the tester applying input k+1 already witnessed step k (it applied input
+// k or observed output k); every other adjacency needs an explicit sync
+// message between testers.
+#pragma once
+
+#include "fault/oracle.hpp"
+#include "tester/sut.hpp"
+#include "testgen/testcase.hpp"
+
+namespace cfsmdiag {
+
+struct coordination_stats {
+    std::size_t inputs_applied = 0;
+    std::size_t resets = 0;
+    /// Commands sent coordinator → local testers (one per input/reset).
+    std::size_t commands = 0;
+    /// Observation/timeout reports sent local testers → coordinator.
+    std::size_t reports = 0;
+
+    [[nodiscard]] std::size_t total_messages() const noexcept {
+        return commands + reports;
+    }
+};
+
+/// Centralized coordination: runs test cases over the port boundary.
+class test_coordinator {
+  public:
+    explicit test_coordinator(sut_connection& sut);
+
+    /// Runs one test case from reset; one observation per input, like the
+    /// simulator — but every interaction flows through the architecture
+    /// and is counted.
+    [[nodiscard]] std::vector<observation> run(const test_case& tc);
+
+    [[nodiscard]] const coordination_stats& stats() const noexcept {
+        return stats_;
+    }
+
+  private:
+    sut_connection* sut_;
+    coordination_stats stats_;
+};
+
+/// Oracle adapter so diagnose() can drive the distributed architecture
+/// directly.
+class coordinated_oracle final : public oracle {
+  public:
+    explicit coordinated_oracle(sut_connection& sut);
+
+    [[nodiscard]] std::vector<observation> execute(
+        const std::vector<global_input>& test) override;
+    [[nodiscard]] std::size_t executions() const noexcept override {
+        return executions_;
+    }
+    [[nodiscard]] std::size_t inputs_applied() const noexcept override {
+        return coordinator_.stats().inputs_applied;
+    }
+    [[nodiscard]] const coordination_stats& stats() const noexcept {
+        return coordinator_.stats();
+    }
+
+  private:
+    test_coordinator coordinator_;
+    std::size_t executions_ = 0;
+};
+
+/// Synchronizability of one test case in a *decentralized* architecture
+/// (no coordinator; testers follow a precomputed schedule).
+struct synchronization_report {
+    /// Steps (indices into tc.inputs, >= 1) whose applier did not witness
+    /// the previous step and therefore needs an explicit sync message.
+    std::vector<std::size_t> unsynchronized_steps;
+    /// True when no explicit sync message is needed anywhere.
+    [[nodiscard]] bool synchronizable() const noexcept {
+        return unsynchronized_steps.empty();
+    }
+};
+
+/// Analyzes a test case against the spec's expected behaviour.  Reset
+/// steps count as witnessed by everyone (the reset is broadcast).
+[[nodiscard]] synchronization_report synchronization_analysis(
+    const system& spec, const test_case& tc);
+
+/// Total explicit sync messages a decentralized run of the suite needs.
+[[nodiscard]] std::size_t count_sync_messages(const system& spec,
+                                              const test_suite& suite);
+
+}  // namespace cfsmdiag

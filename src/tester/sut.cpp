@@ -1,0 +1,21 @@
+#include "tester/sut.hpp"
+
+namespace cfsmdiag {
+
+simulator_sut::simulator_sut(const system& spec)
+    : sim_(spec), ports_(spec.machine_count()) {}
+
+simulator_sut::simulator_sut(const system& spec,
+                             const single_transition_fault& fault)
+    : sim_(spec, (validate_fault(spec, fault), fault.to_override())),
+      ports_(spec.machine_count()) {}
+
+void simulator_sut::reset() { sim_.reset(); }
+
+observation simulator_sut::apply(machine_id port, symbol input) {
+    return sim_.apply(global_input::at(port, input));
+}
+
+std::size_t simulator_sut::port_count() const noexcept { return ports_; }
+
+}  // namespace cfsmdiag

@@ -1,0 +1,46 @@
+// The physical boundary between testers and the system under test.
+//
+// Everything above this interface sees the SUT the way a test lab does:
+// reset it, push one input into one port, get back at most one observation
+// at some port (the synchronization assumption guarantees "at most one").
+// `simulator_sut` realizes the boundary with the simulator — our stand-in
+// for the authors' real implementations — optionally carrying an injected
+// fault.
+#pragma once
+
+#include "fault/fault.hpp"
+
+namespace cfsmdiag {
+
+/// Port-level connection to a system under test.
+class sut_connection {
+  public:
+    virtual ~sut_connection() = default;
+
+    /// The reliable reset the paper assumes (resets every machine).
+    virtual void reset() = 0;
+
+    /// Applies `input` at `port`; blocks until the implied observation is
+    /// available (possibly ε).
+    [[nodiscard]] virtual observation apply(machine_id port,
+                                            symbol input) = 0;
+
+    [[nodiscard]] virtual std::size_t port_count() const noexcept = 0;
+};
+
+/// Simulator-backed SUT, optionally faulty.
+class simulator_sut final : public sut_connection {
+  public:
+    explicit simulator_sut(const system& spec);
+    simulator_sut(const system& spec, const single_transition_fault& fault);
+
+    void reset() override;
+    [[nodiscard]] observation apply(machine_id port, symbol input) override;
+    [[nodiscard]] std::size_t port_count() const noexcept override;
+
+  private:
+    simulator sim_;
+    std::size_t ports_;
+};
+
+}  // namespace cfsmdiag

@@ -1,0 +1,38 @@
+// Per-machine test generation by the classic FSM methods, lifted to CFSM
+// systems.
+//
+// All four follow the same shape as per_machine_w_suite: for every machine
+// M_i and transition t of M_i, a global test "R · transfer · input(t) ·
+// verifier", where the verifier checks t's end state:
+//   - W:   every sequence of the characterization set (Chow [2]),
+//   - Wp:  the end state's identification set W_s (cheaper than W),
+//   - UIO: the end state's UIO sequence (Sabnani/Dahbura-style; falls back
+//          to W_s when a state has no UIO),
+//   - DS:  the machine's preset distinguishing sequence (Gönenc [8]; falls
+//          back to W when the machine has none — many machines don't).
+//
+// Fallbacks are reported, not silent; the adaptive-vs-suites benchmark uses
+// these as the "strong diagnostic power" baselines of the paper's
+// conclusion.
+#pragma once
+
+#include "testgen/wsuite.hpp"
+
+namespace cfsmdiag {
+
+enum class verification_method : std::uint8_t { w, wp, uio, ds };
+
+[[nodiscard]] std::string to_string(verification_method m);
+
+struct method_suite_result {
+    test_suite suite;
+    /// Transitions whose source state is globally unreachable.
+    std::vector<global_transition_id> unreachable;
+    /// States that needed a fallback verifier (UIO missing, DS missing).
+    std::vector<std::pair<machine_id, state_id>> fallbacks;
+};
+
+[[nodiscard]] method_suite_result per_machine_method_suite(
+    const system& spec, verification_method method);
+
+}  // namespace cfsmdiag

@@ -1,0 +1,38 @@
+// Mutation scoring: how good is a suite at detecting the fault model?
+//
+// Every admissible single-transition fault is a mutant; a suite kills a
+// mutant when some test case observes a difference.  Mutants that survive
+// are reported, split into genuine coverage gaps and *equivalent* mutants
+// (observationally identical to the spec — unkillable by any black-box
+// test).  The score counts only killable mutants, the honest denominator.
+#pragma once
+
+#include "fault/enumerate.hpp"
+#include "testgen/testcase.hpp"
+
+namespace cfsmdiag {
+
+struct mutation_report {
+    std::size_t mutants = 0;
+    std::size_t killed = 0;
+    /// Survivors that some test *could* kill (coverage gaps).
+    std::vector<single_transition_fault> survivors;
+    /// Survivors equivalent to the spec (unkillable).
+    std::vector<single_transition_fault> equivalent;
+
+    /// killed / (mutants − equivalent); 1.0 when there is nothing to kill.
+    [[nodiscard]] double score() const noexcept;
+};
+
+struct mutation_options {
+    /// Verify surviving mutants for spec-equivalence (joint BFS); when
+    /// false every survivor lands in `survivors`.
+    bool check_equivalence = true;
+    std::size_t max_joint_states = 50'000;
+};
+
+[[nodiscard]] mutation_report mutation_score(
+    const system& spec, const test_suite& suite,
+    const mutation_options& options = {});
+
+}  // namespace cfsmdiag

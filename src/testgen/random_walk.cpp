@@ -1,0 +1,43 @@
+#include "testgen/random_walk.hpp"
+
+namespace cfsmdiag {
+
+test_suite random_walk_suite(const system& spec, rng& random,
+                             const random_walk_options& options) {
+    std::vector<global_input> all;
+    for (std::uint32_t mi = 0; mi < spec.machine_count(); ++mi) {
+        for (symbol s : spec.machine(machine_id{mi}).input_alphabet())
+            all.push_back(global_input::at(machine_id{mi}, s));
+    }
+
+    test_suite suite;
+    simulator sim(spec);
+    for (std::size_t c = 0; c < options.cases; ++c) {
+        sim.reset();
+        std::vector<global_input> seq;
+        seq.reserve(options.steps_per_case);
+        for (std::size_t s = 0; s < options.steps_per_case; ++s) {
+            global_input chosen = all.empty()
+                                      ? global_input::reset()
+                                      : random.pick(all);
+            if (!all.empty() && random.chance(options.defined_bias)) {
+                // Collect inputs defined in the current global state.
+                std::vector<global_input> defined;
+                for (const auto& in : all) {
+                    if (spec.machine(in.port)
+                            .find(sim.state().states[in.port.value],
+                                  in.input))
+                        defined.push_back(in);
+                }
+                if (!defined.empty()) chosen = random.pick(defined);
+            }
+            (void)sim.apply(chosen);
+            seq.push_back(chosen);
+        }
+        suite.add(test_case::from_inputs("rw" + std::to_string(c + 1),
+                                         std::move(seq)));
+    }
+    return suite;
+}
+
+}  // namespace cfsmdiag

@@ -1,0 +1,26 @@
+// Random-walk test suites.
+//
+// Cheap detection suites for the fault-injection campaigns: each case is a
+// reset followed by a random sequence of port inputs, biased towards inputs
+// that are defined in the current global state so walks make progress
+// instead of piling up ε steps.
+#pragma once
+
+#include "testgen/testcase.hpp"
+#include "util/rng.hpp"
+
+namespace cfsmdiag {
+
+struct random_walk_options {
+    std::size_t cases = 10;
+    std::size_t steps_per_case = 20;
+    /// Probability of picking among currently-defined inputs (vs. any
+    /// input, which may be an ε step probing completeness).
+    double defined_bias = 0.9;
+};
+
+[[nodiscard]] test_suite random_walk_suite(const system& spec, rng& random,
+                                           const random_walk_options& options =
+                                               {});
+
+}  // namespace cfsmdiag

@@ -1,0 +1,63 @@
+#include "testgen/reduce.hpp"
+
+#include <algorithm>
+
+namespace cfsmdiag {
+
+reduce_result reduce_suite(const system& spec, const test_suite& suite,
+                           const std::vector<single_transition_fault>&
+                               faults) {
+    reduce_result result;
+    result.cases_before = suite.size();
+
+    // detects[c] = indices of faults case c detects.
+    std::vector<std::vector<std::size_t>> detects_of_case(suite.size());
+    std::vector<bool> fault_covered(faults.size(), false);
+    std::vector<bool> fault_detectable(faults.size(), false);
+
+    for (std::size_t ci = 0; ci < suite.cases.size(); ++ci) {
+        const auto& inputs = suite.cases[ci].inputs;
+        const auto expected = observe(spec, inputs);
+        for (std::size_t fi = 0; fi < faults.size(); ++fi) {
+            const auto observed =
+                observe(spec, inputs, faults[fi].to_override());
+            if (observed != expected) {
+                detects_of_case[ci].push_back(fi);
+                fault_detectable[fi] = true;
+            }
+        }
+    }
+    result.undetected_faults = static_cast<std::size_t>(std::count(
+        fault_detectable.begin(), fault_detectable.end(), false));
+
+    // Greedy cover: repeatedly keep the case covering the most uncovered
+    // faults; stable tie-break on the earliest case.
+    std::vector<bool> kept(suite.size(), false);
+    for (;;) {
+        std::size_t best_case = suite.size();
+        std::size_t best_gain = 0;
+        for (std::size_t ci = 0; ci < suite.cases.size(); ++ci) {
+            if (kept[ci]) continue;
+            std::size_t gain = 0;
+            for (std::size_t fi : detects_of_case[ci]) {
+                if (!fault_covered[fi]) ++gain;
+            }
+            if (gain > best_gain) {
+                best_gain = gain;
+                best_case = ci;
+            }
+        }
+        if (best_case == suite.size()) break;
+        kept[best_case] = true;
+        for (std::size_t fi : detects_of_case[best_case])
+            fault_covered[fi] = true;
+    }
+
+    for (std::size_t ci = 0; ci < suite.cases.size(); ++ci) {
+        if (kept[ci]) result.suite.add(suite.cases[ci]);
+    }
+    result.cases_after = result.suite.size();
+    return result;
+}
+
+}  // namespace cfsmdiag

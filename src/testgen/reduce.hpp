@@ -1,0 +1,31 @@
+// Detection-preserving test suite reduction.
+//
+// Given a suite and a fault universe, keep a (greedy set-cover) subset of
+// test cases that detects exactly the same faults.  Useful before
+// diagnosis campaigns: Step 5B replays the *whole* suite against every
+// hypothesis, so trimming redundant cases directly cuts diagnosis cost —
+// the candidate_sets bench shows the other side of that trade
+// (more cases ⇒ smaller candidate sets).
+#pragma once
+
+#include "fault/fault.hpp"
+#include "testgen/testcase.hpp"
+
+namespace cfsmdiag {
+
+struct reduce_result {
+    test_suite suite;
+    /// Faults no case of the original suite detects (coverage gaps,
+    /// unchanged by reduction).
+    std::size_t undetected_faults = 0;
+    std::size_t cases_before = 0;
+    std::size_t cases_after = 0;
+};
+
+/// Greedy reduction over the given fault universe.  Case order is
+/// preserved among the kept cases.
+[[nodiscard]] reduce_result reduce_suite(
+    const system& spec, const test_suite& suite,
+    const std::vector<single_transition_fault>& faults);
+
+}  // namespace cfsmdiag

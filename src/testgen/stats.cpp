@@ -1,0 +1,42 @@
+#include "testgen/stats.hpp"
+
+namespace cfsmdiag {
+
+suite_stats compute_stats(const system& spec, const test_suite& suite) {
+    suite_stats s;
+    s.cases = suite.size();
+    s.total_inputs = suite.total_inputs();
+    s.inputs_per_port.assign(spec.machine_count(), 0);
+    for (const auto& tc : suite.cases) {
+        for (const auto& in : tc.inputs) {
+            if (in.action == global_input::kind::reset) {
+                ++s.resets;
+            } else {
+                ++s.inputs_per_port[in.port.value];
+            }
+        }
+    }
+    return s;
+}
+
+bool detects(const system& spec, const test_suite& suite,
+             const single_transition_fault& fault) {
+    for (const auto& tc : suite.cases) {
+        const auto expected = observe(spec, tc.inputs);
+        const auto observed = observe(spec, tc.inputs, fault.to_override());
+        if (expected != observed) return true;
+    }
+    return false;
+}
+
+double detection_rate(const system& spec, const test_suite& suite,
+                      const std::vector<single_transition_fault>& faults) {
+    if (faults.empty()) return 1.0;
+    std::size_t hit = 0;
+    for (const auto& f : faults) {
+        if (detects(spec, suite, f)) ++hit;
+    }
+    return static_cast<double>(hit) / static_cast<double>(faults.size());
+}
+
+}  // namespace cfsmdiag

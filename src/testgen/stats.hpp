@@ -1,0 +1,34 @@
+// Suite statistics and fault-detection measurement.
+//
+// `detects` is the campaign's precondition check — the paper's algorithm
+// localizes faults *after* detection ("once the fault has been detected"),
+// so campaigns first ask whether the suite sees the fault at all.
+#pragma once
+
+#include "fault/fault.hpp"
+#include "testgen/testcase.hpp"
+
+namespace cfsmdiag {
+
+struct suite_stats {
+    std::size_t cases = 0;
+    std::size_t total_inputs = 0;
+    std::size_t resets = 0;
+    /// Inputs applied per port.
+    std::vector<std::size_t> inputs_per_port;
+};
+
+[[nodiscard]] suite_stats compute_stats(const system& spec,
+                                        const test_suite& suite);
+
+/// True if at least one test case's observed outputs (spec ⊕ fault) differ
+/// from the expected outputs (spec).
+[[nodiscard]] bool detects(const system& spec, const test_suite& suite,
+                           const single_transition_fault& fault);
+
+/// Fraction of `faults` detected by the suite.
+[[nodiscard]] double detection_rate(
+    const system& spec, const test_suite& suite,
+    const std::vector<single_transition_fault>& faults);
+
+}  // namespace cfsmdiag

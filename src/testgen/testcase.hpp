@@ -1,0 +1,53 @@
+// Test cases and test suites.
+//
+// A test case is a sequence of global inputs starting with reset (the
+// paper's test cases all start with R); a test suite TS = {tc_1; ...; tc_p}
+// (Step 1).  Expected outputs are not stored — they are recomputed from the
+// spec on demand, which is exactly what Step 5B's mutation replay needs.
+#pragma once
+
+#include <string>
+#include <vector>
+
+#include "cfsm/trace.hpp"
+
+namespace cfsmdiag {
+
+/// One test case.  `inputs` includes the leading reset.
+struct test_case {
+    std::string name;
+    std::vector<global_input> inputs;
+
+    /// Builds "R, <seq>" with a generated name.
+    [[nodiscard]] static test_case from_inputs(
+        std::string name, std::vector<global_input> seq,
+        bool prepend_reset = true);
+};
+
+/// An ordered collection of test cases.
+struct test_suite {
+    std::vector<test_case> cases;
+
+    [[nodiscard]] std::size_t total_inputs() const noexcept;
+    [[nodiscard]] std::size_t size() const noexcept { return cases.size(); }
+
+    void add(test_case tc) { cases.push_back(std::move(tc)); }
+    void extend(const test_suite& other);
+};
+
+/// "R, a@P1, c'@P3" rendering of a test case's inputs.
+[[nodiscard]] std::string to_string(const test_case& tc,
+                                    const symbol_table& symbols);
+
+/// Expected output sequence of a test case on the spec (Step 1).
+[[nodiscard]] std::vector<observation> expected_outputs(
+    const system& spec, const test_case& tc);
+
+/// Parses "R, a1, c'3, x3" — the paper's compact notation where a trailing
+/// digit is the 1-based port — into a test case.  Symbols must already be
+/// interned in `symbols`.
+[[nodiscard]] test_case parse_compact(const std::string& name,
+                                      const std::string& text,
+                                      const symbol_table& symbols);
+
+}  // namespace cfsmdiag

@@ -1,0 +1,38 @@
+// Error type and precondition checking used throughout the library.
+#pragma once
+
+#include <stdexcept>
+#include <string>
+#include <utility>
+
+namespace cfsmdiag {
+
+/// Thrown for violated preconditions and malformed models.  All library
+/// errors derive from this so callers can catch one type.
+class error : public std::runtime_error {
+  public:
+    explicit error(const std::string& what) : std::runtime_error(what) {}
+};
+
+/// Thrown when a model violates the structural restrictions of the CFSM
+/// model of the paper (Section 2.1), e.g. an internal output that is not an
+/// external-output input of the receiving machine.
+class model_error : public error {
+  public:
+    explicit model_error(const std::string& what) : error(what) {}
+};
+
+namespace detail {
+
+/// Throws cfsmdiag::error if `cond` is false.  Used for public-API
+/// precondition checks; internal invariants use assert().
+inline void require(bool cond, const std::string& msg) {
+    if (!cond) throw error(msg);
+}
+
+inline void require_model(bool cond, const std::string& msg) {
+    if (!cond) throw model_error(msg);
+}
+
+}  // namespace detail
+}  // namespace cfsmdiag

@@ -1,0 +1,81 @@
+// Strong identifier types shared across the library.
+//
+// The CFSM model juggles several small integer domains (states, transitions,
+// machines/ports, interned symbols).  Mixing them up silently is the classic
+// failure mode of FSM code, so each domain gets its own vocabulary type with
+// no implicit conversions between domains.
+#pragma once
+
+#include <compare>
+#include <cstddef>
+#include <cstdint>
+#include <functional>
+#include <limits>
+
+namespace cfsmdiag {
+
+/// Index of a state within one machine.  States are dense, 0-based.
+struct state_id {
+    std::uint32_t value = 0;
+
+    friend constexpr auto operator<=>(state_id, state_id) = default;
+};
+
+/// Index of a transition within one machine's transition vector.
+struct transition_id {
+    std::uint32_t value = 0;
+
+    friend constexpr auto operator<=>(transition_id, transition_id) = default;
+};
+
+/// Index of a machine within a system.  Machine i owns external port i;
+/// the two concepts are deliberately the same index (the paper gives every
+/// machine M_i exactly one external port P_i).
+struct machine_id {
+    std::uint32_t value = 0;
+
+    friend constexpr auto operator<=>(machine_id, machine_id) = default;
+};
+
+/// A transition addressed globally: which machine, which transition.
+struct global_transition_id {
+    machine_id machine;
+    transition_id transition;
+
+    friend constexpr auto operator<=>(global_transition_id,
+                                      global_transition_id) = default;
+};
+
+inline constexpr std::uint32_t invalid_index =
+    std::numeric_limits<std::uint32_t>::max();
+
+}  // namespace cfsmdiag
+
+template <>
+struct std::hash<cfsmdiag::state_id> {
+    std::size_t operator()(cfsmdiag::state_id s) const noexcept {
+        return std::hash<std::uint32_t>{}(s.value);
+    }
+};
+
+template <>
+struct std::hash<cfsmdiag::transition_id> {
+    std::size_t operator()(cfsmdiag::transition_id t) const noexcept {
+        return std::hash<std::uint32_t>{}(t.value);
+    }
+};
+
+template <>
+struct std::hash<cfsmdiag::machine_id> {
+    std::size_t operator()(cfsmdiag::machine_id m) const noexcept {
+        return std::hash<std::uint32_t>{}(m.value);
+    }
+};
+
+template <>
+struct std::hash<cfsmdiag::global_transition_id> {
+    std::size_t operator()(cfsmdiag::global_transition_id g) const noexcept {
+        return (static_cast<std::size_t>(g.machine.value) << 32) ^
+               g.transition.value;
+    }
+};

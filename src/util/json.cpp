@@ -1,0 +1,173 @@
+#include "util/json.hpp"
+
+#include <cmath>
+#include <cstdio>
+
+#include "util/error.hpp"
+
+namespace cfsmdiag {
+
+json_value json_value::boolean(bool b) {
+    json_value v;
+    v.kind_ = kind::boolean;
+    v.bool_ = b;
+    return v;
+}
+
+json_value json_value::number(double n) {
+    json_value v;
+    v.kind_ = kind::number_double;
+    v.num_ = n;
+    return v;
+}
+
+json_value json_value::number(std::int64_t n) {
+    json_value v;
+    v.kind_ = kind::number_int;
+    v.int_ = n;
+    return v;
+}
+
+json_value json_value::number(std::size_t n) {
+    return number(static_cast<std::int64_t>(n));
+}
+
+json_value json_value::string(std::string_view s) {
+    json_value v;
+    v.kind_ = kind::string;
+    v.str_ = std::string(s);
+    return v;
+}
+
+json_value json_value::array() {
+    json_value v;
+    v.kind_ = kind::array;
+    return v;
+}
+
+json_value json_value::object() {
+    json_value v;
+    v.kind_ = kind::object;
+    return v;
+}
+
+json_value& json_value::push(json_value v) {
+    detail::require(is_array(), "json_value::push: not an array");
+    items_.push_back(std::move(v));
+    return *this;
+}
+
+json_value& json_value::set(std::string_view key, json_value v) {
+    detail::require(is_object(), "json_value::set: not an object");
+    for (auto& [k, existing] : members_) {
+        if (k == key) {
+            existing = std::move(v);
+            return *this;
+        }
+    }
+    members_.emplace_back(std::string(key), std::move(v));
+    return *this;
+}
+
+std::string json_escape(std::string_view s) {
+    std::string out;
+    out.reserve(s.size() + 2);
+    for (unsigned char c : s) {
+        switch (c) {
+            case '"': out += "\\\""; break;
+            case '\\': out += "\\\\"; break;
+            case '\b': out += "\\b"; break;
+            case '\f': out += "\\f"; break;
+            case '\n': out += "\\n"; break;
+            case '\r': out += "\\r"; break;
+            case '\t': out += "\\t"; break;
+            default:
+                if (c < 0x20) {
+                    char buf[8];
+                    std::snprintf(buf, sizeof buf, "\\u%04x", c);
+                    out += buf;
+                } else {
+                    out += static_cast<char>(c);
+                }
+        }
+    }
+    return out;
+}
+
+void json_value::render(std::string& out, bool pretty, int depth) const {
+    const std::string indent = pretty ? std::string(
+                                            static_cast<std::size_t>(depth) *
+                                                2,
+                                            ' ')
+                                      : "";
+    const std::string child_indent =
+        pretty ? std::string((static_cast<std::size_t>(depth) + 1) * 2, ' ')
+               : "";
+    const char* nl = pretty ? "\n" : "";
+
+    switch (kind_) {
+        case kind::null: out += "null"; break;
+        case kind::boolean: out += bool_ ? "true" : "false"; break;
+        case kind::number_int: out += std::to_string(int_); break;
+        case kind::number_double: {
+            if (std::isfinite(num_)) {
+                char buf[32];
+                std::snprintf(buf, sizeof buf, "%.10g", num_);
+                out += buf;
+            } else {
+                out += "null";  // JSON has no inf/nan
+            }
+            break;
+        }
+        case kind::string:
+            out += '"';
+            out += json_escape(str_);
+            out += '"';
+            break;
+        case kind::array: {
+            if (items_.empty()) {
+                out += "[]";
+                break;
+            }
+            out += '[';
+            out += nl;
+            for (std::size_t i = 0; i < items_.size(); ++i) {
+                out += child_indent;
+                items_[i].render(out, pretty, depth + 1);
+                if (i + 1 < items_.size()) out += ',';
+                out += nl;
+            }
+            out += indent;
+            out += ']';
+            break;
+        }
+        case kind::object: {
+            if (members_.empty()) {
+                out += "{}";
+                break;
+            }
+            out += '{';
+            out += nl;
+            for (std::size_t i = 0; i < members_.size(); ++i) {
+                out += child_indent;
+                out += '"';
+                out += json_escape(members_[i].first);
+                out += pretty ? "\": " : "\":";
+                members_[i].second.render(out, pretty, depth + 1);
+                if (i + 1 < members_.size()) out += ',';
+                out += nl;
+            }
+            out += indent;
+            out += '}';
+            break;
+        }
+    }
+}
+
+std::string json_value::dump(bool pretty) const {
+    std::string out;
+    render(out, pretty, 0);
+    return out;
+}
+
+}  // namespace cfsmdiag

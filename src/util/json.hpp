@@ -1,0 +1,71 @@
+// Minimal JSON value builder and writer.
+//
+// Just enough JSON to export diagnosis reports and bench results for
+// downstream tooling: objects, arrays, strings, numbers, booleans, null.
+// Construction is by value; rendering is deterministic (object keys keep
+// insertion order) so reports diff cleanly.
+#pragma once
+
+#include <cstdint>
+#include <memory>
+#include <string>
+#include <string_view>
+#include <utility>
+#include <vector>
+
+namespace cfsmdiag {
+
+class json_value {
+  public:
+    json_value() : kind_(kind::null) {}
+
+    [[nodiscard]] static json_value null() { return json_value(); }
+    [[nodiscard]] static json_value boolean(bool b);
+    [[nodiscard]] static json_value number(double n);
+    [[nodiscard]] static json_value number(std::int64_t n);
+    [[nodiscard]] static json_value number(std::size_t n);
+    [[nodiscard]] static json_value string(std::string_view s);
+    [[nodiscard]] static json_value array();
+    [[nodiscard]] static json_value object();
+
+    /// Appends to an array value.  Requires is_array().
+    json_value& push(json_value v);
+    /// Sets an object member (insertion-ordered).  Requires is_object().
+    json_value& set(std::string_view key, json_value v);
+
+    [[nodiscard]] bool is_array() const noexcept {
+        return kind_ == kind::array;
+    }
+    [[nodiscard]] bool is_object() const noexcept {
+        return kind_ == kind::object;
+    }
+
+    /// Renders compact JSON (no whitespace) or pretty (2-space indent).
+    [[nodiscard]] std::string dump(bool pretty = false) const;
+
+  private:
+    enum class kind : std::uint8_t {
+        null,
+        boolean,
+        number_double,
+        number_int,
+        string,
+        array,
+        object,
+    };
+
+    void render(std::string& out, bool pretty, int depth) const;
+
+    kind kind_;
+    bool bool_ = false;
+    double num_ = 0.0;
+    std::int64_t int_ = 0;
+    std::string str_;
+    std::vector<json_value> items_;
+    std::vector<std::pair<std::string, json_value>> members_;
+};
+
+/// Escapes a string per RFC 8259.
+[[nodiscard]] std::string json_escape(std::string_view s);
+
+}  // namespace cfsmdiag

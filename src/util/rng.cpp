@@ -1,0 +1,67 @@
+#include "util/rng.hpp"
+
+namespace cfsmdiag {
+namespace {
+
+std::uint64_t splitmix64(std::uint64_t& x) noexcept {
+    x += 0x9e3779b97f4a7c15ULL;
+    std::uint64_t z = x;
+    z = (z ^ (z >> 30)) * 0xbf58476d1ce4e5b9ULL;
+    z = (z ^ (z >> 27)) * 0x94d049bb133111ebULL;
+    return z ^ (z >> 31);
+}
+
+constexpr std::uint64_t rotl(std::uint64_t x, int k) noexcept {
+    return (x << k) | (x >> (64 - k));
+}
+
+}  // namespace
+
+rng::rng(std::uint64_t seed) noexcept {
+    std::uint64_t s = seed;
+    for (auto& word : state_) word = splitmix64(s);
+}
+
+std::uint64_t rng::next() noexcept {
+    const std::uint64_t result = rotl(state_[1] * 5, 7) * 9;
+    const std::uint64_t t = state_[1] << 17;
+    state_[2] ^= state_[0];
+    state_[3] ^= state_[1];
+    state_[1] ^= state_[2];
+    state_[0] ^= state_[3];
+    state_[2] ^= t;
+    state_[3] = rotl(state_[3], 45);
+    return result;
+}
+
+std::uint64_t rng::below(std::uint64_t bound) {
+    detail::require(bound > 0, "rng::below: bound must be positive");
+    // Rejection sampling to avoid modulo bias.
+    const std::uint64_t threshold = -bound % bound;
+    for (;;) {
+        const std::uint64_t r = next();
+        if (r >= threshold) return r % bound;
+    }
+}
+
+std::uint64_t rng::between(std::uint64_t lo, std::uint64_t hi) {
+    detail::require(lo <= hi, "rng::between: lo must be <= hi");
+    return lo + below(hi - lo + 1);
+}
+
+bool rng::chance(double p) {
+    if (p <= 0.0) return false;
+    if (p >= 1.0) return true;
+    // 53-bit uniform double in [0,1).
+    const double u =
+        static_cast<double>(next() >> 11) * (1.0 / 9007199254740992.0);
+    return u < p;
+}
+
+std::size_t rng::index(std::size_t size) {
+    return static_cast<std::size_t>(below(static_cast<std::uint64_t>(size)));
+}
+
+rng rng::split() noexcept { return rng(next() ^ 0xa5a5a5a5deadbeefULL); }
+
+}  // namespace cfsmdiag

@@ -1,0 +1,59 @@
+// Deterministic pseudo-random number generation.
+//
+// Every randomized component in the library (system generators, random-walk
+// test suites, campaign shuffles) takes an explicit `rng&` so results are
+// reproducible from a seed.  The engine is splitmix64/xoshiro256** — small,
+// fast, and identical across platforms, unlike std::mt19937's distributions.
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+#include "util/error.hpp"
+
+namespace cfsmdiag {
+
+/// xoshiro256** seeded through splitmix64.  Deterministic across platforms.
+class rng {
+  public:
+    explicit rng(std::uint64_t seed) noexcept;
+
+    /// Uniform 64-bit value.
+    [[nodiscard]] std::uint64_t next() noexcept;
+
+    /// Uniform in [0, bound).  Requires bound > 0.
+    [[nodiscard]] std::uint64_t below(std::uint64_t bound);
+
+    /// Uniform in [lo, hi] inclusive.  Requires lo <= hi.
+    [[nodiscard]] std::uint64_t between(std::uint64_t lo, std::uint64_t hi);
+
+    /// True with probability p (clamped to [0,1]).
+    [[nodiscard]] bool chance(double p);
+
+    /// Uniformly chosen index into a container of the given size.
+    [[nodiscard]] std::size_t index(std::size_t size);
+
+    /// Uniformly chosen element of a non-empty vector.
+    template <typename T>
+    [[nodiscard]] const T& pick(const std::vector<T>& v) {
+        detail::require(!v.empty(), "rng::pick: empty vector");
+        return v[index(v.size())];
+    }
+
+    /// Fisher-Yates shuffle.
+    template <typename T>
+    void shuffle(std::vector<T>& v) {
+        for (std::size_t i = v.size(); i > 1; --i) {
+            using std::swap;
+            swap(v[i - 1], v[index(i)]);
+        }
+    }
+
+    /// Derives an independent child generator (for parallel structures).
+    [[nodiscard]] rng split() noexcept;
+
+  private:
+    std::uint64_t state_[4] = {};
+};
+
+}  // namespace cfsmdiag

@@ -1,0 +1,23 @@
+// Small string helpers used by printers and parsers.
+#pragma once
+
+#include <string>
+#include <string_view>
+#include <vector>
+
+namespace cfsmdiag {
+
+/// Joins `parts` with `sep`.
+[[nodiscard]] std::string join(const std::vector<std::string>& parts,
+                               std::string_view sep);
+
+/// Splits on a single-character separator; keeps empty fields.
+[[nodiscard]] std::vector<std::string> split(std::string_view text, char sep);
+
+/// Strips leading/trailing ASCII whitespace.
+[[nodiscard]] std::string_view trim(std::string_view text);
+
+/// Formats a double with the given number of decimals (locale-independent).
+[[nodiscard]] std::string fmt_double(double value, int decimals);
+
+}  // namespace cfsmdiag

@@ -1,0 +1,78 @@
+#include "util/table.hpp"
+
+#include <algorithm>
+#include <ostream>
+#include <sstream>
+
+namespace cfsmdiag {
+
+text_table::text_table(std::vector<std::string> header)
+    : header_(std::move(header)) {}
+
+void text_table::set_header(std::vector<std::string> header) {
+    header_ = std::move(header);
+}
+
+void text_table::add_row(std::vector<std::string> row) {
+    rows_.push_back(std::move(row));
+}
+
+std::string text_table::str() const {
+    std::size_t cols = header_.size();
+    for (const auto& r : rows_) cols = std::max(cols, r.size());
+
+    std::vector<std::size_t> width(cols, 0);
+    auto widen = [&](const std::vector<std::string>& r) {
+        for (std::size_t c = 0; c < r.size(); ++c)
+            width[c] = std::max(width[c], r[c].size());
+    };
+    widen(header_);
+    for (const auto& r : rows_) widen(r);
+
+    std::ostringstream out;
+    auto emit = [&](const std::vector<std::string>& r) {
+        for (std::size_t c = 0; c < cols; ++c) {
+            const std::string& cell = c < r.size() ? r[c] : std::string{};
+            out << cell;
+            if (c + 1 < cols)
+                out << std::string(width[c] - cell.size() + 2, ' ');
+        }
+        out << '\n';
+    };
+    if (!header_.empty()) {
+        emit(header_);
+        std::size_t total = 0;
+        for (std::size_t c = 0; c < cols; ++c)
+            total += width[c] + (c + 1 < cols ? 2 : 0);
+        out << std::string(total, '-') << '\n';
+    }
+    for (const auto& r : rows_) emit(r);
+    return out.str();
+}
+
+std::ostream& operator<<(std::ostream& os, const text_table& t) {
+    return os << t.str();
+}
+
+void csv_writer::row(const std::vector<std::string>& cells) {
+    bool first = true;
+    for (const auto& cell : cells) {
+        if (!first) os_ << ',';
+        first = false;
+        const bool quote =
+            cell.find_first_of(",\"\n") != std::string::npos;
+        if (!quote) {
+            os_ << cell;
+            continue;
+        }
+        os_ << '"';
+        for (char ch : cell) {
+            if (ch == '"') os_ << '"';
+            os_ << ch;
+        }
+        os_ << '"';
+    }
+    os_ << '\n';
+}
+
+}  // namespace cfsmdiag

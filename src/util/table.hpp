@@ -1,0 +1,53 @@
+// Plain-text table rendering for benchmark reports.
+//
+// The benches regenerate the paper's tables as aligned text so their output
+// can be diffed against EXPERIMENTS.md.  Cells are strings; alignment is
+// computed per column.
+#pragma once
+
+#include <iosfwd>
+#include <string>
+#include <vector>
+
+namespace cfsmdiag {
+
+/// A simple text table: header row + data rows, rendered with column
+/// alignment and a separator under the header.
+class text_table {
+  public:
+    text_table() = default;
+    explicit text_table(std::vector<std::string> header);
+
+    /// Replaces the header row.
+    void set_header(std::vector<std::string> header);
+
+    /// Appends a data row.  Rows may have differing cell counts; short rows
+    /// render with empty trailing cells.
+    void add_row(std::vector<std::string> row);
+
+    [[nodiscard]] std::size_t row_count() const noexcept {
+        return rows_.size();
+    }
+
+    /// Renders the table with 2-space column gaps.
+    [[nodiscard]] std::string str() const;
+
+    friend std::ostream& operator<<(std::ostream& os, const text_table& t);
+
+  private:
+    std::vector<std::string> header_;
+    std::vector<std::vector<std::string>> rows_;
+};
+
+/// Writes rows as RFC-4180-ish CSV (quotes cells containing , " or newline).
+class csv_writer {
+  public:
+    explicit csv_writer(std::ostream& os) : os_(os) {}
+
+    void row(const std::vector<std::string>& cells);
+
+  private:
+    std::ostream& os_;
+};
+
+}  // namespace cfsmdiag

@@ -1,0 +1,130 @@
+// Tests for the structured Step-6 proposal generator: the paper's
+// construction rules, checked as invariants.
+#include <gtest/gtest.h>
+
+#include "helpers.hpp"
+
+namespace cfsmdiag {
+namespace {
+
+using testing_helpers::make_pair_system;
+using testing_helpers::tid;
+
+/// Runs Steps 1-5 and returns the live tracker plus the spec.
+struct setup {
+    symptom_report report;
+    std::vector<diagnosis> diagnoses;
+};
+
+setup run_steps_1_to_5(const system& spec, const test_suite& suite,
+                       const single_transition_fault& fault) {
+    simulated_iut iut(spec, fault);
+    setup s;
+    s.report = collect_symptoms(spec, suite, iut);
+    const auto confl = generate_conflict_sets(spec, s.report);
+    const auto cands = generate_candidates(spec, s.report, confl);
+    s.diagnoses =
+        evaluate_candidates_escalated(spec, suite, s.report, cands)
+            .diagnoses();
+    return s;
+}
+
+TEST(proposal_test, transfer_prefix_avoids_live_candidates) {
+    // The paper's ambiguity rule: the transfer sequence must not fire any
+    // transition still under suspicion.
+    const auto ex = paperex::make_paper_example();
+    const auto s = run_steps_1_to_5(ex.spec, ex.suite, ex.fault);
+    hypothesis_tracker tracker(ex.spec, s.diagnoses);
+    ASSERT_GT(tracker.count(), 1u);
+
+    std::set<global_transition_id> suspects;
+    for (const auto& d : tracker.alive()) suspects.insert(d.target);
+
+    const auto proposals = propose_structured_tests(ex.spec, tracker);
+    ASSERT_FALSE(proposals.empty());
+    for (const auto& p : proposals) {
+        // Replay the proposal on the spec; transitions fired before the
+        // suspect's own input must not be suspects.
+        simulator sim(ex.spec);
+        bool suspect_reached = false;
+        for (const auto& in : p.tc.inputs) {
+            std::vector<global_transition_id> fired;
+            (void)sim.apply(in, &fired);
+            for (auto g : fired) {
+                if (g == p.suspect) {
+                    suspect_reached = true;
+                } else if (!suspect_reached) {
+                    EXPECT_EQ(suspects.count(g), 0u)
+                        << "prefix of [" << p.purpose << "] fires suspect "
+                        << ex.spec.transition_label(g);
+                }
+            }
+        }
+        EXPECT_TRUE(suspect_reached)
+            << "[" << p.purpose << "] never exercises its suspect";
+    }
+}
+
+TEST(proposal_test, ust_output_check_comes_first) {
+    // Paper Case 5: "we first check the ust transition ... since output
+    // faults are in general easier to be tested".
+    const auto ex = paperex::make_paper_example();
+    const auto s = run_steps_1_to_5(ex.spec, ex.suite, ex.fault);
+    hypothesis_tracker tracker(ex.spec, s.diagnoses);
+    const auto proposals = propose_structured_tests(ex.spec, tracker);
+    ASSERT_FALSE(proposals.empty());
+    EXPECT_EQ(ex.spec.transition_label(proposals.front().suspect), "M1.t7");
+    EXPECT_NE(proposals.front().purpose.find("output check"),
+              std::string::npos);
+}
+
+TEST(proposal_test, proposals_are_reset_prefixed_and_deduplicated) {
+    const auto ex = paperex::make_paper_example();
+    const auto s = run_steps_1_to_5(ex.spec, ex.suite, ex.fault);
+    hypothesis_tracker tracker(ex.spec, s.diagnoses);
+    const auto proposals = propose_structured_tests(ex.spec, tracker);
+    std::set<std::vector<global_input>> seen;
+    for (const auto& p : proposals) {
+        ASSERT_FALSE(p.tc.inputs.empty());
+        EXPECT_EQ(p.tc.inputs.front().action, global_input::kind::reset);
+        EXPECT_TRUE(seen.insert(p.tc.inputs).second)
+            << "duplicate proposal " << to_string(p.tc, ex.spec.symbols());
+    }
+}
+
+TEST(proposal_test, no_proposals_for_single_hypothesis) {
+    const system sys = make_pair_system();
+    const diagnosis d{tid(sys, 0, "a1"), sys.symbols().lookup("ok2"),
+                      std::nullopt};
+    hypothesis_tracker tracker(sys, {d});
+    EXPECT_TRUE(propose_structured_tests(sys, tracker).empty());
+}
+
+TEST(proposal_test, internal_output_suspects_get_reaction_probes) {
+    const system sys = make_pair_system();
+    // Two live output hypotheses on the hidden internal transition a3.
+    const diagnosis d1{tid(sys, 0, "a3"), sys.symbols().lookup("msg2"),
+                       std::nullopt};
+    const diagnosis d2{tid(sys, 0, "a3"), std::nullopt, state_id{1}};
+    hypothesis_tracker tracker(sys, {d1, d2});
+    const auto proposals = propose_structured_tests(sys, tracker);
+    ASSERT_FALSE(proposals.empty());
+    bool has_reaction = false;
+    for (const auto& p : proposals) {
+        has_reaction = has_reaction ||
+                       p.purpose.find("reaction") != std::string::npos;
+    }
+    EXPECT_TRUE(has_reaction);
+}
+
+TEST(proposal_test, respects_max_proposals_cap) {
+    const auto ex = paperex::make_paper_example();
+    const auto s = run_steps_1_to_5(ex.spec, ex.suite, ex.fault);
+    hypothesis_tracker tracker(ex.spec, s.diagnoses);
+    step6_options opts;
+    opts.max_proposals = 1;
+    EXPECT_LE(propose_structured_tests(ex.spec, tracker, opts).size(), 1u);
+}
+
+}  // namespace
+}  // namespace cfsmdiag

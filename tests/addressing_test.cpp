@@ -1,0 +1,152 @@
+// Tests for the addressing-fault extension (paper §5: "addressing faults
+// which are not considered in this paper").
+#include <gtest/gtest.h>
+
+#include "helpers.hpp"
+
+namespace cfsmdiag {
+namespace {
+
+TEST(addressing_test, override_redirects_message) {
+    // In the Figure-1 system, t6 (M1 s1 -c/c'→ s2 ⇒M2) misroutes its c' to
+    // M3 instead of M2: M3 in s0 reacts with t''1 (a@P3) instead of M2's
+    // t'1 (a@P2).
+    const auto ex = paperex::make_paper_example();
+    const auto t6 = ex.t(machine_id{0}, "t6");
+
+    single_transition_fault fault;
+    fault.target = t6;
+    fault.faulty_destination = machine_id{2};
+    validate_fault(ex.spec, fault);
+    EXPECT_EQ(fault.kind(), fault_kind::addressing);
+
+    const auto tc = parse_compact("tc", "R, a1, c1", ex.spec.symbols());
+    const auto expected = observe(ex.spec, tc.inputs);
+    const auto observed =
+        observe(ex.spec, tc.inputs, fault.to_override());
+    ASSERT_EQ(expected.size(), 3u);
+    EXPECT_EQ(to_string(expected[2], ex.spec.symbols()), "a@P2");
+    EXPECT_EQ(to_string(observed[2], ex.spec.symbols()), "a@P3");
+}
+
+TEST(addressing_test, misrouted_unknown_message_is_silent) {
+    // The pair system: a3's msg1 redirected to... there is no third
+    // machine, so build on the token ring: St1's tok12 sent to St3, which
+    // has no transition on tok12 → ε.
+    const system sys = models::token_ring3();
+    const auto pass1 = testing_helpers::tid(sys, 0, "pass_St1");
+    single_transition_fault fault;
+    fault.target = pass1;
+    fault.faulty_destination = machine_id{2};
+    validate_fault(sys, fault);
+
+    const auto tc =
+        parse_compact("tc", "R, inject1, pass1", sys.symbols());
+    const auto observed = observe(sys, tc.inputs, fault.to_override());
+    EXPECT_TRUE(observed[2].is_null());  // token vanished silently
+    const auto expected = observe(sys, tc.inputs);
+    EXPECT_EQ(to_string(expected[2], sys.symbols()), "got@P2");
+}
+
+TEST(addressing_test, validation_rules) {
+    const auto ex = paperex::make_paper_example();
+    const auto t1 = ex.t(machine_id{0}, "t1");  // external
+    const auto t6 = ex.t(machine_id{0}, "t6");  // internal ⇒ M2
+
+    single_transition_fault f;
+    f.target = t1;
+    f.faulty_destination = machine_id{1};
+    EXPECT_THROW(validate_fault(ex.spec, f), error);  // external
+
+    f.target = t6;
+    f.faulty_destination = machine_id{1};  // the specified destination
+    EXPECT_THROW(validate_fault(ex.spec, f), error);
+    f.faulty_destination = machine_id{0};  // self
+    EXPECT_THROW(validate_fault(ex.spec, f), error);
+    f.faulty_destination = machine_id{9};  // range
+    EXPECT_THROW(validate_fault(ex.spec, f), error);
+}
+
+TEST(addressing_test, enumerate_covers_internal_transitions_only) {
+    const auto ex = paperex::make_paper_example();
+    const auto faults = enumerate_addressing_faults(ex.spec);
+    EXPECT_FALSE(faults.empty());
+    std::size_t internal = 0;
+    for (const auto& m : ex.spec.machines()) {
+        for (const auto& t : m.transitions()) {
+            if (t.kind == output_kind::internal) ++internal;
+        }
+    }
+    // 3 machines: each internal transition has exactly 1 wrong destination.
+    EXPECT_EQ(faults.size(), internal);
+    for (const auto& f : faults) {
+        EXPECT_NO_THROW(validate_fault(ex.spec, f));
+        EXPECT_EQ(f.kind(), fault_kind::addressing);
+    }
+}
+
+TEST(addressing_test, describe_and_io_round_trip) {
+    const auto ex = paperex::make_paper_example();
+    single_transition_fault fault;
+    fault.target = ex.t(machine_id{0}, "t6");
+    fault.faulty_destination = machine_id{2};
+
+    const std::string text = describe(ex.spec, fault);
+    EXPECT_NE(text.find("addressing fault"), std::string::npos);
+    EXPECT_NE(text.find("M3 instead of M2"), std::string::npos);
+
+    const std::string spec_text = write_fault(ex.spec, fault);
+    EXPECT_EQ(spec_text, "M1.t6 => M3");
+    EXPECT_EQ(parse_fault(spec_text, ex.spec), fault);
+}
+
+TEST(addressing_test, diagnosis_without_extension_reports_no_hypothesis) {
+    // Under the paper's fault model the misrouting is inexplicable: every
+    // single-transition (output/transfer) hypothesis is inconsistent.
+    const auto ex = paperex::make_paper_example();
+    single_transition_fault fault;
+    fault.target = ex.t(machine_id{0}, "t6");
+    fault.faulty_destination = machine_id{2};
+
+    test_suite suite = transition_tour(ex.spec).suite;
+    simulated_iut iut(ex.spec, fault);
+    const auto result = diagnose(ex.spec, suite, iut);
+    EXPECT_EQ(result.outcome,
+              diagnosis_outcome::no_consistent_hypothesis)
+        << summarize(ex.spec, result);
+}
+
+TEST(addressing_test, diagnosis_with_extension_localizes) {
+    const auto ex = paperex::make_paper_example();
+    single_transition_fault fault;
+    fault.target = ex.t(machine_id{0}, "t6");
+    fault.faulty_destination = machine_id{2};
+
+    test_suite suite = transition_tour(ex.spec).suite;
+    simulated_iut iut(ex.spec, fault);
+    diagnoser_options opts;
+    opts.include_addressing_faults = true;
+    const auto result = diagnose(ex.spec, suite, iut, opts);
+    ASSERT_TRUE(result.is_localized()) << summarize(ex.spec, result);
+    EXPECT_NE(std::find(result.final_diagnoses.begin(),
+                        result.final_diagnoses.end(), fault),
+              result.final_diagnoses.end())
+        << summarize(ex.spec, result);
+}
+
+TEST(addressing_test, campaign_over_all_addressing_faults) {
+    const auto ex = paperex::make_paper_example();
+    test_suite suite = transition_tour(ex.spec).suite;
+    rng wr(27);
+    suite.extend(random_walk_suite(ex.spec, wr,
+                                   {.cases = 4, .steps_per_case = 10}));
+    campaign_options opts;
+    opts.diag.include_addressing_faults = true;
+    const auto stats = run_campaign(
+        ex.spec, suite, enumerate_addressing_faults(ex.spec), opts);
+    EXPECT_GT(stats.detected, 0u);
+    EXPECT_EQ(stats.sound, stats.detected);
+}
+
+}  // namespace
+}  // namespace cfsmdiag

@@ -1,0 +1,154 @@
+// Unit tests for the asynchronous queue semantics and its relationship to
+// the synchronous simulator (the paper's synchronization assumption).
+#include <gtest/gtest.h>
+
+#include "helpers.hpp"
+
+namespace cfsmdiag {
+namespace {
+
+using testing_helpers::at;
+using testing_helpers::in;
+using testing_helpers::make_pair_system;
+using testing_helpers::tid;
+
+TEST(async_test, external_inputs_behave_synchronously) {
+    const system sys = make_pair_system();
+    async_simulator sim(sys);
+    EXPECT_EQ(sim.apply(in(sys, 1, "x")), at(sys, 1, "ok"));
+    EXPECT_TRUE(sim.quiescent());
+}
+
+TEST(async_test, internal_output_is_queued_not_delivered) {
+    const system sys = make_pair_system();
+    async_simulator sim(sys);
+    const observation direct = sim.apply(in(sys, 1, "send"));
+    EXPECT_TRUE(direct.is_null());          // nothing observed yet
+    EXPECT_EQ(sim.pending(), 1u);
+    EXPECT_EQ(sim.queue_depth(machine_id{1}, machine_id{0}), 1u);
+    // B has not moved yet.
+    EXPECT_EQ(sim.state().states[1], state_id{0});
+
+    const auto obs = sim.deliver(machine_id{1}, machine_id{0});
+    ASSERT_TRUE(obs.has_value());
+    EXPECT_EQ(*obs, at(sys, 2, "r1"));
+    EXPECT_TRUE(sim.quiescent());
+    EXPECT_EQ(sim.state().states[1], state_id{1});
+}
+
+TEST(async_test, deliver_on_empty_queue_returns_nullopt) {
+    const system sys = make_pair_system();
+    async_simulator sim(sys);
+    EXPECT_FALSE(sim.deliver(machine_id{1}, machine_id{0}).has_value());
+}
+
+TEST(async_test, reset_clears_queues) {
+    const system sys = make_pair_system();
+    async_simulator sim(sys);
+    (void)sim.apply(in(sys, 1, "send"));
+    EXPECT_EQ(sim.pending(), 1u);
+    (void)sim.apply(global_input::reset());
+    EXPECT_TRUE(sim.quiescent());
+}
+
+TEST(async_test, run_to_quiescence_matches_synchronous_semantics) {
+    // Property: applying each input and immediately draining reproduces
+    // the synchronous simulator's observation, step for step — the
+    // synchronization assumption is exactly "drain before next input".
+    const system sys = make_pair_system();
+    const auto tour = transition_tour(sys).suite;
+
+    simulator sync(sys);
+    async_simulator async(sys);
+    for (const auto& input : tour.cases[0].inputs) {
+        const observation expected = sync.apply(input);
+        const observation direct = async.apply(input);
+        const auto drained = async.drain();
+        observation got = direct;
+        if (got.is_null()) {
+            for (const auto& o : drained) {
+                if (!o.is_null()) {
+                    got = o;
+                    break;
+                }
+            }
+        }
+        EXPECT_EQ(got, expected);
+        EXPECT_EQ(async.state(), sync.state());
+    }
+}
+
+TEST(async_test, run_to_quiescence_matches_on_random_systems) {
+    for (std::uint64_t seed : {3ull, 14ull, 159ull}) {
+        rng random(seed);
+        random_system_options opts;
+        opts.machines = 3;
+        opts.states_per_machine = 3;
+        const system sys = random_system(opts, random);
+        const auto tour = transition_tour(sys).suite;
+
+        simulator sync(sys);
+        async_simulator async(sys);
+        for (const auto& input : tour.cases[0].inputs) {
+            const observation expected = sync.apply(input);
+            observation got = async.apply(input);
+            for (const auto& o : async.drain()) {
+                if (got.is_null() && !o.is_null()) got = o;
+            }
+            EXPECT_EQ(got, expected) << "seed " << seed;
+            EXPECT_EQ(async.state(), sync.state()) << "seed " << seed;
+        }
+    }
+}
+
+TEST(async_test, two_messages_in_flight_expose_order_sensitivity) {
+    // Without the synchronization assumption, delivery order matters: B's
+    // reaction to msg1 depends on whether the y-triggered b5 has moved it
+    // to q1 first.  This is the nondeterminism the paper excludes by
+    // assumption (Section 2.1) and defers to future work.
+    const system sys = make_pair_system();
+
+    // Order 1: queue msg1, then apply y2 (B moves to q1), then deliver.
+    async_simulator sim1(sys);
+    (void)sim1.apply(in(sys, 1, "send"));       // msg1 queued, B in q0
+    (void)sim1.apply(in(sys, 2, "y"));          // b5 fires: B -> q1
+    const auto obs1 = sim1.deliver(machine_id{1}, machine_id{0});
+    ASSERT_TRUE(obs1.has_value());
+    EXPECT_EQ(*obs1, at(sys, 2, "r2"));         // b3 from q1
+
+    // Order 2: deliver before applying y2.
+    async_simulator sim2(sys);
+    (void)sim2.apply(in(sys, 1, "send"));
+    const auto obs2 = sim2.deliver(machine_id{1}, machine_id{0});
+    ASSERT_TRUE(obs2.has_value());
+    EXPECT_EQ(*obs2, at(sys, 2, "r1"));         // b1 from q0
+    (void)sim2.apply(in(sys, 2, "y"));
+
+    EXPECT_NE(*obs1, *obs2);
+}
+
+TEST(async_test, fifo_order_per_queue) {
+    const system sys = make_pair_system();
+    async_simulator sim(sys);
+    (void)sim.apply(in(sys, 1, "send"));  // msg1 (A in p0)
+    (void)sim.apply(in(sys, 1, "x"));     // A -> p1 (external, ok@P1)
+    (void)sim.apply(in(sys, 1, "send"));  // msg2 (A in p1)
+    EXPECT_EQ(sim.queue_depth(machine_id{1}, machine_id{0}), 2u);
+    // FIFO: msg1 first (b1: r1, B->q1), then msg2 (b4: r1, B stays q1).
+    EXPECT_EQ(*sim.deliver(machine_id{1}, machine_id{0}), at(sys, 2, "r1"));
+    EXPECT_EQ(sim.state().states[1], state_id{1});
+    EXPECT_EQ(*sim.deliver(machine_id{1}, machine_id{0}), at(sys, 2, "r1"));
+    EXPECT_EQ(sim.state().states[1], state_id{1});
+}
+
+TEST(async_test, override_applies_to_queued_messages) {
+    const system sys = make_pair_system();
+    const transition_override ov{tid(sys, 0, "a3"),
+                                 sys.symbols().lookup("msg2"), std::nullopt};
+    async_simulator sim(sys, ov);
+    (void)sim.apply(in(sys, 1, "send"));
+    EXPECT_EQ(*sim.deliver(machine_id{1}, machine_id{0}), at(sys, 2, "r2"));
+}
+
+}  // namespace
+}  // namespace cfsmdiag

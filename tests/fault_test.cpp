@@ -1,0 +1,146 @@
+// Unit tests for the fault model: descriptors, injection, the black-box
+// oracle, and exhaustive enumeration.
+#include <gtest/gtest.h>
+
+#include "helpers.hpp"
+
+namespace cfsmdiag {
+namespace {
+
+using testing_helpers::at;
+using testing_helpers::in;
+using testing_helpers::make_pair_system;
+using testing_helpers::tid;
+
+TEST(fault_test, kind_classification) {
+    const system sys = make_pair_system();
+    const auto target = tid(sys, 0, "a1");
+    const symbol ok2 = sys.symbols().lookup("ok2");
+
+    single_transition_fault output{target, ok2, std::nullopt};
+    single_transition_fault transfer{target, std::nullopt, state_id{0}};
+    single_transition_fault both{target, ok2, state_id{0}};
+    EXPECT_EQ(output.kind(), fault_kind::output);
+    EXPECT_EQ(transfer.kind(), fault_kind::transfer);
+    EXPECT_EQ(both.kind(), fault_kind::output_and_transfer);
+    EXPECT_EQ(to_string(fault_kind::output_and_transfer),
+              "output+transfer");
+}
+
+TEST(fault_test, validation_rejects_noop_faults) {
+    const system sys = make_pair_system();
+    const auto target = tid(sys, 0, "a1");  // a1: p0 -x/ok→ p1
+    // Same output as specified.
+    EXPECT_THROW(validate_fault(sys, {target, sys.symbols().lookup("ok"),
+                                      std::nullopt}),
+                 error);
+    // Same next state as specified.
+    EXPECT_THROW(validate_fault(sys, {target, std::nullopt, state_id{1}}),
+                 error);
+    // Neither component faulty.
+    EXPECT_THROW(validate_fault(sys, {target, std::nullopt, std::nullopt}),
+                 error);
+    // Out-of-range state.
+    EXPECT_THROW(validate_fault(sys, {target, std::nullopt, state_id{5}}),
+                 error);
+    // ε output on an internal transition.
+    EXPECT_THROW(validate_fault(sys, {tid(sys, 0, "a3"), symbol::epsilon(),
+                                      std::nullopt}),
+                 error);
+}
+
+TEST(fault_test, describe_renders_both_components) {
+    const system sys = make_pair_system();
+    const single_transition_fault f{tid(sys, 0, "a1"),
+                                    sys.symbols().lookup("ok2"),
+                                    state_id{0}};
+    const std::string text = describe(sys, f);
+    EXPECT_NE(text.find("A.a1"), std::string::npos);
+    EXPECT_NE(text.find("ok2 instead of ok"), std::string::npos);
+    EXPECT_NE(text.find("p0 instead of p1"), std::string::npos);
+}
+
+TEST(inject_test, mutated_system_behaves_like_override) {
+    const system sys = make_pair_system();
+    const single_transition_fault f{tid(sys, 0, "a3"),
+                                    sys.symbols().lookup("msg2"),
+                                    std::nullopt};
+    const system mutated = inject(sys, f);
+    const std::vector<global_input> seq{in(sys, 1, "send"),
+                                        in(sys, 1, "send")};
+    EXPECT_EQ(observe(mutated, seq), observe(sys, seq, f.to_override()));
+    EXPECT_NE(observe(mutated, seq), observe(sys, seq));
+}
+
+TEST(oracle_test, fault_free_iut_matches_spec) {
+    const system sys = make_pair_system();
+    simulated_iut iut(sys);
+    const std::vector<global_input> seq{global_input::reset(),
+                                        in(sys, 1, "x"), in(sys, 1, "send")};
+    EXPECT_EQ(iut.execute(seq), observe(sys, seq));
+}
+
+TEST(oracle_test, counters_track_test_effort) {
+    const system sys = make_pair_system();
+    simulated_iut iut(sys);
+    EXPECT_EQ(iut.executions(), 0u);
+    (void)iut.execute({global_input::reset(), in(sys, 1, "x")});
+    (void)iut.execute({global_input::reset()});
+    EXPECT_EQ(iut.executions(), 2u);
+    EXPECT_EQ(iut.inputs_applied(), 3u);
+}
+
+TEST(oracle_test, each_execution_starts_from_reset) {
+    const system sys = make_pair_system();
+    simulated_iut iut(sys);
+    // First run moves A to p1; second run must see p0 again.
+    EXPECT_EQ(iut.execute({in(sys, 1, "x")}).front(), at(sys, 1, "ok"));
+    EXPECT_EQ(iut.execute({in(sys, 1, "x")}).front(), at(sys, 1, "ok"));
+}
+
+TEST(enumerate_test, output_faults_respect_address_component) {
+    const system sys = make_pair_system();
+    const auto faults = enumerate_output_faults(sys);
+    const auto alphabets = compute_alphabets(sys);
+    for (const auto& f : faults) {
+        SCOPED_TRACE(describe(sys, f));
+        EXPECT_NO_THROW(validate_fault(sys, f));
+        const transition& t = sys.transition_at(f.target);
+        const auto& pool = t.kind == output_kind::external
+                               ? alphabets[f.target.machine.value].oeo
+                               : alphabets[f.target.machine.value]
+                                     .oio_to[t.destination.value];
+        EXPECT_TRUE(alphabet_contains(pool, *f.faulty_output));
+    }
+    // A: a1,a2 × 1 alternative external output + a3,a4 × 1 alternative
+    // message; B: 5 transitions × 2 alternative outputs (oeo = r1,r2,...).
+    // Just check counts are consistent with pools.
+    std::size_t expected = 0;
+    for (auto id : sys.all_transitions())
+        expected +=
+            admissible_faulty_outputs(sys, alphabets, id).size();
+    EXPECT_EQ(faults.size(), expected);
+}
+
+TEST(enumerate_test, transfer_faults_cover_all_wrong_states) {
+    const system sys = make_pair_system();
+    const auto faults = enumerate_transfer_faults(sys);
+    // Every machine has 2 states → exactly one wrong state per transition.
+    EXPECT_EQ(faults.size(), sys.total_transitions());
+    for (const auto& f : faults) EXPECT_NO_THROW(validate_fault(sys, f));
+}
+
+TEST(enumerate_test, double_faults_are_the_product) {
+    const system sys = make_pair_system();
+    const auto outputs = enumerate_output_faults(sys);
+    const auto doubles = enumerate_double_faults(sys);
+    // 2 states per machine → each output fault pairs with exactly 1 wrong
+    // state.
+    EXPECT_EQ(doubles.size(), outputs.size());
+    const auto all = enumerate_all_faults(sys);
+    EXPECT_EQ(all.size(),
+              outputs.size() + sys.total_transitions() + doubles.size());
+}
+
+}  // namespace
+}  // namespace cfsmdiag

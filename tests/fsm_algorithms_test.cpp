@@ -1,0 +1,289 @@
+// Unit tests for fsm/analysis, fsm/separate, fsm/cover, fsm/minimize.
+#include <gtest/gtest.h>
+
+#include "fsm/builder.hpp"
+#include "fsm/cover.hpp"
+#include "fsm/minimize.hpp"
+#include "fsm/separate.hpp"
+
+namespace cfsmdiag {
+namespace {
+
+/// Three-state machine where s1 and s2 are equivalent but s0 is not (it
+/// answers 'a' with x0, the twins answer with x1):
+///   s0 -a/x0→ s1   s0 -b/y→ s2
+///   s1 -a/x1→ s0   s1 -b/y→ s1
+///   s2 -a/x1→ s0   s2 -b/y→ s2
+fsm make_mergeable(symbol_table& t) {
+    fsm_builder b("M", t);
+    b.external("t1", "s0", "a", "x0", "s1");
+    b.external("t2", "s0", "b", "y", "s2");
+    b.external("t3", "s1", "a", "x1", "s0");
+    b.external("t4", "s1", "b", "y", "s1");
+    b.external("t5", "s2", "a", "x1", "s0");
+    b.external("t6", "s2", "b", "y", "s2");
+    return b.build("s0");
+}
+
+/// Distinct-output machine: every state answers 'a' differently.
+fsm make_distinct(symbol_table& t) {
+    fsm_builder b("M", t);
+    b.external("t1", "s0", "a", "x0", "s1");
+    b.external("t2", "s1", "a", "x1", "s2");
+    b.external("t3", "s2", "a", "x2", "s0");
+    return b.build("s0");
+}
+
+TEST(local_view_test, external_labels_and_epsilon_totalization) {
+    symbol_table t;
+    fsm_builder b("M", t);
+    b.external("t1", "s0", "a", "x", "s1");
+    b.internal("t2", "s1", "g", "m", "s0", machine_id{1});
+    const fsm m = b.build("s0");
+    const local_view v(m);
+
+    const auto ext = v.step(state_id{0}, t.lookup("a"));
+    EXPECT_EQ(ext.label, t.lookup("x"));
+    EXPECT_EQ(ext.next, state_id{1});
+
+    // Internal transitions are locally silent but do move the state.
+    const auto internal = v.step(state_id{1}, t.lookup("g"));
+    EXPECT_TRUE(internal.label.is_epsilon());
+    EXPECT_EQ(internal.next, state_id{0});
+
+    // Unspecified input: ε label, state unchanged.
+    const auto missing = v.step(state_id{1}, t.lookup("a"));
+    EXPECT_TRUE(missing.label.is_epsilon());
+    EXPECT_EQ(missing.next, state_id{1});
+}
+
+TEST(local_view_test, run_concatenates_labels) {
+    symbol_table t;
+    const fsm m = make_distinct(t);
+    const local_view v(m);
+    const auto labels =
+        v.run(state_id{0}, {t.lookup("a"), t.lookup("a"), t.lookup("a")});
+    ASSERT_EQ(labels.size(), 3u);
+    EXPECT_EQ(labels[0], t.lookup("x0"));
+    EXPECT_EQ(labels[1], t.lookup("x1"));
+    EXPECT_EQ(labels[2], t.lookup("x2"));
+}
+
+TEST(equivalence_test, merges_equivalent_states_only) {
+    symbol_table t;
+    const fsm m = make_mergeable(t);
+    const local_view v(m);
+    const auto cls = equivalence_classes(v);
+    EXPECT_NE(cls[0], cls[1]);
+    EXPECT_EQ(cls[1], cls[2]);
+    EXPECT_TRUE(locally_distinguishable(v, state_id{0}, state_id{1}));
+    EXPECT_FALSE(locally_distinguishable(v, state_id{1}, state_id{2}));
+    EXPECT_FALSE(is_reduced(m));
+}
+
+TEST(equivalence_test, distinct_machine_is_reduced) {
+    symbol_table t;
+    const fsm m = make_distinct(t);
+    EXPECT_TRUE(is_reduced(m));
+}
+
+TEST(reachability_test, detects_unreachable_states) {
+    symbol_table t;
+    fsm_builder b("M", t);
+    b.external("t1", "s0", "a", "x", "s0");
+    b.state("orphan");
+    const fsm m = b.build("s0");
+    const auto seen = reachable_states(m);
+    EXPECT_TRUE(seen[0]);
+    EXPECT_FALSE(seen[1]);
+    EXPECT_FALSE(is_initially_connected(m));
+}
+
+TEST(completeness_test, distinguishes_partial_machines) {
+    symbol_table t;
+    const fsm complete = make_distinct(t);
+    EXPECT_TRUE(is_complete(complete));
+
+    symbol_table t2;
+    fsm_builder b("M", t2);
+    b.external("t1", "s0", "a", "x", "s1");
+    b.external("t2", "s1", "b", "y", "s0");
+    const fsm partial = b.build("s0");
+    EXPECT_FALSE(is_complete(partial));
+}
+
+TEST(separating_sequence_test, finds_shortest_separator) {
+    symbol_table t;
+    const fsm m = make_distinct(t);
+    const local_view v(m);
+    const auto seq = separating_sequence(v, state_id{0}, state_id{1});
+    ASSERT_TRUE(seq.has_value());
+    EXPECT_EQ(seq->size(), 1u);  // 'a' already differs
+    EXPECT_EQ(v.run(state_id{0}, *seq), v.run(state_id{0}, *seq));
+    EXPECT_NE(v.run(state_id{0}, *seq), v.run(state_id{1}, *seq));
+}
+
+TEST(separating_sequence_test, equivalent_states_are_not_separable) {
+    symbol_table t;
+    const fsm m = make_mergeable(t);
+    const local_view v(m);
+    EXPECT_FALSE(separating_sequence(v, state_id{1}, state_id{2})
+                     .has_value());
+    EXPECT_FALSE(separating_sequence(v, state_id{0}, state_id{0})
+                     .has_value());
+}
+
+TEST(separating_sequence_test, multi_step_separator) {
+    // s0 and s1 agree on the first output but reach states that disagree.
+    symbol_table t;
+    fsm_builder b("M", t);
+    b.state("s0").state("s1").state("s2").state("s3");
+    b.external("t1", "s0", "a", "x", "s2");
+    b.external("t2", "s1", "a", "x", "s3");
+    b.external("t3", "s2", "a", "p", "s2");
+    b.external("t4", "s3", "a", "q", "s3");
+    const fsm m = b.build("s0");
+    const local_view v(m);
+    const auto seq = separating_sequence(v, state_id{0}, state_id{1});
+    ASSERT_TRUE(seq.has_value());
+    EXPECT_EQ(seq->size(), 2u);
+}
+
+TEST(characterization_set_test, separates_every_state_pair) {
+    symbol_table t;
+    const fsm m = make_distinct(t);
+    const local_view v(m);
+    const auto w = characterization_set(v);
+    ASSERT_FALSE(w.empty());
+    for (std::uint32_t i = 0; i < 3; ++i) {
+        for (std::uint32_t j = i + 1; j < 3; ++j) {
+            bool separated = false;
+            for (const auto& seq : w) {
+                if (v.run(state_id{i}, seq) != v.run(state_id{j}, seq))
+                    separated = true;
+            }
+            EXPECT_TRUE(separated) << "pair " << i << "," << j;
+        }
+    }
+}
+
+TEST(limited_w_test, covers_only_requested_states) {
+    symbol_table t;
+    const fsm m = make_mergeable(t);
+    const local_view v(m);
+    // s0 vs s1 are separable; s1 vs s2 are not.
+    const auto r1 = limited_characterization_set(
+        v, {state_id{0}, state_id{1}});
+    EXPECT_FALSE(r1.sequences.empty());
+    EXPECT_TRUE(r1.indistinguishable.empty());
+
+    const auto r2 = limited_characterization_set(
+        v, {state_id{1}, state_id{2}});
+    EXPECT_TRUE(r2.sequences.empty());
+    ASSERT_EQ(r2.indistinguishable.size(), 1u);
+}
+
+TEST(uio_test, exists_for_distinct_machine) {
+    symbol_table t;
+    const fsm m = make_distinct(t);
+    const local_view v(m);
+    for (std::uint32_t s = 0; s < 3; ++s) {
+        const auto uio = uio_sequence(v, state_id{s});
+        ASSERT_TRUE(uio.has_value()) << "state " << s;
+        // Check uniqueness: no other state produces the same labels.
+        for (std::uint32_t o = 0; o < 3; ++o) {
+            if (o == s) continue;
+            EXPECT_NE(v.run(state_id{s}, *uio), v.run(state_id{o}, *uio));
+        }
+    }
+}
+
+TEST(uio_test, absent_for_merged_states) {
+    symbol_table t;
+    const fsm m = make_mergeable(t);
+    const local_view v(m);
+    EXPECT_FALSE(uio_sequence(v, state_id{1}).has_value());
+}
+
+TEST(transfer_sequence_test, shortest_path_and_avoidance) {
+    symbol_table t;
+    fsm_builder b("M", t);
+    b.external("t1", "s0", "a", "x", "s1");   // direct hop
+    b.external("t2", "s0", "b", "x", "s2");   // detour…
+    b.external("t3", "s2", "b", "x", "s1");   // …to s1
+    const fsm m = b.build("s0");
+
+    const auto direct = transfer_sequence(m, state_id{0}, state_id{1});
+    ASSERT_TRUE(direct.has_value());
+    EXPECT_EQ(direct->size(), 1u);
+
+    // Forbid t1: the detour is the only way.
+    const auto detour =
+        transfer_sequence(m, state_id{0}, state_id{1}, {transition_id{0}});
+    ASSERT_TRUE(detour.has_value());
+    EXPECT_EQ(detour->size(), 2u);
+
+    // Forbid everything into s1.
+    const auto none = transfer_sequence(
+        m, state_id{0}, state_id{1}, {transition_id{0}, transition_id{2}});
+    EXPECT_FALSE(none.has_value());
+
+    const auto self = transfer_sequence(m, state_id{1}, state_id{1});
+    ASSERT_TRUE(self.has_value());
+    EXPECT_TRUE(self->empty());
+}
+
+TEST(state_cover_test, reaches_all_reachable_states) {
+    symbol_table t;
+    const fsm m = make_distinct(t);
+    const auto cover = state_cover(m);
+    ASSERT_EQ(cover.size(), 3u);
+    EXPECT_EQ(cover[0]->size(), 0u);
+    EXPECT_EQ(cover[1]->size(), 1u);
+    EXPECT_EQ(cover[2]->size(), 2u);
+}
+
+TEST(transition_cover_test, one_sequence_per_transition) {
+    symbol_table t;
+    const fsm m = make_distinct(t);
+    const auto cover = transition_cover(m);
+    EXPECT_EQ(cover.sequences.size(), 3u);
+    EXPECT_TRUE(cover.unreachable.empty());
+    for (const auto& [tid, seq] : cover.sequences) {
+        // Last input must be the covered transition's input.
+        EXPECT_EQ(seq.back(), m.at(tid).input);
+    }
+}
+
+TEST(minimize_test, merges_equivalent_and_preserves_behaviour) {
+    symbol_table t;
+    const fsm m = make_mergeable(t);
+    const auto result = minimize(m);
+    EXPECT_EQ(result.machine.state_count(), 2u);
+    EXPECT_EQ(result.state_map[1], result.state_map[2]);
+
+    // Behaviour preserved on a few sequences.
+    const local_view before(m);
+    const local_view after(result.machine);
+    const std::vector<std::vector<std::string>> seqs{
+        {"a", "b", "a"}, {"b", "b", "a"}, {"a", "a", "b", "b"}};
+    for (const auto& raw : seqs) {
+        std::vector<symbol> seq;
+        for (const auto& s : raw) seq.push_back(t.lookup(s));
+        EXPECT_EQ(before.run(m.initial_state(), seq),
+                  after.run(result.machine.initial_state(), seq));
+    }
+}
+
+TEST(minimize_test, drops_unreachable_states) {
+    symbol_table t;
+    fsm_builder b("M", t);
+    b.external("t1", "s0", "a", "x", "s0");
+    b.state("orphan");
+    const fsm m = b.build("s0");
+    const auto result = minimize(m);
+    EXPECT_EQ(result.machine.state_count(), 1u);
+}
+
+}  // namespace
+}  // namespace cfsmdiag

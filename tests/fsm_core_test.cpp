@@ -1,0 +1,168 @@
+// Unit tests for fsm/symbol, fsm/fsm, fsm/builder.
+#include <gtest/gtest.h>
+
+#include "fsm/builder.hpp"
+#include "fsm/dot.hpp"
+
+namespace cfsmdiag {
+namespace {
+
+TEST(symbol_table_test, epsilon_is_reserved_and_renders_as_dash) {
+    symbol_table t;
+    EXPECT_TRUE(symbol::epsilon().is_epsilon());
+    EXPECT_EQ(t.name(symbol::epsilon()), "-");
+    EXPECT_EQ(t.lookup("-"), symbol::epsilon());
+    EXPECT_EQ(t.lookup("ε"), symbol::epsilon());
+}
+
+TEST(symbol_table_test, intern_is_idempotent) {
+    symbol_table t;
+    const symbol a1 = t.intern("a");
+    const symbol a2 = t.intern("a");
+    const symbol b = t.intern("b");
+    EXPECT_EQ(a1, a2);
+    EXPECT_NE(a1, b);
+    EXPECT_EQ(t.name(a1), "a");
+    EXPECT_EQ(t.name(b), "b");
+}
+
+TEST(symbol_table_test, lookup_unknown_throws) {
+    symbol_table t;
+    EXPECT_THROW((void)t.lookup("nope"), error);
+    EXPECT_FALSE(t.contains("nope"));
+    (void)t.intern("yep");
+    EXPECT_TRUE(t.contains("yep"));
+}
+
+TEST(symbol_table_test, empty_spelling_rejected) {
+    symbol_table t;
+    EXPECT_THROW((void)t.intern(""), error);
+}
+
+TEST(fsm_builder_test, builds_states_and_transitions) {
+    symbol_table t;
+    fsm_builder b("M", t);
+    b.external("t1", "s0", "a", "x", "s1");
+    b.external("t2", "s1", "a", "y", "s0");
+    b.internal("t3", "s0", "g", "m", "s1", machine_id{1});
+    const fsm m = b.build("s0");
+
+    EXPECT_EQ(m.name(), "M");
+    EXPECT_EQ(m.state_count(), 2u);
+    EXPECT_EQ(m.initial_state(), b.id_of("s0"));
+    ASSERT_EQ(m.transitions().size(), 3u);
+    EXPECT_EQ(m.transitions()[2].kind, output_kind::internal);
+    EXPECT_EQ(m.transitions()[2].destination, machine_id{1});
+    EXPECT_EQ(m.state_name(state_id{1}), "s1");
+}
+
+TEST(fsm_builder_test, find_is_the_partial_transition_function) {
+    symbol_table t;
+    fsm_builder b("M", t);
+    b.external("t1", "s0", "a", "x", "s1");
+    const fsm m = b.build("s0");
+
+    const auto hit = m.find(state_id{0}, t.lookup("a"));
+    ASSERT_TRUE(hit.has_value());
+    EXPECT_EQ(m.at(*hit).name, "t1");
+    EXPECT_FALSE(m.find(state_id{1}, t.lookup("a")).has_value());
+}
+
+TEST(fsm_builder_test, nondeterminism_is_rejected) {
+    symbol_table t;
+    fsm_builder b("M", t);
+    b.external("t1", "s0", "a", "x", "s1");
+    b.external("t2", "s0", "a", "y", "s0");
+    EXPECT_THROW((void)b.build("s0"), error);
+}
+
+TEST(fsm_builder_test, unknown_initial_state_rejected) {
+    symbol_table t;
+    fsm_builder b("M", t);
+    b.external("t1", "s0", "a", "x", "s1");
+    EXPECT_THROW((void)b.build("nope"), error);
+}
+
+TEST(fsm_builder_test, epsilon_input_rejected) {
+    symbol_table t;
+    fsm_builder b("M", t);
+    b.external("t1", "s0", "-", "x", "s1");
+    EXPECT_THROW((void)b.build("s0"), error);
+}
+
+TEST(fsm_builder_test, epsilon_output_allowed_for_external) {
+    symbol_table t;
+    fsm_builder b("M", t);
+    b.external("t1", "s0", "a", "-", "s1");
+    const fsm m = b.build("s0");
+    EXPECT_TRUE(m.transitions()[0].output.is_epsilon());
+}
+
+TEST(fsm_test, with_transition_replaced_changes_only_the_target) {
+    symbol_table t;
+    fsm_builder b("M", t);
+    b.external("t1", "s0", "a", "x", "s1");
+    b.external("t2", "s1", "a", "y", "s0");
+    const fsm m = b.build("s0");
+
+    const fsm mutated = m.with_transition_replaced(
+        transition_id{0}, t.intern("z"), state_id{0});
+    EXPECT_EQ(mutated.transitions()[0].output, t.lookup("z"));
+    EXPECT_EQ(mutated.transitions()[0].to, state_id{0});
+    EXPECT_EQ(mutated.transitions()[1].output, t.lookup("y"));
+    // Original untouched.
+    EXPECT_EQ(m.transitions()[0].output, t.lookup("x"));
+}
+
+TEST(fsm_test, with_transition_replaced_validates_range) {
+    symbol_table t;
+    fsm_builder b("M", t);
+    b.external("t1", "s0", "a", "x", "s0");
+    const fsm m = b.build("s0");
+    EXPECT_THROW((void)m.with_transition_replaced(transition_id{7},
+                                                  std::nullopt, state_id{0}),
+                 error);
+    EXPECT_THROW((void)m.with_transition_replaced(transition_id{0},
+                                                  std::nullopt, state_id{9}),
+                 error);
+}
+
+TEST(fsm_test, input_alphabet_and_inputs_from) {
+    symbol_table t;
+    fsm_builder b("M", t);
+    b.external("t1", "s0", "a", "x", "s1");
+    b.external("t2", "s0", "b", "x", "s0");
+    b.external("t3", "s1", "a", "y", "s0");
+    const fsm m = b.build("s0");
+
+    EXPECT_EQ(m.input_alphabet().size(), 2u);
+    EXPECT_EQ(m.inputs_from(state_id{0}).size(), 2u);
+    EXPECT_EQ(m.inputs_from(state_id{1}).size(), 1u);
+}
+
+TEST(fsm_test, default_transition_names_are_generated) {
+    symbol_table t;
+    std::vector<transition> ts(1);
+    ts[0].from = state_id{0};
+    ts[0].to = state_id{0};
+    ts[0].input = t.intern("a");
+    ts[0].output = t.intern("x");
+    const fsm m("M", {"s0"}, state_id{0}, std::move(ts));
+    EXPECT_EQ(m.transitions()[0].name, "t1");
+}
+
+TEST(dot_test, renders_states_edges_and_internal_style) {
+    symbol_table t;
+    fsm_builder b("M", t);
+    b.external("t1", "s0", "a", "x", "s1");
+    b.internal("t2", "s1", "g", "m", "s0", machine_id{2});
+    const fsm m = b.build("s0");
+    const std::string dot = to_dot(m, t);
+    EXPECT_NE(dot.find("digraph \"M\""), std::string::npos);
+    EXPECT_NE(dot.find("t1: a/x"), std::string::npos);
+    EXPECT_NE(dot.find("=> M3"), std::string::npos);
+    EXPECT_NE(dot.find("style=bold"), std::string::npos);
+}
+
+}  // namespace
+}  // namespace cfsmdiag

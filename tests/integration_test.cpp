@@ -1,0 +1,161 @@
+// Cross-module integration and property tests: witnesses, product
+// minimization, io round-trips over random systems, coordinated-vs-direct
+// diagnosis equality, parser robustness.
+#include <gtest/gtest.h>
+
+#include "helpers.hpp"
+#include "tester/coordinator.hpp"
+
+namespace cfsmdiag {
+namespace {
+
+using testing_helpers::make_pair_system;
+using testing_helpers::tid;
+
+TEST(witness_test_suite, demonstrates_every_detectable_paper_fault) {
+    const auto ex = paperex::make_paper_example();
+    auto faults = enumerate_all_faults(ex.spec);
+    std::size_t demonstrated = 0;
+    for (std::size_t i = 0; i < faults.size(); i += 4) {
+        const auto w = witness_test(ex.spec, faults[i]);
+        if (!w) continue;  // equivalent mutant
+        ++demonstrated;
+        SCOPED_TRACE(describe(ex.spec, faults[i]));
+        EXPECT_NE(w->expected, w->faulty);
+        ASSERT_LT(w->divergence, w->expected.size());
+        EXPECT_NE(w->expected[w->divergence], w->faulty[w->divergence]);
+        // All steps before the divergence agree.
+        for (std::size_t k = 0; k < w->divergence; ++k)
+            EXPECT_EQ(w->expected[k], w->faulty[k]);
+        // The witness is minimal-ish: it is reset-prefixed and ends at or
+        // after the divergence.
+        EXPECT_EQ(w->tc.inputs.front().action, global_input::kind::reset);
+        EXPECT_GE(w->tc.inputs.size(), w->divergence + 1);
+        // And the real IUT reproduces the faulty side.
+        simulated_iut iut(ex.spec, faults[i]);
+        EXPECT_EQ(iut.execute(w->tc.inputs), w->faulty);
+    }
+    EXPECT_GT(demonstrated, 10u);
+}
+
+TEST(witness_test_suite, describe_mentions_divergence) {
+    const auto ex = paperex::make_paper_example();
+    const auto w = witness_test(ex.spec, ex.fault);
+    ASSERT_TRUE(w.has_value());
+    const std::string text = w->describe(ex.spec);
+    EXPECT_NE(text.find("witness:"), std::string::npos);
+    EXPECT_NE(text.find("first divergence"), std::string::npos);
+}
+
+TEST(product_test, minimized_product_preserves_local_behaviour) {
+    for (const auto& [name, sys] : models::all_models()) {
+        SCOPED_TRACE(name);
+        const composition comp = compose(sys);
+        const auto min = minimize(comp.machine);
+        EXPECT_LE(min.machine.state_count(), comp.machine.state_count());
+        // Random probing: label sequences must agree.
+        const local_view before(comp.machine);
+        const local_view after(min.machine);
+        rng random(99);
+        for (int rep = 0; rep < 30; ++rep) {
+            std::vector<symbol> seq;
+            for (int k = 0; k < 10; ++k)
+                seq.push_back(random.pick(before.inputs()));
+            EXPECT_EQ(before.run(comp.machine.initial_state(), seq),
+                      after.run(min.machine.initial_state(), seq));
+        }
+    }
+}
+
+TEST(io_property, random_systems_round_trip_equivalently) {
+    for (std::uint64_t seed : {21ull, 22ull, 23ull, 24ull}) {
+        rng random(seed);
+        random_system_options opts;
+        opts.machines = 3;
+        opts.states_per_machine = 3;
+        const system sys = random_system(opts, random);
+        const system parsed = parse_system(write_system(sys));
+        EXPECT_TRUE(systems_equivalent(sys, parsed).equivalent)
+            << "seed " << seed;
+    }
+}
+
+TEST(io_property, parser_rejects_mutated_inputs_gracefully) {
+    // Random single-character corruption of a valid file must either
+    // parse (cosmetic change) or throw cfsmdiag::error — never crash.
+    const std::string good = write_system(make_pair_system());
+    rng random(7);
+    for (int rep = 0; rep < 200; ++rep) {
+        std::string bad = good;
+        const std::size_t pos = random.index(bad.size());
+        bad[pos] = static_cast<char>(random.between(32, 126));
+        try {
+            const system parsed = parse_system(bad);
+            (void)parsed.machine_count();
+        } catch (const error&) {
+            // expected for most corruptions
+        }
+    }
+    SUCCEED();
+}
+
+TEST(coordination_property, coordinated_diagnosis_equals_direct) {
+    // Running the diagnoser through the distributed architecture must give
+    // the same verdicts as direct simulator access.
+    const system sys = make_pair_system();
+    const auto suite = transition_tour(sys).suite;
+    auto faults = enumerate_all_faults(sys);
+    std::size_t compared = 0;
+    for (std::size_t i = 0; i < faults.size(); i += 4) {
+        simulated_iut direct(sys, faults[i]);
+        const auto a = diagnose(sys, suite, direct);
+
+        simulator_sut sut(sys, faults[i]);
+        coordinated_oracle coordinated(sut);
+        const auto b = diagnose(sys, suite, coordinated);
+
+        SCOPED_TRACE(describe(sys, faults[i]));
+        EXPECT_EQ(a.outcome, b.outcome);
+        EXPECT_EQ(a.final_diagnoses, b.final_diagnoses);
+        ++compared;
+    }
+    EXPECT_GT(compared, 5u);
+}
+
+TEST(end_to_end, file_based_workflow) {
+    // write → parse → generate → diagnose, all through the text layer,
+    // mirroring what the CLI does.
+    const auto ex = paperex::make_paper_example();
+    const std::string sys_text = write_system(ex.spec);
+    const system sys = parse_system(sys_text);
+    const std::string suite_text =
+        write_suite(ex.suite, ex.spec.symbols());
+    const test_suite suite = parse_suite(suite_text, sys.symbols());
+    const auto fault =
+        parse_fault(write_fault(ex.spec, ex.fault), sys);
+
+    simulated_iut iut(sys, fault);
+    const auto result = diagnose(sys, suite, iut);
+    ASSERT_TRUE(result.is_localized());
+    EXPECT_EQ(sys.transition_label(result.final_diagnoses[0].target),
+              "M3.t''4");
+}
+
+TEST(end_to_end, models_diagnose_through_every_suite_method) {
+    const system sys = models::connection_management();
+    const single_transition_fault bug{
+        tid(sys, 1, "r_deliver"), sys.symbols().lookup("stale"),
+        std::nullopt};
+    for (auto method : {verification_method::w, verification_method::wp,
+                        verification_method::uio, verification_method::ds}) {
+        SCOPED_TRACE(to_string(method));
+        const auto suite = per_machine_method_suite(sys, method).suite;
+        simulated_iut iut(sys, bug);
+        const auto result = diagnose(sys, suite, iut);
+        ASSERT_TRUE(result.is_localized());
+        EXPECT_EQ(result.final_diagnoses[0], bug);
+    }
+}
+
+}  // namespace
+}  // namespace cfsmdiag

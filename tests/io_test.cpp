@@ -1,0 +1,159 @@
+// Unit tests for io/text_format: round trips and error reporting.
+#include <gtest/gtest.h>
+
+#include "helpers.hpp"
+
+namespace cfsmdiag {
+namespace {
+
+using testing_helpers::make_pair_system;
+using testing_helpers::tid;
+
+TEST(io_system_test, write_then_parse_is_identity) {
+    const system original = make_pair_system();
+    const std::string text = write_system(original);
+    const system parsed = parse_system(text);
+
+    ASSERT_EQ(parsed.machine_count(), original.machine_count());
+    EXPECT_EQ(parsed.name(), original.name());
+    for (std::uint32_t mi = 0; mi < original.machine_count(); ++mi) {
+        const fsm& a = original.machine(machine_id{mi});
+        const fsm& b = parsed.machine(machine_id{mi});
+        EXPECT_EQ(a.name(), b.name());
+        EXPECT_EQ(a.state_count(), b.state_count());
+        ASSERT_EQ(a.transitions().size(), b.transitions().size());
+        for (std::size_t ti = 0; ti < a.transitions().size(); ++ti) {
+            const transition& ta = a.transitions()[ti];
+            const transition& tb = b.transitions()[ti];
+            EXPECT_EQ(ta.name, tb.name);
+            EXPECT_EQ(a.state_name(ta.from), b.state_name(tb.from));
+            EXPECT_EQ(a.state_name(ta.to), b.state_name(tb.to));
+            EXPECT_EQ(original.symbols().name(ta.input),
+                      parsed.symbols().name(tb.input));
+            EXPECT_EQ(original.symbols().name(ta.output),
+                      parsed.symbols().name(tb.output));
+            EXPECT_EQ(ta.kind, tb.kind);
+            if (ta.kind == output_kind::internal) {
+                EXPECT_EQ(ta.destination, tb.destination);
+            }
+        }
+    }
+    // And the round-tripped system behaves identically.
+    const auto tour = transition_tour(original).suite;
+    for (const auto& tc : tour.cases)
+        EXPECT_EQ(observe(original, tc.inputs), observe(parsed, tc.inputs));
+}
+
+TEST(io_system_test, paper_example_round_trips) {
+    const auto ex = paperex::make_paper_example();
+    const system parsed = parse_system(write_system(ex.spec));
+    EXPECT_TRUE(check_structure(parsed).empty());
+    for (const auto& tc : ex.suite.cases) {
+        // Re-parse the suite against the new symbol table and compare
+        // behaviours.
+        const auto suite2 = parse_suite(
+            write_suite(ex.suite, ex.spec.symbols()), parsed.symbols());
+        for (std::size_t i = 0; i < suite2.cases.size(); ++i) {
+            const auto a =
+                observe(ex.spec, ex.suite.cases[i].inputs);
+            const auto b = observe(parsed, suite2.cases[i].inputs);
+            ASSERT_EQ(a.size(), b.size());
+            for (std::size_t k = 0; k < a.size(); ++k) {
+                EXPECT_EQ(to_string(a[k], ex.spec.symbols()),
+                          to_string(b[k], parsed.symbols()));
+            }
+        }
+        (void)tc;
+    }
+}
+
+TEST(io_system_test, comments_and_blank_lines_ignored) {
+    const std::string text = R"(
+# a comment
+system demo
+
+machine A initial s0
+  t1: s0  a / x -> s0    # trailing comment
+end
+)";
+    const system sys = parse_system(text);
+    EXPECT_EQ(sys.name(), "demo");
+    EXPECT_EQ(sys.machine(machine_id{0}).transitions().size(), 1u);
+}
+
+TEST(io_system_test, parse_errors_carry_line_numbers) {
+    auto expect_error = [](const std::string& text,
+                           const std::string& needle) {
+        try {
+            (void)parse_system(text);
+            FAIL() << "expected parse error for: " << text;
+        } catch (const error& e) {
+            EXPECT_NE(std::string(e.what()).find(needle), std::string::npos)
+                << e.what();
+        }
+    };
+    expect_error("machine A initial s0\n t1: s0 a / x -> s0\n",
+                 "missing final 'end'");
+    expect_error("t1: s0 a / x -> s0\n", "outside a machine block");
+    expect_error("machine A initial s0\nmachine B initial q0\nend\n",
+                 "missing 'end'");
+    expect_error("machine A initial s0\n  broken line here\nend\n",
+                 "expected:");
+    expect_error(
+        "machine A initial s0\n  t1: s0 a / x -> s0 => Nope\nend\n",
+        "unknown machine");
+    expect_error("system x\n", "no machines");
+}
+
+TEST(io_suite_test, parses_both_notations) {
+    const system sys = make_pair_system();
+    const auto suite = parse_suite(
+        "tc1: R, x@P1, send@P1\n"
+        "tc2: R, x1, y2   # compact\n",
+        sys.symbols());
+    ASSERT_EQ(suite.size(), 2u);
+    EXPECT_EQ(suite.cases[0].inputs, suite.cases[0].inputs);
+    EXPECT_EQ(to_string(suite.cases[0], sys.symbols()),
+              "R, x@P1, send@P1");
+    EXPECT_EQ(to_string(suite.cases[1], sys.symbols()), "R, x@P1, y@P2");
+}
+
+TEST(io_suite_test, write_then_parse_round_trips) {
+    const system sys = make_pair_system();
+    const auto original = transition_tour(sys).suite;
+    const auto parsed =
+        parse_suite(write_suite(original, sys.symbols()), sys.symbols());
+    ASSERT_EQ(parsed.size(), original.size());
+    for (std::size_t i = 0; i < original.size(); ++i) {
+        EXPECT_EQ(parsed.cases[i].inputs, original.cases[i].inputs);
+        EXPECT_EQ(parsed.cases[i].name, original.cases[i].name);
+    }
+}
+
+TEST(io_fault_test, round_trips_all_kinds) {
+    const system sys = make_pair_system();
+    const std::vector<single_transition_fault> faults{
+        {tid(sys, 0, "a1"), sys.symbols().lookup("ok2"), std::nullopt},
+        {tid(sys, 1, "b1"), std::nullopt, state_id{0}},
+        {tid(sys, 0, "a3"), sys.symbols().lookup("msg2"), state_id{1}},
+    };
+    for (const auto& f : faults) {
+        const std::string text = write_fault(sys, f);
+        const auto parsed = parse_fault(text, sys);
+        EXPECT_EQ(parsed, f) << text;
+    }
+}
+
+TEST(io_fault_test, rejects_malformed_specs) {
+    const system sys = make_pair_system();
+    EXPECT_THROW((void)parse_fault("A.a1", sys), error);  // no fault part
+    EXPECT_THROW((void)parse_fault("A.nope -> p0", sys), error);
+    EXPECT_THROW((void)parse_fault("X.a1 -> p0", sys), error);
+    EXPECT_THROW((void)parse_fault("A.a1 -> nowhere", sys), error);
+    EXPECT_THROW((void)parse_fault("A.a1 ?? p0", sys), error);
+    // A no-op "fault" (same next state) fails validation.
+    EXPECT_THROW((void)parse_fault("A.a1 -> p1", sys), error);
+}
+
+}  // namespace
+}  // namespace cfsmdiag

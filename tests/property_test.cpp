@@ -1,0 +1,170 @@
+// Property-style sweeps (TEST_P): the paper's guarantee, checked
+// exhaustively.
+//
+// For every single-transition fault (output, transfer, or both) that the
+// detection suite catches, the diagnoser must
+//   (soundness)   keep the true hypothesis — or an observationally
+//                 equivalent one — among the final diagnoses, and
+//   (sharpness)   end localized or localized-up-to-equivalence.
+#include <gtest/gtest.h>
+
+#include "helpers.hpp"
+
+namespace cfsmdiag {
+namespace {
+
+using testing_helpers::make_pair_system;
+
+struct sweep_config {
+    std::string name;
+    std::uint64_t seed = 0;         ///< 0 = use the fixed pair system
+    std::size_t machines = 2;
+    std::size_t states = 3;
+    std::size_t extra = 5;
+    std::size_t max_faults = 200;
+};
+
+std::ostream& operator<<(std::ostream& os, const sweep_config& c) {
+    return os << c.name;
+}
+
+class fault_sweep : public ::testing::TestWithParam<sweep_config> {
+  protected:
+    [[nodiscard]] system make_system() const {
+        const auto& cfg = GetParam();
+        if (cfg.seed == 0) return make_pair_system();
+        rng random(cfg.seed);
+        random_system_options opts;
+        opts.machines = cfg.machines;
+        opts.states_per_machine = cfg.states;
+        opts.extra_transitions = cfg.extra;
+        return random_system(opts, random);
+    }
+};
+
+TEST_P(fault_sweep, detected_faults_are_diagnosed_soundly) {
+    const system sys = make_system();
+    const test_suite suite = transition_tour(sys).suite;
+    auto faults = enumerate_all_faults(sys);
+    if (faults.size() > GetParam().max_faults)
+        faults.resize(GetParam().max_faults);
+
+    campaign_options opts;
+    const auto stats = run_campaign(sys, suite, faults, opts);
+
+    EXPECT_EQ(stats.total, faults.size());
+    for (const auto& entry : stats.entries) {
+        if (!entry.detected) continue;
+        SCOPED_TRACE(describe(sys, entry.fault));
+        // Soundness: truth among final diagnoses (maybe via equivalence).
+        EXPECT_TRUE(entry.sound);
+        // Sharpness: the run must terminate in a localized state.
+        EXPECT_TRUE(entry.outcome == diagnosis_outcome::localized ||
+                    entry.outcome ==
+                        diagnosis_outcome::localized_up_to_equivalence)
+            << to_string(entry.outcome);
+    }
+}
+
+TEST_P(fault_sweep, undetected_faults_pass_quietly) {
+    const system sys = make_system();
+    const test_suite suite = transition_tour(sys).suite;
+    auto faults = enumerate_all_faults(sys);
+    if (faults.size() > GetParam().max_faults)
+        faults.resize(GetParam().max_faults);
+    for (const auto& f : faults) {
+        if (detects(sys, suite, f)) continue;
+        simulated_iut iut(sys, f);
+        const auto result = diagnose(sys, suite, iut);
+        EXPECT_EQ(result.outcome, diagnosis_outcome::passed)
+            << describe(sys, f);
+    }
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    systems, fault_sweep,
+    ::testing::Values(
+        sweep_config{.name = "pair", .seed = 0},
+        sweep_config{.name = "rand2x3", .seed = 101, .machines = 2,
+                     .states = 3, .extra = 5},
+        sweep_config{.name = "rand2x4", .seed = 202, .machines = 2,
+                     .states = 4, .extra = 7},
+        sweep_config{.name = "rand3x3", .seed = 303, .machines = 3,
+                     .states = 3, .extra = 6},
+        sweep_config{.name = "rand3x4", .seed = 404, .machines = 3,
+                     .states = 4, .extra = 8, .max_faults = 120},
+        sweep_config{.name = "rand4x3", .seed = 505, .machines = 4,
+                     .states = 3, .extra = 6, .max_faults = 100},
+        sweep_config{.name = "rand5x2", .seed = 606, .machines = 5,
+                     .states = 2, .extra = 5, .max_faults = 100}),
+    [](const ::testing::TestParamInfo<sweep_config>& info) {
+        return info.param.name;
+    });
+
+class paper_fault_sweep : public ::testing::TestWithParam<int> {};
+
+TEST(paper_exhaustive, every_detected_fault_is_diagnosed) {
+    const auto ex = paperex::make_paper_example();
+    // Use a stronger suite than Table 1's two cases: the transition tour,
+    // which covers all transitions.
+    const test_suite suite = transition_tour(ex.spec).suite;
+    auto faults = enumerate_all_faults(ex.spec);
+
+    campaign_options opts;
+    const auto stats = run_campaign(ex.spec, suite, faults, opts);
+    EXPECT_GT(stats.detected, 0u);
+    EXPECT_EQ(stats.sound, stats.detected);
+    EXPECT_EQ(stats.localized + stats.localized_equiv, stats.detected);
+}
+
+TEST(paper_exhaustive, table1_suite_diagnoses_its_detectable_faults) {
+    const auto ex = paperex::make_paper_example();
+    auto faults = enumerate_all_faults(ex.spec);
+    campaign_options opts;
+    const auto stats = run_campaign(ex.spec, ex.suite, faults, opts);
+    // Table 1's two test cases detect only some faults; whatever they
+    // detect must be diagnosed soundly.
+    for (const auto& entry : stats.entries) {
+        if (!entry.detected) continue;
+        SCOPED_TRACE(describe(ex.spec, entry.fault));
+        EXPECT_TRUE(entry.sound);
+    }
+    EXPECT_EQ(stats.sound, stats.detected);
+}
+
+TEST(random_system_test, generator_produces_valid_connected_systems) {
+    for (std::uint64_t seed : {1ull, 2ull, 3ull, 17ull, 99ull}) {
+        rng random(seed);
+        random_system_options opts;
+        opts.machines = 3;
+        opts.states_per_machine = 4;
+        const system sys = random_system(opts, random);
+        EXPECT_TRUE(check_structure(sys).empty()) << "seed " << seed;
+        for (std::uint32_t m = 0; m < sys.machine_count(); ++m) {
+            EXPECT_TRUE(is_initially_connected(sys.machine(machine_id{m})))
+                << "seed " << seed << " machine " << m;
+        }
+    }
+}
+
+TEST(random_system_test, deterministic_under_seed) {
+    random_system_options opts;
+    rng r1(5), r2(5);
+    const system a = random_system(opts, r1);
+    const system b = random_system(opts, r2);
+    ASSERT_EQ(a.machine_count(), b.machine_count());
+    for (std::uint32_t m = 0; m < a.machine_count(); ++m) {
+        const auto& ta = a.machine(machine_id{m}).transitions();
+        const auto& tb = b.machine(machine_id{m}).transitions();
+        ASSERT_EQ(ta.size(), tb.size());
+        for (std::size_t i = 0; i < ta.size(); ++i) {
+            EXPECT_EQ(ta[i].from, tb[i].from);
+            EXPECT_EQ(ta[i].input, tb[i].input);
+            EXPECT_EQ(ta[i].output, tb[i].output);
+            EXPECT_EQ(ta[i].to, tb[i].to);
+        }
+    }
+}
+
+}  // namespace
+}  // namespace cfsmdiag

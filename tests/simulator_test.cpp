@@ -1,0 +1,177 @@
+// Unit tests for cfsm/system, cfsm/simulator, cfsm/trace: the global
+// execution semantics of Section 2.1.
+#include <gtest/gtest.h>
+
+#include "helpers.hpp"
+
+namespace cfsmdiag {
+namespace {
+
+using testing_helpers::at;
+using testing_helpers::in;
+using testing_helpers::make_pair_system;
+using testing_helpers::render;
+using testing_helpers::tid;
+
+TEST(system_test, basic_accessors) {
+    const system sys = make_pair_system();
+    EXPECT_EQ(sys.machine_count(), 2u);
+    EXPECT_EQ(sys.machine(machine_id{0}).name(), "A");
+    EXPECT_EQ(sys.total_transitions(), 9u);
+    EXPECT_EQ(sys.all_transitions().size(), 9u);
+    EXPECT_EQ(sys.transition_label(tid(sys, 0, "a3")), "A.a3");
+    EXPECT_THROW((void)sys.machine(machine_id{5}), error);
+}
+
+TEST(simulator_test, reset_returns_null_and_restores_initials) {
+    const system sys = make_pair_system();
+    simulator sim(sys);
+    (void)sim.apply(in(sys, 1, "x"));
+    EXPECT_EQ(sim.state().states[0], state_id{1});
+    const observation obs = sim.apply(global_input::reset());
+    EXPECT_TRUE(obs.is_null());
+    EXPECT_EQ(sim.state().states[0], state_id{0});
+    EXPECT_EQ(sim.state().states[1], state_id{0});
+}
+
+TEST(simulator_test, external_transition_emits_at_own_port) {
+    const system sys = make_pair_system();
+    simulator sim(sys);
+    EXPECT_EQ(sim.apply(in(sys, 1, "x")), at(sys, 1, "ok"));
+    EXPECT_EQ(sim.apply(in(sys, 1, "x")), at(sys, 1, "ok2"));
+}
+
+TEST(simulator_test, internal_transition_observed_at_receiver_port) {
+    const system sys = make_pair_system();
+    simulator sim(sys);
+    // a3 sends msg1 to B in q0 → b1 fires r1@P2 and B moves to q1.
+    EXPECT_EQ(sim.apply(in(sys, 1, "send")), at(sys, 2, "r1"));
+    EXPECT_EQ(sim.state().states[1], state_id{1});
+    // Again: B is now in q1 → b3 fires r2@P2 and B returns to q0.
+    EXPECT_EQ(sim.apply(in(sys, 1, "send")), at(sys, 2, "r2"));
+    EXPECT_EQ(sim.state().states[1], state_id{0});
+}
+
+TEST(simulator_test, unspecified_input_yields_epsilon_and_keeps_state) {
+    const system sys = make_pair_system();
+    simulator sim(sys);
+    // 'y' is only defined in B; applying it at port 1 is unspecified.
+    const observation obs = sim.apply(in(sys, 1, "y"));
+    EXPECT_TRUE(obs.is_null());
+    EXPECT_EQ(sim.state().states[0], state_id{0});
+
+    // msg2 is not defined for A at all.
+    EXPECT_TRUE(sim.apply(in(sys, 1, "msg2")).is_null());
+}
+
+TEST(simulator_test, fired_records_the_chain) {
+    const system sys = make_pair_system();
+    simulator sim(sys);
+    std::vector<global_transition_id> fired;
+    (void)sim.apply(in(sys, 1, "send"), &fired);
+    ASSERT_EQ(fired.size(), 2u);
+    EXPECT_EQ(sys.transition_label(fired[0]), "A.a3");
+    EXPECT_EQ(sys.transition_label(fired[1]), "B.b1");
+
+    // B moved to q1 above; reset so that y@P2 (defined at q0) fires b5.
+    (void)sim.apply(global_input::reset());
+    fired.clear();
+    (void)sim.apply(in(sys, 2, "y"), &fired);
+    ASSERT_EQ(fired.size(), 1u);
+    EXPECT_EQ(sys.transition_label(fired[0]), "B.b5");
+}
+
+TEST(simulator_test, override_changes_output_and_next_state) {
+    const system sys = make_pair_system();
+    // a1 normally emits ok and moves to p1; override: emits ok2, stays p0.
+    const transition_override ov{tid(sys, 0, "a1"),
+                                 sys.symbols().lookup("ok2"), state_id{0}};
+    simulator sim(sys, ov);
+    EXPECT_EQ(sim.apply(in(sys, 1, "x")), at(sys, 1, "ok2"));
+    EXPECT_EQ(sim.state().states[0], state_id{0});
+    // Applying x again repeats a1 (we stayed in p0).
+    EXPECT_EQ(sim.apply(in(sys, 1, "x")), at(sys, 1, "ok2"));
+}
+
+TEST(simulator_test, override_on_internal_output_redirects_receiver) {
+    const system sys = make_pair_system();
+    // a3 sends msg2 instead of msg1: B in q0 fires b2 (r2) instead of b1.
+    const transition_override ov{tid(sys, 0, "a3"),
+                                 sys.symbols().lookup("msg2"), std::nullopt};
+    simulator sim(sys, ov);
+    EXPECT_EQ(sim.apply(in(sys, 1, "send")), at(sys, 2, "r2"));
+    EXPECT_EQ(sim.state().states[1], state_id{0});
+}
+
+TEST(simulator_test, run_from_reset_matches_observe) {
+    const system sys = make_pair_system();
+    const std::vector<global_input> seq{
+        global_input::reset(), in(sys, 1, "x"), in(sys, 1, "send"),
+        in(sys, 2, "y")};
+    simulator sim(sys);
+    EXPECT_EQ(sim.run_from_reset(seq), observe(sys, seq));
+    EXPECT_EQ(render(sys, observe(sys, seq)), "-, ok@P1, r2@P2, r1@P2");
+}
+
+TEST(simulator_test, set_state_validates) {
+    const system sys = make_pair_system();
+    simulator sim(sys);
+    system_state bad;
+    bad.states = {state_id{0}};
+    EXPECT_THROW(sim.set_state(bad), error);
+    bad.states = {state_id{0}, state_id{7}};
+    EXPECT_THROW(sim.set_state(bad), error);
+}
+
+TEST(simulator_test, apply_epsilon_input_rejected) {
+    const system sys = make_pair_system();
+    simulator sim(sys);
+    EXPECT_THROW((void)sim.apply(global_input::at(machine_id{0},
+                                                  symbol::epsilon())),
+                 error);
+}
+
+TEST(simulator_test, invalid_override_rejected_at_construction) {
+    const system sys = make_pair_system();
+    EXPECT_THROW(simulator(sys, transition_override{
+                                    {machine_id{9}, transition_id{0}},
+                                    std::nullopt, state_id{0}}),
+                 error);
+    EXPECT_THROW(simulator(sys, transition_override{tid(sys, 0, "a1"),
+                                                    std::nullopt,
+                                                    state_id{9}}),
+                 error);
+}
+
+TEST(trace_test, explain_records_expected_and_fired) {
+    const system sys = make_pair_system();
+    const std::vector<global_input> seq{global_input::reset(),
+                                        in(sys, 1, "send"),
+                                        in(sys, 1, "msg1")};
+    const auto steps = explain(sys, seq);
+    ASSERT_EQ(steps.size(), 3u);
+    EXPECT_EQ(fired_label(sys, steps[0]), "tr");
+    EXPECT_EQ(fired_label(sys, steps[1]), "a3 b1");
+    EXPECT_EQ(fired_label(sys, steps[2]), "-");  // unspecified
+    EXPECT_TRUE(steps[2].expected.is_null());
+}
+
+TEST(to_string_test, inputs_and_observations_render_compactly) {
+    const system sys = make_pair_system();
+    EXPECT_EQ(to_string(global_input::reset(), sys.symbols()), "R");
+    EXPECT_EQ(to_string(in(sys, 1, "x"), sys.symbols()), "x@P1");
+    EXPECT_EQ(to_string(observation::none(), sys.symbols()), "-");
+    EXPECT_EQ(to_string(at(sys, 2, "r1"), sys.symbols()), "r1@P2");
+}
+
+TEST(system_test, with_transition_replaced_copies) {
+    const system sys = make_pair_system();
+    const system mutated = sys.with_transition_replaced(
+        tid(sys, 0, "a1"), sys.symbols().lookup("ok2"), std::nullopt);
+    EXPECT_EQ(observe(mutated, {in(sys, 1, "x")}).front(),
+              at(sys, 1, "ok2"));
+    EXPECT_EQ(observe(sys, {in(sys, 1, "x")}).front(), at(sys, 1, "ok"));
+}
+
+}  // namespace
+}  // namespace cfsmdiag

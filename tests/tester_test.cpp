@@ -1,0 +1,119 @@
+// Tests for the distributed test architecture (tester/).
+#include <gtest/gtest.h>
+
+#include "helpers.hpp"
+#include "tester/coordinator.hpp"
+
+namespace cfsmdiag {
+namespace {
+
+using testing_helpers::in;
+using testing_helpers::make_pair_system;
+using testing_helpers::tid;
+
+TEST(sut_test, simulator_sut_reproduces_simulator) {
+    const system sys = make_pair_system();
+    simulator_sut sut(sys);
+    EXPECT_EQ(sut.port_count(), 2u);
+    sut.reset();
+    EXPECT_EQ(sut.apply(machine_id{0}, sys.symbols().lookup("x")),
+              testing_helpers::at(sys, 1, "ok"));
+    EXPECT_EQ(sut.apply(machine_id{0}, sys.symbols().lookup("send")),
+              testing_helpers::at(sys, 2, "r2"));
+}
+
+TEST(coordinator_test, runs_match_direct_observation) {
+    const system sys = make_pair_system();
+    const auto tour = transition_tour(sys).suite;
+    simulator_sut sut(sys);
+    test_coordinator coordinator(sut);
+    for (const auto& tc : tour.cases) {
+        EXPECT_EQ(coordinator.run(tc), observe(sys, tc.inputs));
+    }
+}
+
+TEST(coordinator_test, counts_messages) {
+    const system sys = make_pair_system();
+    simulator_sut sut(sys);
+    test_coordinator coordinator(sut);
+    const test_case tc =
+        parse_compact("tc", "R, x1, send1, y2", sys.symbols());
+    (void)coordinator.run(tc);
+    const auto& stats = coordinator.stats();
+    EXPECT_EQ(stats.resets, 1u);
+    EXPECT_EQ(stats.inputs_applied, 3u);
+    EXPECT_EQ(stats.commands, 4u);   // reset + 3 inputs
+    EXPECT_EQ(stats.reports, 3u);    // one per non-reset input
+    EXPECT_EQ(stats.total_messages(), 7u);
+}
+
+TEST(coordinator_test, oracle_adapter_supports_full_diagnosis) {
+    const system sys = make_pair_system();
+    const single_transition_fault fault{
+        tid(sys, 0, "a3"), sys.symbols().lookup("msg2"), std::nullopt};
+    simulator_sut sut(sys, fault);
+    coordinated_oracle oracle_(sut);
+    const auto result =
+        diagnose(sys, transition_tour(sys).suite, oracle_);
+    ASSERT_TRUE(result.is_localized());
+    EXPECT_EQ(result.final_diagnoses[0], fault);
+    EXPECT_GT(oracle_.stats().total_messages(), 0u);
+}
+
+TEST(sync_analysis_test, same_port_chain_is_synchronizable) {
+    const system sys = make_pair_system();
+    // All inputs at P1; observations at P1 or P2, but the applier of each
+    // next step (P1's tester) always applied the previous step itself.
+    const test_case tc =
+        parse_compact("tc", "R, x1, x1, send1", sys.symbols());
+    const auto report = synchronization_analysis(sys, tc);
+    EXPECT_TRUE(report.synchronizable());
+}
+
+TEST(sync_analysis_test, observer_handoff_is_synchronizable) {
+    const system sys = make_pair_system();
+    // send@P1 produces an output observed at P2, so P2's tester witnessed
+    // the step and may apply the next input without explicit sync.
+    const test_case tc =
+        parse_compact("tc", "R, send1, y2", sys.symbols());
+    const auto report = synchronization_analysis(sys, tc);
+    EXPECT_TRUE(report.synchronizable());
+}
+
+TEST(sync_analysis_test, blind_handoff_needs_sync_message) {
+    const system sys = make_pair_system();
+    // x@P1 is observed at P1; the next input comes from P2's tester, which
+    // witnessed nothing — an explicit sync message is required.
+    const test_case tc = parse_compact("tc", "R, x1, y2", sys.symbols());
+    const auto report = synchronization_analysis(sys, tc);
+    ASSERT_EQ(report.unsynchronized_steps.size(), 1u);
+    EXPECT_EQ(report.unsynchronized_steps[0], 2u);
+}
+
+TEST(sync_analysis_test, paper_table1_cases_need_coordination) {
+    // Table 1's tc1 hops P1 → P3 → P1 → P2 → P3.  The hop into c'@P3
+    // (step 2) and back into c@P1 (step 3) hand over to testers that
+    // witnessed nothing of the previous step, so a decentralized run needs
+    // explicit sync messages there — which is precisely why the paper
+    // posits "coordinating procedures between the different external
+    // ports" rather than independent testers.  The later hops (t@P2 after
+    // an output at P2, x@P3 after an output at P3) are intrinsically
+    // synchronized.
+    const auto ex = paperex::make_paper_example();
+    const auto r1 = synchronization_analysis(ex.spec, ex.suite.cases[0]);
+    EXPECT_EQ(r1.unsynchronized_steps,
+              (std::vector<std::size_t>{2, 3}));
+    const auto r2 = synchronization_analysis(ex.spec, ex.suite.cases[1]);
+    EXPECT_FALSE(r2.synchronizable());
+}
+
+TEST(sync_analysis_test, suite_counter_accumulates) {
+    const system sys = make_pair_system();
+    test_suite suite;
+    suite.add(parse_compact("a", "R, x1, y2", sys.symbols()));   // 1 sync
+    suite.add(parse_compact("b", "R, send1, y2", sys.symbols()));  // 0
+    EXPECT_EQ(count_sync_messages(sys, suite), 1u);
+}
+
+}  // namespace
+}  // namespace cfsmdiag

@@ -1,0 +1,169 @@
+// Unit tests for testgen: test cases, tours, W suites, random walks, stats.
+#include <gtest/gtest.h>
+
+#include <set>
+
+#include "helpers.hpp"
+
+namespace cfsmdiag {
+namespace {
+
+using testing_helpers::in;
+using testing_helpers::make_pair_system;
+using testing_helpers::tid;
+
+TEST(test_case_test, from_inputs_prepends_reset_once) {
+    const system sys = make_pair_system();
+    const test_case tc1 =
+        test_case::from_inputs("t", {in(sys, 1, "x")});
+    ASSERT_EQ(tc1.inputs.size(), 2u);
+    EXPECT_EQ(tc1.inputs[0].action, global_input::kind::reset);
+
+    const test_case tc2 = test_case::from_inputs(
+        "t", {global_input::reset(), in(sys, 1, "x")});
+    EXPECT_EQ(tc2.inputs.size(), 2u);
+}
+
+TEST(test_case_test, parse_compact_round_trips) {
+    const system sys = make_pair_system();
+    const test_case tc =
+        parse_compact("tc", "R, x1, send1, y2", sys.symbols());
+    ASSERT_EQ(tc.inputs.size(), 4u);
+    EXPECT_EQ(tc.inputs[0].action, global_input::kind::reset);
+    EXPECT_EQ(tc.inputs[1], in(sys, 1, "x"));
+    EXPECT_EQ(tc.inputs[2], in(sys, 1, "send"));
+    EXPECT_EQ(tc.inputs[3], in(sys, 2, "y"));
+    EXPECT_EQ(to_string(tc, sys.symbols()), "R, x@P1, send@P1, y@P2");
+}
+
+TEST(test_case_test, parse_compact_rejects_malformed_tokens) {
+    const system sys = make_pair_system();
+    EXPECT_THROW((void)parse_compact("t", "x", sys.symbols()), error);
+    EXPECT_THROW((void)parse_compact("t", "1", sys.symbols()), error);
+    EXPECT_THROW((void)parse_compact("t", "nope1", sys.symbols()), error);
+}
+
+TEST(test_suite_test, totals_and_extend) {
+    const system sys = make_pair_system();
+    test_suite a;
+    a.add(parse_compact("1", "R, x1", sys.symbols()));
+    test_suite b;
+    b.add(parse_compact("2", "R, x1, x1", sys.symbols()));
+    a.extend(b);
+    EXPECT_EQ(a.size(), 2u);
+    EXPECT_EQ(a.total_inputs(), 5u);
+}
+
+TEST(tour_test, covers_every_transition) {
+    const system sys = make_pair_system();
+    const auto tour = transition_tour(sys);
+    EXPECT_TRUE(tour.uncovered.empty());
+    ASSERT_EQ(tour.suite.size(), 1u);
+
+    // Re-execute and confirm every transition fires.
+    std::set<global_transition_id> fired_all;
+    simulator sim(sys);
+    for (const auto& input : tour.suite.cases[0].inputs) {
+        std::vector<global_transition_id> fired;
+        (void)sim.apply(input, &fired);
+        fired_all.insert(fired.begin(), fired.end());
+    }
+    EXPECT_EQ(fired_all.size(), sys.total_transitions());
+}
+
+TEST(tour_test, reports_unreachable_transitions) {
+    // A machine with a transition out of an unreachable state.
+    symbol_table t;
+    fsm_builder ba("A", t);
+    ba.external("a1", "s0", "x", "ok", "s0");
+    ba.external("a2", "orphan", "x", "ok", "s0");
+    fsm_builder bb("B", t);
+    bb.external("b1", "q0", "z", "r", "q0");
+    std::vector<fsm> machines;
+    machines.push_back(ba.build("s0"));
+    machines.push_back(bb.build("q0"));
+    const system sys("sys", std::move(t), std::move(machines));
+
+    const auto tour = transition_tour(sys);
+    ASSERT_EQ(tour.uncovered.size(), 1u);
+    EXPECT_EQ(sys.transition_label(tour.uncovered[0]), "A.a2");
+}
+
+TEST(tour_test, paper_example_tour_covers_all) {
+    const auto ex = paperex::make_paper_example();
+    const auto tour = transition_tour(ex.spec);
+    EXPECT_TRUE(tour.uncovered.empty());
+}
+
+TEST(w_suite_test, per_machine_suite_has_case_per_transition_and_w) {
+    const system sys = make_pair_system();
+    const auto result = per_machine_w_suite(sys);
+    EXPECT_TRUE(result.unreachable.empty());
+    EXPECT_GE(result.suite.size(), sys.total_transitions());
+    // Every case is R-prefixed.
+    for (const auto& tc : result.suite.cases) {
+        EXPECT_EQ(tc.inputs.front().action, global_input::kind::reset);
+    }
+}
+
+TEST(w_suite_test, per_machine_suite_detects_all_output_faults) {
+    const system sys = make_pair_system();
+    const auto suite = per_machine_w_suite(sys).suite;
+    for (const auto& f : enumerate_output_faults(sys)) {
+        EXPECT_TRUE(detects(sys, suite, f)) << describe(sys, f);
+    }
+}
+
+TEST(w_suite_test, product_suite_detects_all_single_faults) {
+    const system sys = make_pair_system();
+    const auto suite = product_w_suite(sys);
+    for (const auto& f : enumerate_all_faults(sys)) {
+        EXPECT_TRUE(detects(sys, suite, f)) << describe(sys, f);
+    }
+}
+
+TEST(random_walk_test, deterministic_under_seed_and_well_formed) {
+    const system sys = make_pair_system();
+    rng r1(42), r2(42), r3(7);
+    const random_walk_options opts{.cases = 4, .steps_per_case = 8};
+    const auto s1 = random_walk_suite(sys, r1, opts);
+    const auto s2 = random_walk_suite(sys, r2, opts);
+    const auto s3 = random_walk_suite(sys, r3, opts);
+    ASSERT_EQ(s1.size(), 4u);
+    EXPECT_EQ(s1.total_inputs(), 4u * 9u);  // R + 8 steps each
+    for (std::size_t i = 0; i < s1.size(); ++i)
+        EXPECT_EQ(s1.cases[i].inputs, s2.cases[i].inputs);
+    bool any_diff = false;
+    for (std::size_t i = 0; i < s1.size(); ++i)
+        any_diff = any_diff || s1.cases[i].inputs != s3.cases[i].inputs;
+    EXPECT_TRUE(any_diff);
+}
+
+TEST(stats_test, counts_resets_and_port_distribution) {
+    const system sys = make_pair_system();
+    test_suite suite;
+    suite.add(parse_compact("1", "R, x1, y2, x1", sys.symbols()));
+    const auto stats = compute_stats(sys, suite);
+    EXPECT_EQ(stats.cases, 1u);
+    EXPECT_EQ(stats.total_inputs, 4u);
+    EXPECT_EQ(stats.resets, 1u);
+    ASSERT_EQ(stats.inputs_per_port.size(), 2u);
+    EXPECT_EQ(stats.inputs_per_port[0], 2u);
+    EXPECT_EQ(stats.inputs_per_port[1], 1u);
+}
+
+TEST(stats_test, detects_and_detection_rate) {
+    const system sys = make_pair_system();
+    test_suite suite;
+    suite.add(parse_compact("1", "R, x1", sys.symbols()));
+    const single_transition_fault visible{
+        tid(sys, 0, "a1"), sys.symbols().lookup("ok2"), std::nullopt};
+    const single_transition_fault hidden{
+        tid(sys, 1, "b5"), sys.symbols().lookup("r2"), std::nullopt};
+    EXPECT_TRUE(detects(sys, suite, visible));
+    EXPECT_FALSE(detects(sys, suite, hidden));
+    EXPECT_DOUBLE_EQ(detection_rate(sys, suite, {visible, hidden}), 0.5);
+}
+
+}  // namespace
+}  // namespace cfsmdiag

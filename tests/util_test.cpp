@@ -1,0 +1,111 @@
+// Unit tests for util: rng, table rendering, string helpers.
+#include <gtest/gtest.h>
+
+#include <sstream>
+
+#include "util/rng.hpp"
+#include "util/strings.hpp"
+#include "util/table.hpp"
+
+namespace cfsmdiag {
+namespace {
+
+TEST(rng_test, deterministic_per_seed) {
+    rng a(1234), b(1234), c(999);
+    for (int i = 0; i < 16; ++i) EXPECT_EQ(a.next(), b.next());
+    bool differs = false;
+    rng a2(1234);
+    for (int i = 0; i < 16; ++i) differs = differs || a2.next() != c.next();
+    EXPECT_TRUE(differs);
+}
+
+TEST(rng_test, below_respects_bound) {
+    rng r(7);
+    for (int i = 0; i < 1000; ++i) EXPECT_LT(r.below(13), 13u);
+    EXPECT_THROW((void)r.below(0), error);
+}
+
+TEST(rng_test, between_inclusive) {
+    rng r(7);
+    for (int i = 0; i < 1000; ++i) {
+        const auto v = r.between(5, 8);
+        EXPECT_GE(v, 5u);
+        EXPECT_LE(v, 8u);
+    }
+    EXPECT_EQ(r.between(3, 3), 3u);
+    EXPECT_THROW((void)r.between(4, 3), error);
+}
+
+TEST(rng_test, chance_extremes) {
+    rng r(7);
+    EXPECT_FALSE(r.chance(0.0));
+    EXPECT_TRUE(r.chance(1.0));
+    // p = 0.5 should produce both outcomes in 100 draws.
+    int heads = 0;
+    for (int i = 0; i < 100; ++i) heads += r.chance(0.5) ? 1 : 0;
+    EXPECT_GT(heads, 20);
+    EXPECT_LT(heads, 80);
+}
+
+TEST(rng_test, pick_and_shuffle) {
+    rng r(7);
+    const std::vector<int> v{1, 2, 3};
+    for (int i = 0; i < 50; ++i) {
+        const int x = r.pick(v);
+        EXPECT_TRUE(x >= 1 && x <= 3);
+    }
+    std::vector<int> big(100);
+    for (int i = 0; i < 100; ++i) big[i] = i;
+    auto shuffled = big;
+    r.shuffle(shuffled);
+    EXPECT_NE(shuffled, big);
+    std::sort(shuffled.begin(), shuffled.end());
+    EXPECT_EQ(shuffled, big);
+
+    const std::vector<int> empty;
+    EXPECT_THROW((void)r.pick(empty), error);
+}
+
+TEST(rng_test, split_produces_independent_stream) {
+    rng a(42);
+    rng child = a.split();
+    EXPECT_NE(a.next(), child.next());
+}
+
+TEST(table_test, renders_aligned_columns) {
+    text_table t({"name", "value"});
+    t.add_row({"x", "1"});
+    t.add_row({"longer", "22"});
+    const std::string out = t.str();
+    EXPECT_NE(out.find("name"), std::string::npos);
+    EXPECT_NE(out.find("longer  22"), std::string::npos);
+    EXPECT_NE(out.find("----"), std::string::npos);
+    EXPECT_EQ(t.row_count(), 2u);
+}
+
+TEST(table_test, short_rows_pad) {
+    text_table t({"a", "b", "c"});
+    t.add_row({"1"});
+    EXPECT_NO_THROW((void)t.str());
+}
+
+TEST(csv_test, quotes_when_needed) {
+    std::ostringstream os;
+    csv_writer w(os);
+    w.row({"plain", "with,comma", "with\"quote"});
+    EXPECT_EQ(os.str(), "plain,\"with,comma\",\"with\"\"quote\"\n");
+}
+
+TEST(strings_test, join_split_trim) {
+    EXPECT_EQ(join({"a", "b", "c"}, ", "), "a, b, c");
+    EXPECT_EQ(join({}, ", "), "");
+    const auto parts = split("a,,b", ',');
+    ASSERT_EQ(parts.size(), 3u);
+    EXPECT_EQ(parts[1], "");
+    EXPECT_EQ(trim("  x  "), "x");
+    EXPECT_EQ(trim("   "), "");
+    EXPECT_EQ(fmt_double(3.14159, 2), "3.14");
+}
+
+}  // namespace
+}  // namespace cfsmdiag

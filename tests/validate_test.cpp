@@ -1,0 +1,142 @@
+// Unit tests for cfsm/alphabet and cfsm/validate: the Section 2.1 model
+// restrictions.
+#include <gtest/gtest.h>
+
+#include "cfsm/validate.hpp"
+#include "fsm/builder.hpp"
+#include "helpers.hpp"
+
+namespace cfsmdiag {
+namespace {
+
+using testing_helpers::make_pair_system;
+
+system build_two(symbol_table symbols, fsm a, fsm b) {
+    std::vector<fsm> machines;
+    machines.push_back(std::move(a));
+    machines.push_back(std::move(b));
+    return system("sys", std::move(symbols), std::move(machines));
+}
+
+TEST(alphabet_test, pair_system_partitions) {
+    const system sys = make_pair_system();
+    const auto a = compute_alphabets(sys);
+    // A: IEO = {x}, IIO→B = {send}, OIO→B = {msg1, msg2}, OEO = {ok, ok2}.
+    EXPECT_EQ(a[0].ieo.size(), 1u);
+    EXPECT_EQ(a[0].iio_to[1].size(), 1u);
+    EXPECT_EQ(a[0].oio_to[1].size(), 2u);
+    EXPECT_EQ(a[0].oeo.size(), 2u);
+    // B: IEO = {msg1, msg2, y}, no internal transitions.
+    EXPECT_EQ(a[1].ieo.size(), 3u);
+    EXPECT_TRUE(a[1].iio.empty());
+    // IEOq_{B<A} = {msg1, msg2}.
+    EXPECT_EQ(a[1].ieoq_from[0].size(), 2u);
+    EXPECT_TRUE(a[0].ieoq_from[1].empty());
+}
+
+TEST(validate_test, pair_system_is_valid) {
+    EXPECT_TRUE(check_structure(make_pair_system()).empty());
+    EXPECT_NO_THROW(validate_structure(make_pair_system()));
+}
+
+TEST(validate_test, rejects_input_in_both_ieo_and_iio) {
+    symbol_table t;
+    fsm_builder ba("A", t);
+    ba.external("a1", "s0", "a", "x", "s0");
+    ba.internal("a2", "s1", "a", "m", "s0", machine_id{1});
+    ba.external("a3", "s0", "b", "x", "s1");
+    fsm_builder bb("B", t);
+    bb.external("b1", "q0", "m", "r", "q0");
+    const system sys =
+        build_two(std::move(t), ba.build("s0"), bb.build("q0"));
+    const auto violations = check_structure(sys);
+    ASSERT_FALSE(violations.empty());
+    EXPECT_NE(violations[0].message.find("IEO ∩ IIO"), std::string::npos);
+    EXPECT_THROW(validate_structure(sys), model_error);
+}
+
+TEST(validate_test, rejects_internal_input_with_two_destinations) {
+    symbol_table t;
+    fsm_builder ba("A", t);
+    ba.internal("a1", "s0", "g", "m", "s1", machine_id{1});
+    ba.internal("a2", "s1", "g", "n", "s0", machine_id{2});
+    fsm_builder bb("B", t);
+    bb.external("b1", "q0", "m", "r", "q0");
+    fsm_builder bc("C", t);
+    bc.external("c1", "u0", "n", "r", "u0");
+    std::vector<fsm> machines;
+    machines.push_back(ba.build("s0"));
+    machines.push_back(bb.build("q0"));
+    machines.push_back(bc.build("u0"));
+    const system sys("sys", std::move(t), std::move(machines));
+    const auto violations = check_structure(sys);
+    ASSERT_FALSE(violations.empty());
+    EXPECT_NE(violations[0].message.find("destination partition"),
+              std::string::npos);
+}
+
+TEST(validate_test, rejects_message_not_handled_externally_by_receiver) {
+    symbol_table t;
+    fsm_builder ba("A", t);
+    ba.internal("a1", "s0", "g", "mystery", "s0", machine_id{1});
+    fsm_builder bb("B", t);
+    bb.external("b1", "q0", "other", "r", "q0");
+    const system sys =
+        build_two(std::move(t), ba.build("s0"), bb.build("q0"));
+    const auto violations = check_structure(sys);
+    ASSERT_FALSE(violations.empty());
+    EXPECT_NE(violations[0].message.find("OIO_{i>j} ⊆ IEO_j"),
+              std::string::npos);
+}
+
+TEST(validate_test, rejects_self_addressed_internal_transition) {
+    symbol_table t;
+    fsm_builder ba("A", t);
+    ba.internal("a1", "s0", "g", "m", "s0", machine_id{0});
+    fsm_builder bb("B", t);
+    bb.external("b1", "q0", "m", "r", "q0");
+    const system sys =
+        build_two(std::move(t), ba.build("s0"), bb.build("q0"));
+    const auto violations = check_structure(sys);
+    ASSERT_FALSE(violations.empty());
+    EXPECT_NE(violations[0].message.find("own"), std::string::npos);
+}
+
+TEST(validate_test, rejects_out_of_range_destination) {
+    symbol_table t;
+    fsm_builder ba("A", t);
+    ba.internal("a1", "s0", "g", "m", "s0", machine_id{7});
+    fsm_builder bb("B", t);
+    bb.external("b1", "q0", "m", "r", "q0");
+    const system sys =
+        build_two(std::move(t), ba.build("s0"), bb.build("q0"));
+    EXPECT_FALSE(check_structure(sys).empty());
+}
+
+TEST(validate_test, rejects_epsilon_internal_message) {
+    symbol_table t;
+    fsm_builder ba("A", t);
+    ba.internal("a1", "s0", "g", "-", "s0", machine_id{1});
+    fsm_builder bb("B", t);
+    bb.external("b1", "q0", "z", "r", "q0");
+    const system sys =
+        build_two(std::move(t), ba.build("s0"), bb.build("q0"));
+    const auto violations = check_structure(sys);
+    ASSERT_FALSE(violations.empty());
+    EXPECT_NE(violations[0].message.find("non-ε"), std::string::npos);
+}
+
+TEST(validate_test, reports_all_violations_not_just_first) {
+    symbol_table t;
+    fsm_builder ba("A", t);
+    ba.internal("a1", "s0", "g", "m1", "s1", machine_id{0});   // self
+    ba.internal("a2", "s1", "h", "m2", "s0", machine_id{9});   // range
+    fsm_builder bb("B", t);
+    bb.external("b1", "q0", "z", "r", "q0");
+    const system sys =
+        build_two(std::move(t), ba.build("s0"), bb.build("q0"));
+    EXPECT_GE(check_structure(sys).size(), 2u);
+}
+
+}  // namespace
+}  // namespace cfsmdiag

@@ -1,0 +1,261 @@
+// cfsmdiag — command-line front end for the library.
+//
+//   cfsmdiag show <system-file>             validate and pretty-print
+//   cfsmdiag dot <system-file>              Graphviz DOT for every machine
+//   cfsmdiag gen <system-file> <method>     generate a test suite
+//                                           (tour|w|wp|uio|ds|diagnostic)
+//   cfsmdiag diagnose <system-file> <suite-file> <fault-spec> [--json]
+//                                           diagnose a simulated IUT, e.g.
+//                                           fault-spec "M3.t''4 -> s0" or
+//                                           "M1.t7 / c' ; M2.t'1 -> s2"
+//                                           (';' separates multiple faults)
+//   cfsmdiag score <system-file> <suite>    mutation-score the suite
+//   cfsmdiag reduce <system-file> <suite>   detection-preserving reduction
+//   cfsmdiag campaign <system-file> [max]   exhaustive fault campaign
+//   cfsmdiag random <seed> [N] [states]     emit a random system file
+//
+// Files use the text format of src/io/text_format.hpp.
+#include <fstream>
+#include <iostream>
+#include <sstream>
+
+#include "cfsmdiag.hpp"
+
+namespace {
+
+using namespace cfsmdiag;
+
+std::string slurp(const std::string& path) {
+    std::ifstream in(path);
+    detail::require(in.good(), "cannot open file: " + path);
+    std::ostringstream buf;
+    buf << in.rdbuf();
+    return buf.str();
+}
+
+int cmd_show(const std::string& path) {
+    const auto sys = parse_system(slurp(path));
+    const auto violations = check_structure(sys);
+    std::cout << "system " << sys.name() << ": " << sys.machine_count()
+              << " machines, " << sys.total_transitions()
+              << " transitions\n";
+    for (const fsm& m : sys.machines()) {
+        text_table t({"name", "from", "input", "output", "to", "kind"});
+        for (const auto& tr : m.transitions()) {
+            t.add_row({tr.name, m.state_name(tr.from),
+                       sys.symbols().name(tr.input),
+                       sys.symbols().name(tr.output), m.state_name(tr.to),
+                       tr.kind == output_kind::external
+                           ? "external"
+                           : "=> " + sys.machine(tr.destination).name()});
+        }
+        std::cout << "\n" << m.name() << " (initial "
+                  << m.state_name(m.initial_state()) << "):\n"
+                  << t;
+    }
+    if (violations.empty()) {
+        std::cout << "\nstructure: OK\n";
+        return 0;
+    }
+    std::cout << "\nstructure violations:\n";
+    for (const auto& v : violations) std::cout << "  - " << v.message << "\n";
+    return 1;
+}
+
+int cmd_dot(const std::string& path) {
+    const auto sys = parse_system(slurp(path));
+    for (const fsm& m : sys.machines())
+        std::cout << to_dot(m, sys.symbols()) << "\n";
+    return 0;
+}
+
+int cmd_gen(const std::string& path, const std::string& method) {
+    const auto sys = parse_system(slurp(path));
+    validate_structure(sys);
+    test_suite suite;
+    if (method == "tour") {
+        const auto r = transition_tour(sys);
+        suite = r.suite;
+        for (auto id : r.uncovered)
+            std::cerr << "# uncovered: " << sys.transition_label(id) << "\n";
+    } else if (method == "w") {
+        suite = per_machine_method_suite(sys, verification_method::w).suite;
+    } else if (method == "wp") {
+        suite = per_machine_method_suite(sys, verification_method::wp).suite;
+    } else if (method == "uio") {
+        suite =
+            per_machine_method_suite(sys, verification_method::uio).suite;
+    } else if (method == "ds") {
+        suite = per_machine_method_suite(sys, verification_method::ds).suite;
+    } else if (method == "diagnostic") {
+        const auto r = apriori_diagnostic_suite(sys);
+        suite = r.suite;
+        std::cerr << "# " << r.hypotheses << " hypotheses, "
+                  << r.equivalent_groups << " equivalent group(s)\n";
+    } else {
+        std::cerr << "unknown method '" << method
+                  << "' (tour|w|wp|uio|ds|diagnostic)\n";
+        return 2;
+    }
+    std::cout << write_suite(suite, sys.symbols());
+    return 0;
+}
+
+int cmd_diagnose(const std::string& sys_path, const std::string& suite_path,
+                 const std::string& fault_spec, bool as_json) {
+    const auto sys = parse_system(slurp(sys_path));
+    validate_structure(sys);
+    const auto suite = parse_suite(slurp(suite_path), sys.symbols());
+
+    fault_set faults;
+    for (const auto& piece : split(fault_spec, ';')) {
+        if (trim(piece).empty()) continue;
+        faults.faults.push_back(parse_fault(std::string(trim(piece)), sys));
+    }
+    detail::require(!faults.faults.empty(), "no fault specified");
+
+    if (faults.faults.size() == 1) {
+        simulated_iut iut(sys, faults.faults[0]);
+        const auto result = diagnose(sys, suite, iut);
+        if (as_json) {
+            std::cout << report_to_json(sys, result).dump(true) << "\n";
+        } else {
+            std::cout << summarize(sys, result);
+        }
+        return result.outcome == diagnosis_outcome::passed ? 1 : 0;
+    }
+    simulated_multi_iut iut(sys, faults);
+    const auto result = diagnose_multi(sys, suite, iut);
+    if (as_json) {
+        std::cout << report_to_json(sys, result).dump(true) << "\n";
+        return result.outcome == diagnosis_outcome::passed ? 1 : 0;
+    }
+    std::cout << "outcome: " << to_string(result.outcome) << "\n";
+    std::cout << "initial hypotheses: " << result.initial_hypotheses
+              << ", additional tests: " << result.additional_tests.size()
+              << "\n";
+    for (const auto& fs : result.final_hypotheses)
+        std::cout << "  - " << describe(sys, fs) << "\n";
+    return result.outcome == diagnosis_outcome::passed ? 1 : 0;
+}
+
+int cmd_witness(const std::string& sys_path,
+                const std::string& fault_spec) {
+    const auto sys = parse_system(slurp(sys_path));
+    validate_structure(sys);
+    const auto fault = parse_fault(fault_spec, sys);
+    const auto w = witness_test(sys, fault);
+    if (!w) {
+        std::cout << "fault is observationally equivalent to the "
+                     "specification — no witness exists\n";
+        return 1;
+    }
+    std::cout << describe(sys, fault) << "\n" << w->describe(sys);
+    return 0;
+}
+
+int cmd_score(const std::string& sys_path, const std::string& suite_path) {
+    const auto sys = parse_system(slurp(sys_path));
+    validate_structure(sys);
+    const auto suite = parse_suite(slurp(suite_path), sys.symbols());
+    const auto report = mutation_score(sys, suite);
+    std::cout << "mutants: " << report.mutants << ", killed: "
+              << report.killed << ", equivalent: "
+              << report.equivalent.size() << ", score: "
+              << fmt_double(100.0 * report.score(), 1) << "%\n";
+    if (!report.survivors.empty()) {
+        std::cout << "live (killable) mutants:\n";
+        for (const auto& f : report.survivors)
+            std::cout << "  - " << describe(sys, f) << "\n";
+    }
+    return report.survivors.empty() ? 0 : 1;
+}
+
+int cmd_reduce(const std::string& sys_path, const std::string& suite_path) {
+    const auto sys = parse_system(slurp(sys_path));
+    validate_structure(sys);
+    const auto suite = parse_suite(slurp(suite_path), sys.symbols());
+    const auto reduced =
+        reduce_suite(sys, suite, enumerate_all_faults(sys));
+    std::cerr << "# " << reduced.cases_before << " -> "
+              << reduced.cases_after << " cases ("
+              << reduced.undetected_faults
+              << " faults were never detected)\n";
+    std::cout << write_suite(reduced.suite, sys.symbols());
+    return 0;
+}
+
+int cmd_campaign(const std::string& path, std::size_t max_faults) {
+    const auto sys = parse_system(slurp(path));
+    validate_structure(sys);
+    const auto suite = transition_tour(sys).suite;
+    auto faults = enumerate_all_faults(sys);
+    if (faults.size() > max_faults) faults.resize(max_faults);
+    const auto stats = run_campaign(sys, suite, faults);
+    std::cout << "faults: " << stats.total << ", detected: "
+              << stats.detected << ", localized: " << stats.localized
+              << " (+" << stats.localized_equiv << " up to equivalence)"
+              << ", sound: " << stats.sound << "\n";
+    std::cout << "mean additional tests: "
+              << fmt_double(stats.mean_additional_tests, 2)
+              << ", mean additional inputs: "
+              << fmt_double(stats.mean_additional_inputs, 2) << "\n";
+    return stats.sound == stats.detected ? 0 : 1;
+}
+
+int cmd_random(std::uint64_t seed, std::size_t machines,
+               std::size_t states) {
+    rng random(seed);
+    random_system_options opts;
+    opts.machines = machines;
+    opts.states_per_machine = states;
+    opts.extra_transitions = 2 * states;
+    std::cout << write_system(random_system(opts, random));
+    return 0;
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+    const std::vector<std::string> args(argv + 1, argv + argc);
+    try {
+        if (args.size() >= 2 && args[0] == "show") return cmd_show(args[1]);
+        if (args.size() >= 2 && args[0] == "dot") return cmd_dot(args[1]);
+        if (args.size() >= 3 && args[0] == "gen")
+            return cmd_gen(args[1], args[2]);
+        if (args.size() >= 4 && args[0] == "diagnose") {
+            const bool as_json =
+                args.size() >= 5 && args[4] == "--json";
+            return cmd_diagnose(args[1], args[2], args[3], as_json);
+        }
+        if (args.size() >= 3 && args[0] == "witness")
+            return cmd_witness(args[1], args[2]);
+        if (args.size() >= 3 && args[0] == "score")
+            return cmd_score(args[1], args[2]);
+        if (args.size() >= 3 && args[0] == "reduce")
+            return cmd_reduce(args[1], args[2]);
+        if (args.size() >= 2 && args[0] == "campaign")
+            return cmd_campaign(
+                args[1], args.size() >= 3 ? std::stoul(args[2]) : 100000);
+        if (args.size() >= 2 && args[0] == "random")
+            return cmd_random(std::stoull(args[1]),
+                              args.size() >= 3 ? std::stoul(args[2]) : 3,
+                              args.size() >= 4 ? std::stoul(args[3]) : 4);
+    } catch (const cfsmdiag::error& e) {
+        std::cerr << "error: " << e.what() << "\n";
+        return 2;
+    }
+    std::cerr
+        << "usage:\n"
+           "  cfsmdiag show <system-file>\n"
+           "  cfsmdiag dot <system-file>\n"
+           "  cfsmdiag gen <system-file> tour|w|wp|uio|ds|diagnostic\n"
+           "  cfsmdiag diagnose <system-file> <suite-file> <fault-spec> "
+           "[--json]\n"
+           "  cfsmdiag witness <system-file> <fault-spec>\n"
+           "  cfsmdiag score <system-file> <suite-file>\n"
+           "  cfsmdiag reduce <system-file> <suite-file>\n"
+           "  cfsmdiag campaign <system-file> [max-faults]\n"
+           "  cfsmdiag random <seed> [machines] [states]\n";
+    return 2;
+}
