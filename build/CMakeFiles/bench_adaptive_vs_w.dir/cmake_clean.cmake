@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_adaptive_vs_w.dir/bench/adaptive_vs_w.cpp.o"
+  "CMakeFiles/bench_adaptive_vs_w.dir/bench/adaptive_vs_w.cpp.o.d"
+  "bench/adaptive_vs_w"
+  "bench/adaptive_vs_w.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_adaptive_vs_w.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_candidate_sets.dir/bench/candidate_sets.cpp.o"
+  "CMakeFiles/bench_candidate_sets.dir/bench/candidate_sets.cpp.o.d"
+  "bench/candidate_sets"
+  "bench/candidate_sets.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_candidate_sets.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

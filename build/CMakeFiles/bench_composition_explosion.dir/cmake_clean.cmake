@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_composition_explosion.dir/bench/composition_explosion.cpp.o"
+  "CMakeFiles/bench_composition_explosion.dir/bench/composition_explosion.cpp.o.d"
+  "bench/composition_explosion"
+  "bench/composition_explosion.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_composition_explosion.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_coordination.dir/bench/coordination.cpp.o"
+  "CMakeFiles/bench_coordination.dir/bench/coordination.cpp.o.d"
+  "bench/coordination"
+  "bench/coordination.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_coordination.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_diagnostic_power.dir/bench/diagnostic_power.cpp.o"
+  "CMakeFiles/bench_diagnostic_power.dir/bench/diagnostic_power.cpp.o.d"
+  "bench/diagnostic_power"
+  "bench/diagnostic_power.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_diagnostic_power.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

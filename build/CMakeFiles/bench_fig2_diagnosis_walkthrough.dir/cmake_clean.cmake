@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_fig2_diagnosis_walkthrough.dir/bench/fig2_diagnosis_walkthrough.cpp.o"
+  "CMakeFiles/bench_fig2_diagnosis_walkthrough.dir/bench/fig2_diagnosis_walkthrough.cpp.o.d"
+  "bench/fig2_diagnosis_walkthrough"
+  "bench/fig2_diagnosis_walkthrough.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_fig2_diagnosis_walkthrough.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

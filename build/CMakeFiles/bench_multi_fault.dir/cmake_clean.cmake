@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_multi_fault.dir/bench/multi_fault.cpp.o"
+  "CMakeFiles/bench_multi_fault.dir/bench/multi_fault.cpp.o.d"
+  "bench/multi_fault"
+  "bench/multi_fault.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_multi_fault.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_nondet_diagnosis.dir/bench/nondet_diagnosis.cpp.o"
+  "CMakeFiles/bench_nondet_diagnosis.dir/bench/nondet_diagnosis.cpp.o.d"
+  "bench/nondet_diagnosis"
+  "bench/nondet_diagnosis.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_nondet_diagnosis.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

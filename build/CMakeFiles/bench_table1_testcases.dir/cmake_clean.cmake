@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_table1_testcases.dir/bench/table1_testcases.cpp.o"
+  "CMakeFiles/bench_table1_testcases.dir/bench/table1_testcases.cpp.o.d"
+  "bench/table1_testcases"
+  "bench/table1_testcases.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_table1_testcases.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

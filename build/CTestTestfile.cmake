@@ -1,0 +1,34 @@
+# CMake generated Testfile for 
+# Source directory: /root/repo
+# Build directory: /root/repo/build
+# 
+# This file includes the relevant testing commands required for 
+# testing this directory and lists subdirectories to be tested as well.
+add_test(bench_smoke_table1_testcases "/root/repo/build/bench/table1_testcases")
+set_tests_properties(bench_smoke_table1_testcases PROPERTIES  _BACKTRACE_TRIPLES "/root/repo/bench/CMakeLists.txt;31;add_test;/root/repo/bench/CMakeLists.txt;0;;/root/repo/CMakeLists.txt;29;include;/root/repo/CMakeLists.txt;0;")
+add_test(bench_smoke_fig1_system "/root/repo/build/bench/fig1_system")
+set_tests_properties(bench_smoke_fig1_system PROPERTIES  _BACKTRACE_TRIPLES "/root/repo/bench/CMakeLists.txt;31;add_test;/root/repo/bench/CMakeLists.txt;0;;/root/repo/CMakeLists.txt;29;include;/root/repo/CMakeLists.txt;0;")
+add_test(bench_smoke_fig2_diagnosis_walkthrough "/root/repo/build/bench/fig2_diagnosis_walkthrough")
+set_tests_properties(bench_smoke_fig2_diagnosis_walkthrough PROPERTIES  _BACKTRACE_TRIPLES "/root/repo/bench/CMakeLists.txt;31;add_test;/root/repo/bench/CMakeLists.txt;0;;/root/repo/CMakeLists.txt;29;include;/root/repo/CMakeLists.txt;0;")
+add_test(bench_smoke_adaptive_vs_w "/root/repo/build/bench/adaptive_vs_w")
+set_tests_properties(bench_smoke_adaptive_vs_w PROPERTIES  _BACKTRACE_TRIPLES "/root/repo/bench/CMakeLists.txt;31;add_test;/root/repo/bench/CMakeLists.txt;0;;/root/repo/CMakeLists.txt;29;include;/root/repo/CMakeLists.txt;0;")
+add_test(bench_smoke_composition_explosion "/root/repo/build/bench/composition_explosion")
+set_tests_properties(bench_smoke_composition_explosion PROPERTIES  _BACKTRACE_TRIPLES "/root/repo/bench/CMakeLists.txt;31;add_test;/root/repo/bench/CMakeLists.txt;0;;/root/repo/CMakeLists.txt;29;include;/root/repo/CMakeLists.txt;0;")
+add_test(bench_smoke_fault_campaign "/root/repo/build/bench/fault_campaign")
+set_tests_properties(bench_smoke_fault_campaign PROPERTIES  _BACKTRACE_TRIPLES "/root/repo/bench/CMakeLists.txt;31;add_test;/root/repo/bench/CMakeLists.txt;0;;/root/repo/CMakeLists.txt;29;include;/root/repo/CMakeLists.txt;0;")
+add_test(bench_smoke_candidate_sets "/root/repo/build/bench/candidate_sets")
+set_tests_properties(bench_smoke_candidate_sets PROPERTIES  _BACKTRACE_TRIPLES "/root/repo/bench/CMakeLists.txt;31;add_test;/root/repo/bench/CMakeLists.txt;0;;/root/repo/CMakeLists.txt;29;include;/root/repo/CMakeLists.txt;0;")
+add_test(bench_smoke_diagnostic_power "/root/repo/build/bench/diagnostic_power")
+set_tests_properties(bench_smoke_diagnostic_power PROPERTIES  _BACKTRACE_TRIPLES "/root/repo/bench/CMakeLists.txt;31;add_test;/root/repo/bench/CMakeLists.txt;0;;/root/repo/CMakeLists.txt;29;include;/root/repo/CMakeLists.txt;0;")
+add_test(bench_smoke_multi_fault "/root/repo/build/bench/multi_fault")
+set_tests_properties(bench_smoke_multi_fault PROPERTIES  _BACKTRACE_TRIPLES "/root/repo/bench/CMakeLists.txt;31;add_test;/root/repo/bench/CMakeLists.txt;0;;/root/repo/CMakeLists.txt;29;include;/root/repo/CMakeLists.txt;0;")
+add_test(bench_smoke_coordination "/root/repo/build/bench/coordination")
+set_tests_properties(bench_smoke_coordination PROPERTIES  _BACKTRACE_TRIPLES "/root/repo/bench/CMakeLists.txt;31;add_test;/root/repo/bench/CMakeLists.txt;0;;/root/repo/CMakeLists.txt;29;include;/root/repo/CMakeLists.txt;0;")
+add_test(bench_smoke_nondet_diagnosis "/root/repo/build/bench/nondet_diagnosis")
+set_tests_properties(bench_smoke_nondet_diagnosis PROPERTIES  _BACKTRACE_TRIPLES "/root/repo/bench/CMakeLists.txt;31;add_test;/root/repo/bench/CMakeLists.txt;0;;/root/repo/CMakeLists.txt;29;include;/root/repo/CMakeLists.txt;0;")
+add_test(bench_smoke_scaling "/root/repo/build/bench/scaling" "--benchmark_min_time=0.01")
+set_tests_properties(bench_smoke_scaling PROPERTIES  _BACKTRACE_TRIPLES "/root/repo/bench/CMakeLists.txt;33;add_test;/root/repo/bench/CMakeLists.txt;0;;/root/repo/CMakeLists.txt;29;include;/root/repo/CMakeLists.txt;0;")
+subdirs("src")
+subdirs("tests")
+subdirs("examples")
+subdirs("tools")

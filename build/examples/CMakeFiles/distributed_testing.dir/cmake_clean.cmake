@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/distributed_testing.dir/distributed_testing.cpp.o"
+  "CMakeFiles/distributed_testing.dir/distributed_testing.cpp.o.d"
+  "distributed_testing"
+  "distributed_testing.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/distributed_testing.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/handwritten_iut.dir/handwritten_iut.cpp.o"
+  "CMakeFiles/handwritten_iut.dir/handwritten_iut.cpp.o.d"
+  "handwritten_iut"
+  "handwritten_iut.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/handwritten_iut.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/suite_engineering.dir/suite_engineering.cpp.o"
+  "CMakeFiles/suite_engineering.dir/suite_engineering.cpp.o.d"
+  "suite_engineering"
+  "suite_engineering.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/suite_engineering.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,20 @@
+# CMake generated Testfile for 
+# Source directory: /root/repo/examples
+# Build directory: /root/repo/build/examples
+# 
+# This file includes the relevant testing commands required for 
+# testing this directory and lists subdirectories to be tested as well.
+add_test(example_smoke_quickstart "/root/repo/build/examples/quickstart")
+set_tests_properties(example_smoke_quickstart PROPERTIES  _BACKTRACE_TRIPLES "/root/repo/examples/CMakeLists.txt;17;add_test;/root/repo/examples/CMakeLists.txt;0;")
+add_test(example_smoke_paper_walkthrough "/root/repo/build/examples/paper_walkthrough")
+set_tests_properties(example_smoke_paper_walkthrough PROPERTIES  _BACKTRACE_TRIPLES "/root/repo/examples/CMakeLists.txt;17;add_test;/root/repo/examples/CMakeLists.txt;0;")
+add_test(example_smoke_alternating_bit "/root/repo/build/examples/alternating_bit")
+set_tests_properties(example_smoke_alternating_bit PROPERTIES  _BACKTRACE_TRIPLES "/root/repo/examples/CMakeLists.txt;17;add_test;/root/repo/examples/CMakeLists.txt;0;")
+add_test(example_smoke_fault_campaign "/root/repo/build/examples/fault_campaign")
+set_tests_properties(example_smoke_fault_campaign PROPERTIES  _BACKTRACE_TRIPLES "/root/repo/examples/CMakeLists.txt;17;add_test;/root/repo/examples/CMakeLists.txt;0;")
+add_test(example_smoke_distributed_testing "/root/repo/build/examples/distributed_testing")
+set_tests_properties(example_smoke_distributed_testing PROPERTIES  _BACKTRACE_TRIPLES "/root/repo/examples/CMakeLists.txt;17;add_test;/root/repo/examples/CMakeLists.txt;0;")
+add_test(example_smoke_suite_engineering "/root/repo/build/examples/suite_engineering")
+set_tests_properties(example_smoke_suite_engineering PROPERTIES  _BACKTRACE_TRIPLES "/root/repo/examples/CMakeLists.txt;17;add_test;/root/repo/examples/CMakeLists.txt;0;")
+add_test(example_smoke_handwritten_iut "/root/repo/build/examples/handwritten_iut")
+set_tests_properties(example_smoke_handwritten_iut PROPERTIES  _BACKTRACE_TRIPLES "/root/repo/examples/CMakeLists.txt;17;add_test;/root/repo/examples/CMakeLists.txt;0;")

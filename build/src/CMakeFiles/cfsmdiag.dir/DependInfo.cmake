@@ -1,0 +1,75 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/cfsm/alphabet.cpp" "src/CMakeFiles/cfsmdiag.dir/cfsm/alphabet.cpp.o" "gcc" "src/CMakeFiles/cfsmdiag.dir/cfsm/alphabet.cpp.o.d"
+  "/root/repo/src/cfsm/async.cpp" "src/CMakeFiles/cfsmdiag.dir/cfsm/async.cpp.o" "gcc" "src/CMakeFiles/cfsmdiag.dir/cfsm/async.cpp.o.d"
+  "/root/repo/src/cfsm/compose.cpp" "src/CMakeFiles/cfsmdiag.dir/cfsm/compose.cpp.o" "gcc" "src/CMakeFiles/cfsmdiag.dir/cfsm/compose.cpp.o.d"
+  "/root/repo/src/cfsm/equivalence.cpp" "src/CMakeFiles/cfsmdiag.dir/cfsm/equivalence.cpp.o" "gcc" "src/CMakeFiles/cfsmdiag.dir/cfsm/equivalence.cpp.o.d"
+  "/root/repo/src/cfsm/search.cpp" "src/CMakeFiles/cfsmdiag.dir/cfsm/search.cpp.o" "gcc" "src/CMakeFiles/cfsmdiag.dir/cfsm/search.cpp.o.d"
+  "/root/repo/src/cfsm/simulator.cpp" "src/CMakeFiles/cfsmdiag.dir/cfsm/simulator.cpp.o" "gcc" "src/CMakeFiles/cfsmdiag.dir/cfsm/simulator.cpp.o.d"
+  "/root/repo/src/cfsm/system.cpp" "src/CMakeFiles/cfsmdiag.dir/cfsm/system.cpp.o" "gcc" "src/CMakeFiles/cfsmdiag.dir/cfsm/system.cpp.o.d"
+  "/root/repo/src/cfsm/trace.cpp" "src/CMakeFiles/cfsmdiag.dir/cfsm/trace.cpp.o" "gcc" "src/CMakeFiles/cfsmdiag.dir/cfsm/trace.cpp.o.d"
+  "/root/repo/src/cfsm/validate.cpp" "src/CMakeFiles/cfsmdiag.dir/cfsm/validate.cpp.o" "gcc" "src/CMakeFiles/cfsmdiag.dir/cfsm/validate.cpp.o.d"
+  "/root/repo/src/diag/additional_tests.cpp" "src/CMakeFiles/cfsmdiag.dir/diag/additional_tests.cpp.o" "gcc" "src/CMakeFiles/cfsmdiag.dir/diag/additional_tests.cpp.o.d"
+  "/root/repo/src/diag/candidates.cpp" "src/CMakeFiles/cfsmdiag.dir/diag/candidates.cpp.o" "gcc" "src/CMakeFiles/cfsmdiag.dir/diag/candidates.cpp.o.d"
+  "/root/repo/src/diag/composite.cpp" "src/CMakeFiles/cfsmdiag.dir/diag/composite.cpp.o" "gcc" "src/CMakeFiles/cfsmdiag.dir/diag/composite.cpp.o.d"
+  "/root/repo/src/diag/conflict.cpp" "src/CMakeFiles/cfsmdiag.dir/diag/conflict.cpp.o" "gcc" "src/CMakeFiles/cfsmdiag.dir/diag/conflict.cpp.o.d"
+  "/root/repo/src/diag/diagnoser.cpp" "src/CMakeFiles/cfsmdiag.dir/diag/diagnoser.cpp.o" "gcc" "src/CMakeFiles/cfsmdiag.dir/diag/diagnoser.cpp.o.d"
+  "/root/repo/src/diag/diagnosis.cpp" "src/CMakeFiles/cfsmdiag.dir/diag/diagnosis.cpp.o" "gcc" "src/CMakeFiles/cfsmdiag.dir/diag/diagnosis.cpp.o.d"
+  "/root/repo/src/diag/discriminate.cpp" "src/CMakeFiles/cfsmdiag.dir/diag/discriminate.cpp.o" "gcc" "src/CMakeFiles/cfsmdiag.dir/diag/discriminate.cpp.o.d"
+  "/root/repo/src/diag/hypotheses.cpp" "src/CMakeFiles/cfsmdiag.dir/diag/hypotheses.cpp.o" "gcc" "src/CMakeFiles/cfsmdiag.dir/diag/hypotheses.cpp.o.d"
+  "/root/repo/src/diag/multi_fault.cpp" "src/CMakeFiles/cfsmdiag.dir/diag/multi_fault.cpp.o" "gcc" "src/CMakeFiles/cfsmdiag.dir/diag/multi_fault.cpp.o.d"
+  "/root/repo/src/diag/report.cpp" "src/CMakeFiles/cfsmdiag.dir/diag/report.cpp.o" "gcc" "src/CMakeFiles/cfsmdiag.dir/diag/report.cpp.o.d"
+  "/root/repo/src/diag/single_fsm.cpp" "src/CMakeFiles/cfsmdiag.dir/diag/single_fsm.cpp.o" "gcc" "src/CMakeFiles/cfsmdiag.dir/diag/single_fsm.cpp.o.d"
+  "/root/repo/src/diag/symptom.cpp" "src/CMakeFiles/cfsmdiag.dir/diag/symptom.cpp.o" "gcc" "src/CMakeFiles/cfsmdiag.dir/diag/symptom.cpp.o.d"
+  "/root/repo/src/diag/witness.cpp" "src/CMakeFiles/cfsmdiag.dir/diag/witness.cpp.o" "gcc" "src/CMakeFiles/cfsmdiag.dir/diag/witness.cpp.o.d"
+  "/root/repo/src/fault/enumerate.cpp" "src/CMakeFiles/cfsmdiag.dir/fault/enumerate.cpp.o" "gcc" "src/CMakeFiles/cfsmdiag.dir/fault/enumerate.cpp.o.d"
+  "/root/repo/src/fault/fault.cpp" "src/CMakeFiles/cfsmdiag.dir/fault/fault.cpp.o" "gcc" "src/CMakeFiles/cfsmdiag.dir/fault/fault.cpp.o.d"
+  "/root/repo/src/fault/mutate.cpp" "src/CMakeFiles/cfsmdiag.dir/fault/mutate.cpp.o" "gcc" "src/CMakeFiles/cfsmdiag.dir/fault/mutate.cpp.o.d"
+  "/root/repo/src/fault/oracle.cpp" "src/CMakeFiles/cfsmdiag.dir/fault/oracle.cpp.o" "gcc" "src/CMakeFiles/cfsmdiag.dir/fault/oracle.cpp.o.d"
+  "/root/repo/src/fsm/analysis.cpp" "src/CMakeFiles/cfsmdiag.dir/fsm/analysis.cpp.o" "gcc" "src/CMakeFiles/cfsmdiag.dir/fsm/analysis.cpp.o.d"
+  "/root/repo/src/fsm/builder.cpp" "src/CMakeFiles/cfsmdiag.dir/fsm/builder.cpp.o" "gcc" "src/CMakeFiles/cfsmdiag.dir/fsm/builder.cpp.o.d"
+  "/root/repo/src/fsm/cover.cpp" "src/CMakeFiles/cfsmdiag.dir/fsm/cover.cpp.o" "gcc" "src/CMakeFiles/cfsmdiag.dir/fsm/cover.cpp.o.d"
+  "/root/repo/src/fsm/distinguish.cpp" "src/CMakeFiles/cfsmdiag.dir/fsm/distinguish.cpp.o" "gcc" "src/CMakeFiles/cfsmdiag.dir/fsm/distinguish.cpp.o.d"
+  "/root/repo/src/fsm/dot.cpp" "src/CMakeFiles/cfsmdiag.dir/fsm/dot.cpp.o" "gcc" "src/CMakeFiles/cfsmdiag.dir/fsm/dot.cpp.o.d"
+  "/root/repo/src/fsm/fsm.cpp" "src/CMakeFiles/cfsmdiag.dir/fsm/fsm.cpp.o" "gcc" "src/CMakeFiles/cfsmdiag.dir/fsm/fsm.cpp.o.d"
+  "/root/repo/src/fsm/minimize.cpp" "src/CMakeFiles/cfsmdiag.dir/fsm/minimize.cpp.o" "gcc" "src/CMakeFiles/cfsmdiag.dir/fsm/minimize.cpp.o.d"
+  "/root/repo/src/fsm/separate.cpp" "src/CMakeFiles/cfsmdiag.dir/fsm/separate.cpp.o" "gcc" "src/CMakeFiles/cfsmdiag.dir/fsm/separate.cpp.o.d"
+  "/root/repo/src/fsm/symbol.cpp" "src/CMakeFiles/cfsmdiag.dir/fsm/symbol.cpp.o" "gcc" "src/CMakeFiles/cfsmdiag.dir/fsm/symbol.cpp.o.d"
+  "/root/repo/src/gen/campaign.cpp" "src/CMakeFiles/cfsmdiag.dir/gen/campaign.cpp.o" "gcc" "src/CMakeFiles/cfsmdiag.dir/gen/campaign.cpp.o.d"
+  "/root/repo/src/gen/random_system.cpp" "src/CMakeFiles/cfsmdiag.dir/gen/random_system.cpp.o" "gcc" "src/CMakeFiles/cfsmdiag.dir/gen/random_system.cpp.o.d"
+  "/root/repo/src/io/text_format.cpp" "src/CMakeFiles/cfsmdiag.dir/io/text_format.cpp.o" "gcc" "src/CMakeFiles/cfsmdiag.dir/io/text_format.cpp.o.d"
+  "/root/repo/src/models/models.cpp" "src/CMakeFiles/cfsmdiag.dir/models/models.cpp.o" "gcc" "src/CMakeFiles/cfsmdiag.dir/models/models.cpp.o.d"
+  "/root/repo/src/nondet/behaviours.cpp" "src/CMakeFiles/cfsmdiag.dir/nondet/behaviours.cpp.o" "gcc" "src/CMakeFiles/cfsmdiag.dir/nondet/behaviours.cpp.o.d"
+  "/root/repo/src/nondet/diagnose.cpp" "src/CMakeFiles/cfsmdiag.dir/nondet/diagnose.cpp.o" "gcc" "src/CMakeFiles/cfsmdiag.dir/nondet/diagnose.cpp.o.d"
+  "/root/repo/src/paperex/figure1.cpp" "src/CMakeFiles/cfsmdiag.dir/paperex/figure1.cpp.o" "gcc" "src/CMakeFiles/cfsmdiag.dir/paperex/figure1.cpp.o.d"
+  "/root/repo/src/tester/coordinator.cpp" "src/CMakeFiles/cfsmdiag.dir/tester/coordinator.cpp.o" "gcc" "src/CMakeFiles/cfsmdiag.dir/tester/coordinator.cpp.o.d"
+  "/root/repo/src/tester/sut.cpp" "src/CMakeFiles/cfsmdiag.dir/tester/sut.cpp.o" "gcc" "src/CMakeFiles/cfsmdiag.dir/tester/sut.cpp.o.d"
+  "/root/repo/src/testgen/diagnostic_suite.cpp" "src/CMakeFiles/cfsmdiag.dir/testgen/diagnostic_suite.cpp.o" "gcc" "src/CMakeFiles/cfsmdiag.dir/testgen/diagnostic_suite.cpp.o.d"
+  "/root/repo/src/testgen/methods.cpp" "src/CMakeFiles/cfsmdiag.dir/testgen/methods.cpp.o" "gcc" "src/CMakeFiles/cfsmdiag.dir/testgen/methods.cpp.o.d"
+  "/root/repo/src/testgen/mutation.cpp" "src/CMakeFiles/cfsmdiag.dir/testgen/mutation.cpp.o" "gcc" "src/CMakeFiles/cfsmdiag.dir/testgen/mutation.cpp.o.d"
+  "/root/repo/src/testgen/random_walk.cpp" "src/CMakeFiles/cfsmdiag.dir/testgen/random_walk.cpp.o" "gcc" "src/CMakeFiles/cfsmdiag.dir/testgen/random_walk.cpp.o.d"
+  "/root/repo/src/testgen/reduce.cpp" "src/CMakeFiles/cfsmdiag.dir/testgen/reduce.cpp.o" "gcc" "src/CMakeFiles/cfsmdiag.dir/testgen/reduce.cpp.o.d"
+  "/root/repo/src/testgen/stats.cpp" "src/CMakeFiles/cfsmdiag.dir/testgen/stats.cpp.o" "gcc" "src/CMakeFiles/cfsmdiag.dir/testgen/stats.cpp.o.d"
+  "/root/repo/src/testgen/testcase.cpp" "src/CMakeFiles/cfsmdiag.dir/testgen/testcase.cpp.o" "gcc" "src/CMakeFiles/cfsmdiag.dir/testgen/testcase.cpp.o.d"
+  "/root/repo/src/testgen/tour.cpp" "src/CMakeFiles/cfsmdiag.dir/testgen/tour.cpp.o" "gcc" "src/CMakeFiles/cfsmdiag.dir/testgen/tour.cpp.o.d"
+  "/root/repo/src/testgen/wsuite.cpp" "src/CMakeFiles/cfsmdiag.dir/testgen/wsuite.cpp.o" "gcc" "src/CMakeFiles/cfsmdiag.dir/testgen/wsuite.cpp.o.d"
+  "/root/repo/src/util/json.cpp" "src/CMakeFiles/cfsmdiag.dir/util/json.cpp.o" "gcc" "src/CMakeFiles/cfsmdiag.dir/util/json.cpp.o.d"
+  "/root/repo/src/util/rng.cpp" "src/CMakeFiles/cfsmdiag.dir/util/rng.cpp.o" "gcc" "src/CMakeFiles/cfsmdiag.dir/util/rng.cpp.o.d"
+  "/root/repo/src/util/strings.cpp" "src/CMakeFiles/cfsmdiag.dir/util/strings.cpp.o" "gcc" "src/CMakeFiles/cfsmdiag.dir/util/strings.cpp.o.d"
+  "/root/repo/src/util/table.cpp" "src/CMakeFiles/cfsmdiag.dir/util/table.cpp.o" "gcc" "src/CMakeFiles/cfsmdiag.dir/util/table.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

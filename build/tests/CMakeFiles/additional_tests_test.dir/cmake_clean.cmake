@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/additional_tests_test.dir/additional_tests_test.cpp.o"
+  "CMakeFiles/additional_tests_test.dir/additional_tests_test.cpp.o.d"
+  "additional_tests_test"
+  "additional_tests_test.pdb"
+  "additional_tests_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/additional_tests_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/compose_search_test.dir/compose_search_test.cpp.o"
+  "CMakeFiles/compose_search_test.dir/compose_search_test.cpp.o.d"
+  "compose_search_test"
+  "compose_search_test.pdb"
+  "compose_search_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/compose_search_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

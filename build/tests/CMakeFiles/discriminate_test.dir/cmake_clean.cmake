@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/discriminate_test.dir/discriminate_test.cpp.o"
+  "CMakeFiles/discriminate_test.dir/discriminate_test.cpp.o.d"
+  "discriminate_test"
+  "discriminate_test.pdb"
+  "discriminate_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/discriminate_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/methods_test.dir/methods_test.cpp.o"
+  "CMakeFiles/methods_test.dir/methods_test.cpp.o.d"
+  "methods_test"
+  "methods_test.pdb"
+  "methods_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/methods_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/multi_fault_test.dir/multi_fault_test.cpp.o"
+  "CMakeFiles/multi_fault_test.dir/multi_fault_test.cpp.o.d"
+  "multi_fault_test"
+  "multi_fault_test.pdb"
+  "multi_fault_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/multi_fault_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/report_tools_test.dir/report_tools_test.cpp.o"
+  "CMakeFiles/report_tools_test.dir/report_tools_test.cpp.o.d"
+  "report_tools_test"
+  "report_tools_test.pdb"
+  "report_tools_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/report_tools_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

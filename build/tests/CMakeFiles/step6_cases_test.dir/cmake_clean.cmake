@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/step6_cases_test.dir/step6_cases_test.cpp.o"
+  "CMakeFiles/step6_cases_test.dir/step6_cases_test.cpp.o.d"
+  "step6_cases_test"
+  "step6_cases_test.pdb"
+  "step6_cases_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/step6_cases_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

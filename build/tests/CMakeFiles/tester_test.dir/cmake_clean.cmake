@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/tester_test.dir/tester_test.cpp.o"
+  "CMakeFiles/tester_test.dir/tester_test.cpp.o.d"
+  "tester_test"
+  "tester_test.pdb"
+  "tester_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/tester_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

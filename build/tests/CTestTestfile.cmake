@@ -1,0 +1,32 @@
+# CMake generated Testfile for 
+# Source directory: /root/repo/tests
+# Build directory: /root/repo/build/tests
+# 
+# This file includes the relevant testing commands required for 
+# testing this directory and lists subdirectories to be tested as well.
+include("/root/repo/build/tests/util_test[1]_include.cmake")
+include("/root/repo/build/tests/fsm_core_test[1]_include.cmake")
+include("/root/repo/build/tests/fsm_algorithms_test[1]_include.cmake")
+include("/root/repo/build/tests/simulator_test[1]_include.cmake")
+include("/root/repo/build/tests/validate_test[1]_include.cmake")
+include("/root/repo/build/tests/compose_search_test[1]_include.cmake")
+include("/root/repo/build/tests/fault_test[1]_include.cmake")
+include("/root/repo/build/tests/testgen_test[1]_include.cmake")
+include("/root/repo/build/tests/diag_steps_test[1]_include.cmake")
+include("/root/repo/build/tests/discriminate_test[1]_include.cmake")
+include("/root/repo/build/tests/diagnoser_test[1]_include.cmake")
+include("/root/repo/build/tests/paper_example_test[1]_include.cmake")
+include("/root/repo/build/tests/property_test[1]_include.cmake")
+include("/root/repo/build/tests/io_test[1]_include.cmake")
+include("/root/repo/build/tests/async_test[1]_include.cmake")
+include("/root/repo/build/tests/methods_test[1]_include.cmake")
+include("/root/repo/build/tests/multi_fault_test[1]_include.cmake")
+include("/root/repo/build/tests/tester_test[1]_include.cmake")
+include("/root/repo/build/tests/models_test[1]_include.cmake")
+include("/root/repo/build/tests/step6_cases_test[1]_include.cmake")
+include("/root/repo/build/tests/report_tools_test[1]_include.cmake")
+include("/root/repo/build/tests/addressing_test[1]_include.cmake")
+include("/root/repo/build/tests/additional_tests_test[1]_include.cmake")
+include("/root/repo/build/tests/nondet_test[1]_include.cmake")
+include("/root/repo/build/tests/integration_test[1]_include.cmake")
+include("/root/repo/build/tests/invariants_test[1]_include.cmake")

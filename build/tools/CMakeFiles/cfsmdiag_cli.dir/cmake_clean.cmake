@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/cfsmdiag_cli.dir/cfsmdiag_cli.cpp.o"
+  "CMakeFiles/cfsmdiag_cli.dir/cfsmdiag_cli.cpp.o.d"
+  "cfsmdiag"
+  "cfsmdiag.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/cfsmdiag_cli.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,32 @@
+# CMake generated Testfile for 
+# Source directory: /root/repo/tools
+# Build directory: /root/repo/build/tools
+# 
+# This file includes the relevant testing commands required for 
+# testing this directory and lists subdirectories to be tested as well.
+add_test(cli_show "/root/repo/build/tools/cfsmdiag" "show" "/root/repo/examples/data/figure1.cfsm")
+set_tests_properties(cli_show PROPERTIES  _BACKTRACE_TRIPLES "/root/repo/tools/CMakeLists.txt;8;add_test;/root/repo/tools/CMakeLists.txt;0;")
+add_test(cli_dot "/root/repo/build/tools/cfsmdiag" "dot" "/root/repo/examples/data/figure1.cfsm")
+set_tests_properties(cli_dot PROPERTIES  _BACKTRACE_TRIPLES "/root/repo/tools/CMakeLists.txt;9;add_test;/root/repo/tools/CMakeLists.txt;0;")
+add_test(cli_gen_tour "/root/repo/build/tools/cfsmdiag" "gen" "/root/repo/examples/data/figure1.cfsm" "tour")
+set_tests_properties(cli_gen_tour PROPERTIES  _BACKTRACE_TRIPLES "/root/repo/tools/CMakeLists.txt;10;add_test;/root/repo/tools/CMakeLists.txt;0;")
+add_test(cli_gen_wp "/root/repo/build/tools/cfsmdiag" "gen" "/root/repo/examples/data/figure1.cfsm" "wp")
+set_tests_properties(cli_gen_wp PROPERTIES  _BACKTRACE_TRIPLES "/root/repo/tools/CMakeLists.txt;11;add_test;/root/repo/tools/CMakeLists.txt;0;")
+add_test(cli_diagnose "/root/repo/build/tools/cfsmdiag" "diagnose" "/root/repo/examples/data/figure1.cfsm" "/root/repo/examples/data/table1.suite" "M3.t''4 -> s0")
+set_tests_properties(cli_diagnose PROPERTIES  PASS_REGULAR_EXPRESSION "transfer fault, next state s0" _BACKTRACE_TRIPLES "/root/repo/tools/CMakeLists.txt;12;add_test;/root/repo/tools/CMakeLists.txt;0;")
+add_test(cli_diagnose_multi "/root/repo/build/tools/cfsmdiag" "diagnose" "/root/repo/examples/data/figure1.cfsm" "/root/repo/examples/data/table1.suite" "M1.t7 / c' ; M3.t''4 -> s0")
+set_tests_properties(cli_diagnose_multi PROPERTIES  _BACKTRACE_TRIPLES "/root/repo/tools/CMakeLists.txt;14;add_test;/root/repo/tools/CMakeLists.txt;0;")
+add_test(cli_campaign "/root/repo/build/tools/cfsmdiag" "campaign" "/root/repo/examples/data/figure1.cfsm" "60")
+set_tests_properties(cli_campaign PROPERTIES  _BACKTRACE_TRIPLES "/root/repo/tools/CMakeLists.txt;17;add_test;/root/repo/tools/CMakeLists.txt;0;")
+add_test(cli_score "/root/repo/build/tools/cfsmdiag" "score" "/root/repo/examples/data/figure1.cfsm" "/root/repo/examples/data/table1.suite")
+set_tests_properties(cli_score PROPERTIES  WILL_FAIL "TRUE" _BACKTRACE_TRIPLES "/root/repo/tools/CMakeLists.txt;18;add_test;/root/repo/tools/CMakeLists.txt;0;")
+add_test(cli_reduce "/root/repo/build/tools/cfsmdiag" "reduce" "/root/repo/examples/data/figure1.cfsm" "/root/repo/examples/data/table1.suite")
+set_tests_properties(cli_reduce PROPERTIES  _BACKTRACE_TRIPLES "/root/repo/tools/CMakeLists.txt;20;add_test;/root/repo/tools/CMakeLists.txt;0;")
+add_test(cli_diagnose_json "/root/repo/build/tools/cfsmdiag" "diagnose" "/root/repo/examples/data/figure1.cfsm" "/root/repo/examples/data/table1.suite" "M3.t''4 -> s0" "--json")
+set_tests_properties(cli_diagnose_json PROPERTIES  PASS_REGULAR_EXPRESSION "\"outcome\": \"localized\"" _BACKTRACE_TRIPLES "/root/repo/tools/CMakeLists.txt;21;add_test;/root/repo/tools/CMakeLists.txt;0;")
+add_test(cli_random "/root/repo/build/tools/cfsmdiag" "random" "7" "3" "3")
+set_tests_properties(cli_random PROPERTIES  _BACKTRACE_TRIPLES "/root/repo/tools/CMakeLists.txt;25;add_test;/root/repo/tools/CMakeLists.txt;0;")
+add_test(cli_usage_error "/root/repo/build/tools/cfsmdiag" "bogus")
+set_tests_properties(cli_usage_error PROPERTIES  WILL_FAIL "TRUE" _BACKTRACE_TRIPLES "/root/repo/tools/CMakeLists.txt;26;add_test;/root/repo/tools/CMakeLists.txt;0;")
+add_test(cli_witness "/root/repo/build/tools/cfsmdiag" "witness" "/root/repo/examples/data/figure1.cfsm" "M3.t''4 -> s0")
+set_tests_properties(cli_witness PROPERTIES  PASS_REGULAR_EXPRESSION "first divergence" _BACKTRACE_TRIPLES "/root/repo/tools/CMakeLists.txt;30;add_test;/root/repo/tools/CMakeLists.txt;0;")
