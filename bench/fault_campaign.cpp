@@ -9,7 +9,14 @@
 //     sweep (the routing is cheaper but needs escalation in corner cases),
 //   - Step 6 strategy: structured paper-shaped tests vs pure joint-state
 //     search.
+//
+// `--jobs N` runs every campaign through the parallel engine with N workers
+// (0 = hardware concurrency; default 1), and the closing block times the
+// default random-system campaign serial vs parallel, asserting the entries
+// are byte-identical before reporting the speedup.
+#include <chrono>
 #include <iostream>
+#include <string>
 
 #include "cfsmdiag.hpp"
 
@@ -63,18 +70,34 @@ std::vector<class_row> classes_of(const cfsmdiag::system& spec,
     };
 }
 
+double time_campaign(campaign_engine& engine) {
+    const auto t0 = std::chrono::steady_clock::now();
+    (void)engine.run();
+    const std::chrono::duration<double> d =
+        std::chrono::steady_clock::now() - t0;
+    return d.count();
+}
+
 }  // namespace
 
-int main() {
+int main(int argc, char** argv) {
+    std::size_t jobs = 1;
+    for (int i = 1; i < argc; ++i) {
+        if (std::string(argv[i]) == "--jobs" && i + 1 < argc)
+            jobs = std::stoul(argv[++i]);
+    }
+    campaign_options base;
+    base.jobs = jobs;
+
     std::cout << "=== campaign A: Figure-1 system, transition-tour suite "
                  "===\n";
     const auto ex = paperex::make_paper_example();
     const test_suite ex_suite = transition_tour(ex.spec).suite;
-    run_block(ex.spec, ex_suite, classes_of(ex.spec, 10'000), {});
+    run_block(ex.spec, ex_suite, classes_of(ex.spec, 10'000), base);
 
     std::cout << "\n=== campaign B: Figure-1 system, Table-1 suite only "
                  "(two test cases) ===\n";
-    run_block(ex.spec, ex.suite, classes_of(ex.spec, 10'000), {});
+    run_block(ex.spec, ex.suite, classes_of(ex.spec, 10'000), base);
 
     std::cout << "\n=== campaign C: random 3x4 system, tour + random walks "
                  "===\n";
@@ -88,7 +111,7 @@ int main() {
     rng walk_rng(778);
     rnd_suite.extend(random_walk_suite(rnd, walk_rng,
                                        {.cases = 6, .steps_per_case = 12}));
-    run_block(rnd, rnd_suite, classes_of(rnd, 150), {});
+    run_block(rnd, rnd_suite, classes_of(rnd, 150), base);
 
     std::cout << "\n=== campaign D: protocol models, tour + 4 walks ===\n";
     {
@@ -102,7 +125,7 @@ int main() {
                 sys, wr, {.cases = 4, .steps_per_case = 12}));
             auto faults = enumerate_all_faults(sys);
             if (faults.size() > 120) faults.resize(120);
-            const auto stats = run_campaign(sys, suite, faults, {});
+            const auto stats = run_campaign(sys, suite, faults, base);
             auto pct = [&](std::size_t n, std::size_t d) {
                 return d == 0 ? std::string("-")
                               : fmt_double(100.0 * static_cast<double>(n) /
@@ -132,7 +155,7 @@ int main() {
             rng wr(999);
             suite.extend(random_walk_suite(
                 sys, wr, {.cases = 4, .steps_per_case = 10}));
-            campaign_options opts;
+            campaign_options opts = base;
             opts.diag.include_addressing_faults = true;
             const auto stats = run_campaign(
                 sys, suite, enumerate_addressing_faults(sys), opts);
@@ -192,6 +215,8 @@ int main() {
         variants.push_back(v);
     }
 
+    for (auto& v : variants) v.opts.jobs = jobs;
+
     text_table t({"variant", "detected", "exact", "up-to-equiv",
                   "ambiguous", "sound", "mean add. tests",
                   "mean add. inputs", "escalations", "fallbacks"});
@@ -223,5 +248,36 @@ int main() {
                  "why `complete` is the library default; disabling the "
                  "fallback search leaves some faults only ambiguously "
                  "localized.\n";
+
+    std::cout << "\n=== engine: serial vs parallel wall-clock (random 3x4 "
+                 "system, mixed faults) ===\n";
+    {
+        campaign_options serial = base;
+        serial.jobs = 1;
+        campaign_options parallel = base;
+        if (parallel.jobs == 1) parallel.jobs = 0;  // 0 = hw concurrency
+
+        campaign_engine serial_engine(rnd, rnd_suite, mixed, serial);
+        campaign_engine parallel_engine(rnd, rnd_suite, mixed, parallel);
+        const double serial_s = time_campaign(serial_engine);
+        const double parallel_s = time_campaign(parallel_engine);
+
+        const bool identical = serial_engine.stats().entries ==
+                               parallel_engine.stats().entries;
+        text_table t({"config", "workers", "faults", "replays",
+                      "wall (s)", "speedup"});
+        auto row = [&](const char* name, const campaign_engine& e,
+                       double secs, double ref) {
+            t.add_row({name, std::to_string(e.metrics().jobs),
+                       std::to_string(e.stats().total),
+                       std::to_string(e.metrics().replays),
+                       fmt_double(secs, 3), fmt_double(ref / secs, 2) + "x"});
+        };
+        row("jobs=1", serial_engine, serial_s, serial_s);
+        row("jobs=auto", parallel_engine, parallel_s, serial_s);
+        std::cout << t << "entries byte-identical across thread counts: "
+                  << (identical ? "yes" : "NO — DETERMINISM BUG") << "\n";
+        if (!identical) return 1;
+    }
     return 0;
 }

@@ -130,6 +130,29 @@ void bm_splitting_search(benchmark::State& state) {
 BENCHMARK(bm_splitting_search)->Arg(3)->Arg(5)->Unit(
     benchmark::kMicrosecond);
 
+/// Whole-campaign throughput through the engine, by worker count (Arg =
+/// jobs; 0 = hardware concurrency).  UseRealTime because the work happens
+/// on pool threads, not the benchmark thread.
+void bm_campaign_jobs(benchmark::State& state) {
+    const auto spec = make_system(3, 4, 29);
+    const test_suite suite = transition_tour(spec).suite;
+    auto faults = enumerate_all_faults(spec);
+    if (faults.size() > 60) faults.resize(60);
+    campaign_options opts;
+    opts.jobs = static_cast<std::size_t>(state.range(0));
+    for (auto _ : state) {
+        campaign_engine engine(spec, suite, faults, opts);
+        benchmark::DoNotOptimize(engine.run().total);
+    }
+    state.counters["faults"] = static_cast<double>(faults.size());
+    state.counters["workers"] =
+        static_cast<double>(resolve_job_count(opts.jobs));
+    state.SetItemsProcessed(
+        static_cast<std::int64_t>(state.iterations() * faults.size()));
+}
+BENCHMARK(bm_campaign_jobs)->Arg(1)->Arg(2)->Arg(4)->Arg(0)
+    ->Unit(benchmark::kMillisecond)->UseRealTime();
+
 }  // namespace
 
 BENCHMARK_MAIN();

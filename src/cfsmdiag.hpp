@@ -54,6 +54,7 @@
 #include "fsm/separate.hpp"
 #include "fsm/symbol.hpp"
 #include "gen/campaign.hpp"
+#include "gen/engine.hpp"
 #include "gen/random_system.hpp"
 #include "cfsm/equivalence.hpp"
 #include "io/text_format.hpp"
@@ -78,3 +79,4 @@
 #include "util/rng.hpp"
 #include "util/strings.hpp"
 #include "util/table.hpp"
+#include "util/thread_pool.hpp"

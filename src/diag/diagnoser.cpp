@@ -1,5 +1,6 @@
 #include "diag/diagnoser.hpp"
 
+#include <chrono>
 #include <sstream>
 
 #include "util/strings.hpp"
@@ -41,14 +42,24 @@ void apply_test(const system& spec, oracle& iut, hypothesis_tracker& tracker,
     result.additional_tests.push_back(std::move(rec));
 }
 
+/// Seconds elapsed since `since`, advancing `since` to now.
+double lap(std::chrono::steady_clock::time_point& since) {
+    const auto now = std::chrono::steady_clock::now();
+    const std::chrono::duration<double> d = now - since;
+    since = now;
+    return d.count();
+}
+
 }  // namespace
 
 diagnosis_result diagnose(const system& spec, const test_suite& suite,
                           oracle& iut, const diagnoser_options& options) {
     diagnosis_result result;
+    auto mark = std::chrono::steady_clock::now();
 
     // Steps 1-3.
     result.symptoms = collect_symptoms(spec, suite, iut);
+    result.timings.symptoms = lap(mark);
     if (!result.symptoms.has_symptoms()) {
         result.outcome = diagnosis_outcome::passed;
         return result;
@@ -77,6 +88,7 @@ diagnosis_result diagnose(const system& spec, const test_suite& suite,
             options.include_addressing_faults);
         result.initial_diagnoses = result.evaluated.diagnoses();
     }
+    result.timings.evaluation = lap(mark);
     if (result.initial_diagnoses.empty()) {
         result.outcome = diagnosis_outcome::no_consistent_hypothesis;
         return result;
@@ -141,6 +153,7 @@ diagnosis_result diagnose(const system& spec, const test_suite& suite,
     } else {
         result.outcome = diagnosis_outcome::ambiguous;
     }
+    result.timings.discrimination = lap(mark);
     return result;
 }
 

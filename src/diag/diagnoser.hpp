@@ -50,6 +50,27 @@ struct additional_test_record {
     bool from_fallback = false;
 };
 
+/// Wall-clock spent in each stage of one diagnose() run, in seconds.
+/// Informational only — never part of equality or serialized state, so
+/// results stay deterministic across machines and thread counts.
+struct stage_timings {
+    double symptoms = 0.0;        ///< Steps 1-3 (suite execution + compare)
+    double evaluation = 0.0;      ///< Steps 4-5 (initial hypothesis search)
+    double discrimination = 0.0;  ///< Step 6 (additional tests + verdict,
+                                  ///< incl. any mid-loop escalation)
+
+    [[nodiscard]] double total() const noexcept {
+        return symptoms + evaluation + discrimination;
+    }
+
+    stage_timings& operator+=(const stage_timings& o) noexcept {
+        symptoms += o.symptoms;
+        evaluation += o.evaluation;
+        discrimination += o.discrimination;
+        return *this;
+    }
+};
+
 struct diagnosis_result {
     diagnosis_outcome outcome = diagnosis_outcome::passed;
     symptom_report symptoms;
@@ -63,6 +84,7 @@ struct diagnosis_result {
     std::vector<additional_test_record> additional_tests;
     bool used_escalation = false;
     bool used_fallback_search = false;
+    stage_timings timings;
 
     /// Total inputs applied by additional tests (the paper's cost metric).
     [[nodiscard]] std::size_t additional_inputs() const noexcept;

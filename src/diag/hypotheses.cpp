@@ -2,9 +2,16 @@
 
 namespace cfsmdiag {
 
+namespace {
+thread_local std::size_t replay_count = 0;
+}  // namespace
+
+std::size_t hypothesis_replays() noexcept { return replay_count; }
+
 bool hypothesis_consistent(const system& spec, const test_suite& suite,
                            const symptom_report& report,
                            const transition_override& ov) {
+    ++replay_count;
     simulator sim(spec, ov);
     for (std::size_t ci = 0; ci < suite.cases.size(); ++ci) {
         const auto& inputs = suite.cases[ci].inputs;

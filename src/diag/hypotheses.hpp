@@ -31,6 +31,13 @@ namespace cfsmdiag {
                                          const symptom_report& report,
                                          const transition_override& ov);
 
+/// Number of hypothesis replays (`hypothesis_consistent` calls) performed
+/// by the *calling thread* so far.  Thread-local, so parallel campaign
+/// workers get attributable per-fault counts without synchronization; the
+/// count is monotone — snapshot before and after a diagnose() run and
+/// subtract.
+[[nodiscard]] std::size_t hypothesis_replays() noexcept;
+
 /// findendingstates for one transition.
 [[nodiscard]] std::vector<state_id> end_states(const system& spec,
                                                const test_suite& suite,

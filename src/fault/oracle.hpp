@@ -16,6 +16,16 @@
 namespace cfsmdiag {
 
 /// Black-box access to an implementation under test.
+///
+/// Thread-safety contract (what the parallel campaign engine relies on):
+///   - an oracle instance is *not* thread-safe — execute() mutates internal
+///     state (the simulator position, the effort counters), so each worker
+///     thread must own its own instance;
+///   - a `const system&` *is* safe to share across any number of oracles on
+///     any number of threads: `system` is immutable after construction and
+///     every library algorithm takes it by const reference.  Building one
+///     `simulated_iut` per fault per worker against a single shared spec is
+///     the intended usage.
 class oracle {
   public:
     virtual ~oracle() = default;
@@ -32,6 +42,10 @@ class oracle {
 };
 
 /// Oracle backed by a simulator over spec ⊕ fault.
+///
+/// Holds only a const reference to `spec` (via the simulator) — the spec
+/// must outlive the IUT, and may be shared read-only with concurrent
+/// simulated_iut instances on other threads.
 class simulated_iut final : public oracle {
   public:
     /// Fault-free implementation (conformance runs).

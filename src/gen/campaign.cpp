@@ -1,87 +1,15 @@
 #include "gen/campaign.hpp"
 
-#include <algorithm>
-
-#include "diag/discriminate.hpp"
-#include "fault/oracle.hpp"
+#include "gen/engine.hpp"
 
 namespace cfsmdiag {
-namespace {
-
-/// The truth is "found" if it appears verbatim among the final diagnoses or
-/// is observationally equivalent to one of them (a black box cannot tell
-/// equivalent hypotheses apart, so crediting equivalence is the honest
-/// scoring).
-bool truth_among(const system& spec, const single_transition_fault& truth,
-                 const std::vector<diagnosis>& finals) {
-    if (std::find(finals.begin(), finals.end(), truth) != finals.end())
-        return true;
-    return std::any_of(finals.begin(), finals.end(), [&](const diagnosis& d) {
-        return observationally_equivalent(spec, truth, d);
-    });
-}
-
-}  // namespace
 
 campaign_stats run_campaign(const system& spec, const test_suite& suite,
                             const std::vector<single_transition_fault>&
                                 faults,
                             const campaign_options& options) {
-    campaign_stats stats;
-    double sum_initial = 0, sum_final = 0, sum_tests = 0, sum_inputs = 0;
-
-    for (const auto& fault : faults) {
-        if (stats.total >= options.max_faults) break;
-        ++stats.total;
-
-        simulated_iut iut(spec, fault);
-        const diagnosis_result result =
-            diagnose(spec, suite, iut, options.diag);
-
-        campaign_entry entry;
-        entry.fault = fault;
-        entry.outcome = result.outcome;
-        entry.detected = result.outcome != diagnosis_outcome::passed;
-        entry.initial_diagnoses = result.initial_diagnoses.size();
-        entry.final_diagnoses = result.final_diagnoses.size();
-        entry.additional_tests = result.additional_tests.size();
-        entry.additional_inputs = result.additional_inputs();
-        entry.escalated = result.used_escalation;
-        entry.used_fallback = result.used_fallback_search;
-
-        if (entry.detected) {
-            ++stats.detected;
-            entry.sound = truth_among(spec, fault, result.final_diagnoses);
-            if (entry.sound) ++stats.sound;
-            sum_initial += static_cast<double>(entry.initial_diagnoses);
-            sum_final += static_cast<double>(entry.final_diagnoses);
-            sum_tests += static_cast<double>(entry.additional_tests);
-            sum_inputs += static_cast<double>(entry.additional_inputs);
-            switch (result.outcome) {
-                case diagnosis_outcome::localized: ++stats.localized; break;
-                case diagnosis_outcome::localized_up_to_equivalence:
-                    ++stats.localized_equiv;
-                    break;
-                case diagnosis_outcome::ambiguous: ++stats.ambiguous; break;
-                case diagnosis_outcome::no_consistent_hypothesis:
-                    ++stats.no_hypothesis;
-                    break;
-                case diagnosis_outcome::passed: break;
-            }
-            if (entry.escalated) ++stats.escalations;
-            if (entry.used_fallback) ++stats.fallbacks;
-        }
-        stats.entries.push_back(std::move(entry));
-    }
-
-    if (stats.detected > 0) {
-        const auto d = static_cast<double>(stats.detected);
-        stats.mean_initial_diagnoses = sum_initial / d;
-        stats.mean_final_diagnoses = sum_final / d;
-        stats.mean_additional_tests = sum_tests / d;
-        stats.mean_additional_inputs = sum_inputs / d;
-    }
-    return stats;
+    campaign_engine engine(spec, suite, faults, options);
+    return engine.run();
 }
 
 }  // namespace cfsmdiag

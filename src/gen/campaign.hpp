@@ -9,7 +9,16 @@
 //   - exact: the diagnosis localized to a single hypothesis (or an
 //     equivalence class containing the truth).
 // Aggregates feed bench/fault_campaign and the property tests.
+//
+// This header defines the shared campaign vocabulary (options, per-fault
+// entries, aggregate stats) plus the serial convenience `run_campaign()`.
+// The session API — sharded execution across a worker pool, progress
+// observers, machine-readable metrics — lives in gen/engine.hpp;
+// `run_campaign()` is a thin wrapper over it.
 #pragma once
+
+#include <cstdint>
+#include <optional>
 
 #include "diag/diagnoser.hpp"
 #include "fault/enumerate.hpp"
@@ -19,11 +28,22 @@ namespace cfsmdiag {
 
 struct campaign_options {
     diagnoser_options diag;
-    /// Stop after this many faults (for time-boxed benches).
-    std::size_t max_faults = static_cast<std::size_t>(-1);
+    /// Stop after this many faults (for time-boxed benches); nullopt runs
+    /// the whole universe.
+    std::optional<std::size_t> max_faults;
+    /// Worker threads for the campaign engine; 0 = hardware concurrency.
+    /// Results are byte-identical for every value (entries are merged in
+    /// fault-index order).
+    std::size_t jobs = 1;
+    /// Non-zero: shuffle the *execution* order of faults with this seed so
+    /// expensive faults spread across shards.  Output order is unaffected —
+    /// entries always come back in fault-index order.
+    std::uint64_t seed = 0;
 };
 
-/// One fault's scored run.
+/// One fault's scored run.  Every field is a deterministic function of
+/// (spec, suite, fault, diag options) — never of jobs/seed/wall-clock — so
+/// parallel and serial campaigns compare equal entry for entry.
 struct campaign_entry {
     single_transition_fault fault;
     diagnosis_outcome outcome = diagnosis_outcome::passed;
@@ -33,8 +53,18 @@ struct campaign_entry {
     std::size_t final_diagnoses = 0;
     std::size_t additional_tests = 0;
     std::size_t additional_inputs = 0;
+    /// Hypothesis replays (Step 5B/6 suite re-runs against mutated specs).
+    std::size_t replays = 0;
+    /// oracle::execute() calls / total inputs applied to this fault's IUT.
+    std::size_t oracle_executions = 0;
+    std::size_t oracle_inputs = 0;
     bool escalated = false;
     bool used_fallback = false;
+
+    /// Field-wise comparison — the determinism tests and benches assert
+    /// parallel runs reproduce serial entries exactly.
+    friend constexpr auto operator<=>(const campaign_entry&,
+                                      const campaign_entry&) = default;
 };
 
 struct campaign_stats {
@@ -55,7 +85,14 @@ struct campaign_stats {
     std::vector<campaign_entry> entries;
 };
 
-/// Runs the campaign over `faults`.
+/// Recomputes the aggregate counters from `entries` (same math the engine
+/// applies after its deterministic merge).
+[[nodiscard]] campaign_stats aggregate_entries(
+    std::vector<campaign_entry> entries);
+
+/// Runs the campaign over `faults` on the calling thread.  Thin wrapper
+/// over campaign_engine honouring `options` verbatim (default jobs = 1, so
+/// pre-engine callers stay serial and unchanged).
 [[nodiscard]] campaign_stats run_campaign(
     const system& spec, const test_suite& suite,
     const std::vector<single_transition_fault>& faults,

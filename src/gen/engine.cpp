@@ -1,0 +1,254 @@
+#include "gen/engine.hpp"
+
+#include <algorithm>
+#include <chrono>
+#include <mutex>
+#include <numeric>
+#include <utility>
+
+#include "diag/discriminate.hpp"
+#include "diag/hypotheses.hpp"
+#include "fault/oracle.hpp"
+#include "util/rng.hpp"
+#include "util/thread_pool.hpp"
+
+namespace cfsmdiag {
+namespace {
+
+/// The truth is "found" if it appears verbatim among the final diagnoses or
+/// is observationally equivalent to one of them (a black box cannot tell
+/// equivalent hypotheses apart, so crediting equivalence is the honest
+/// scoring).
+bool truth_among(const system& spec, const single_transition_fault& truth,
+                 const std::vector<diagnosis>& finals) {
+    if (std::find(finals.begin(), finals.end(), truth) != finals.end())
+        return true;
+    return std::any_of(finals.begin(), finals.end(), [&](const diagnosis& d) {
+        return observationally_equivalent(spec, truth, d);
+    });
+}
+
+double seconds_since(std::chrono::steady_clock::time_point t0) {
+    const std::chrono::duration<double> d =
+        std::chrono::steady_clock::now() - t0;
+    return d.count();
+}
+
+}  // namespace
+
+campaign_stats aggregate_entries(std::vector<campaign_entry> entries) {
+    campaign_stats stats;
+    double sum_initial = 0, sum_final = 0, sum_tests = 0, sum_inputs = 0;
+
+    for (const campaign_entry& entry : entries) {
+        ++stats.total;
+        if (!entry.detected) continue;
+        ++stats.detected;
+        if (entry.sound) ++stats.sound;
+        sum_initial += static_cast<double>(entry.initial_diagnoses);
+        sum_final += static_cast<double>(entry.final_diagnoses);
+        sum_tests += static_cast<double>(entry.additional_tests);
+        sum_inputs += static_cast<double>(entry.additional_inputs);
+        switch (entry.outcome) {
+            case diagnosis_outcome::localized: ++stats.localized; break;
+            case diagnosis_outcome::localized_up_to_equivalence:
+                ++stats.localized_equiv;
+                break;
+            case diagnosis_outcome::ambiguous: ++stats.ambiguous; break;
+            case diagnosis_outcome::no_consistent_hypothesis:
+                ++stats.no_hypothesis;
+                break;
+            case diagnosis_outcome::passed: break;
+        }
+        if (entry.escalated) ++stats.escalations;
+        if (entry.used_fallback) ++stats.fallbacks;
+    }
+
+    if (stats.detected > 0) {
+        const auto d = static_cast<double>(stats.detected);
+        stats.mean_initial_diagnoses = sum_initial / d;
+        stats.mean_final_diagnoses = sum_final / d;
+        stats.mean_additional_tests = sum_tests / d;
+        stats.mean_additional_inputs = sum_inputs / d;
+    }
+    stats.entries = std::move(entries);
+    return stats;
+}
+
+campaign_engine::campaign_engine(const system& spec, test_suite suite,
+                                 std::vector<single_transition_fault> faults,
+                                 campaign_options options)
+    : spec_(spec),
+      suite_(std::move(suite)),
+      faults_(std::move(faults)),
+      options_(std::move(options)) {}
+
+void campaign_engine::attach(campaign_observer& observer) {
+    observers_.push_back(&observer);
+}
+
+std::size_t campaign_engine::planned_faults() const noexcept {
+    return std::min(faults_.size(),
+                    options_.max_faults.value_or(faults_.size()));
+}
+
+campaign_entry campaign_engine::run_one(const single_transition_fault& fault,
+                                        stage_timings& stage_acc,
+                                        double& scoring_acc) const {
+    const std::size_t replay_base = hypothesis_replays();
+    simulated_iut iut(spec_, fault);
+    const diagnosis_result result = diagnose(spec_, suite_, iut,
+                                             options_.diag);
+    stage_acc += result.timings;
+
+    campaign_entry entry;
+    entry.fault = fault;
+    entry.outcome = result.outcome;
+    entry.detected = result.outcome != diagnosis_outcome::passed;
+    entry.initial_diagnoses = result.initial_diagnoses.size();
+    entry.final_diagnoses = result.final_diagnoses.size();
+    entry.additional_tests = result.additional_tests.size();
+    entry.additional_inputs = result.additional_inputs();
+    entry.replays = hypothesis_replays() - replay_base;
+    entry.oracle_executions = iut.executions();
+    entry.oracle_inputs = iut.inputs_applied();
+    entry.escalated = result.used_escalation;
+    entry.used_fallback = result.used_fallback_search;
+
+    if (entry.detected) {
+        const auto t0 = std::chrono::steady_clock::now();
+        entry.sound = truth_among(spec_, fault, result.final_diagnoses);
+        scoring_acc += seconds_since(t0);
+    }
+    return entry;
+}
+
+const campaign_stats& campaign_engine::run() {
+    const auto t0 = std::chrono::steady_clock::now();
+    const std::size_t n = planned_faults();
+    stats_ = {};
+    metrics_ = {};
+    metrics_.jobs =
+        std::max<std::size_t>(1, std::min(resolve_job_count(options_.jobs),
+                                          std::max<std::size_t>(n, 1)));
+    for (campaign_observer* o : observers_) o->on_campaign_begin(n);
+
+    // Execution order may be shuffled for shard balance; completion order is
+    // whatever the workers produce.  Both are invisible downstream: entries
+    // land in slot `i` = fault index, and the cursor below emits observer
+    // callbacks strictly in index order.
+    std::vector<std::size_t> order(n);
+    std::iota(order.begin(), order.end(), std::size_t{0});
+    if (options_.seed != 0) {
+        rng shuffle_rng(options_.seed);
+        shuffle_rng.shuffle(order);
+    }
+
+    std::vector<campaign_entry> entries(n);
+    std::vector<char> ready(n, 0);
+    std::size_t next_emit = 0;
+    std::mutex merge_mutex;
+
+    parallel_for(n, metrics_.jobs, [&](std::size_t k) {
+        const std::size_t i = order[k];
+        stage_timings stage;
+        double scoring = 0.0;
+        campaign_entry entry = run_one(faults_[i], stage, scoring);
+
+        const std::lock_guard<std::mutex> lock(merge_mutex);
+        entries[i] = std::move(entry);
+        ready[i] = 1;
+        metrics_.replays += entries[i].replays;
+        metrics_.oracle_executions += entries[i].oracle_executions;
+        metrics_.oracle_inputs += entries[i].oracle_inputs;
+        metrics_.additional_tests += entries[i].additional_tests;
+        metrics_.additional_inputs += entries[i].additional_inputs;
+        metrics_.stage += stage;
+        metrics_.wall_scoring += scoring;
+        while (next_emit < n && ready[next_emit]) {
+            for (campaign_observer* o : observers_)
+                o->on_fault_done(next_emit, entries[next_emit]);
+            ++next_emit;
+        }
+    });
+
+    stats_ = aggregate_entries(std::move(entries));
+    metrics_.faults = stats_.total;
+    metrics_.wall_total = seconds_since(t0);
+    for (campaign_observer* o : observers_)
+        o->on_campaign_end(stats_, metrics_);
+    return stats_;
+}
+
+json_value campaign_to_json(const system& spec, const campaign_stats& stats,
+                            const campaign_metrics& metrics) {
+    json_value root = json_value::object();
+    root.set("system", json_value::string(spec.name()));
+
+    json_value totals = json_value::object();
+    totals.set("faults", json_value::number(stats.total));
+    totals.set("detected", json_value::number(stats.detected));
+    totals.set("localized", json_value::number(stats.localized));
+    totals.set("localized_up_to_equivalence",
+               json_value::number(stats.localized_equiv));
+    totals.set("ambiguous", json_value::number(stats.ambiguous));
+    totals.set("no_hypothesis", json_value::number(stats.no_hypothesis));
+    totals.set("sound", json_value::number(stats.sound));
+    totals.set("escalations", json_value::number(stats.escalations));
+    totals.set("fallbacks", json_value::number(stats.fallbacks));
+    totals.set("mean_initial_diagnoses",
+               json_value::number(stats.mean_initial_diagnoses));
+    totals.set("mean_final_diagnoses",
+               json_value::number(stats.mean_final_diagnoses));
+    totals.set("mean_additional_tests",
+               json_value::number(stats.mean_additional_tests));
+    totals.set("mean_additional_inputs",
+               json_value::number(stats.mean_additional_inputs));
+    root.set("totals", std::move(totals));
+
+    json_value cost = json_value::object();
+    cost.set("jobs", json_value::number(metrics.jobs));
+    cost.set("replays", json_value::number(metrics.replays));
+    cost.set("oracle_executions",
+             json_value::number(metrics.oracle_executions));
+    cost.set("oracle_inputs", json_value::number(metrics.oracle_inputs));
+    cost.set("additional_tests",
+             json_value::number(metrics.additional_tests));
+    cost.set("additional_inputs",
+             json_value::number(metrics.additional_inputs));
+    cost.set("wall_symptoms_s", json_value::number(metrics.stage.symptoms));
+    cost.set("wall_evaluation_s",
+             json_value::number(metrics.stage.evaluation));
+    cost.set("wall_discrimination_s",
+             json_value::number(metrics.stage.discrimination));
+    cost.set("wall_scoring_s", json_value::number(metrics.wall_scoring));
+    cost.set("wall_total_s", json_value::number(metrics.wall_total));
+    root.set("cost", std::move(cost));
+
+    json_value entries = json_value::array();
+    for (const campaign_entry& e : stats.entries) {
+        json_value row = json_value::object();
+        row.set("fault", json_value::string(describe(spec, e.fault)));
+        row.set("kind", json_value::string(to_string(e.fault.kind())));
+        row.set("outcome", json_value::string(to_string(e.outcome)));
+        row.set("detected", json_value::boolean(e.detected));
+        row.set("sound", json_value::boolean(e.sound));
+        row.set("initial_diagnoses",
+                json_value::number(e.initial_diagnoses));
+        row.set("final_diagnoses", json_value::number(e.final_diagnoses));
+        row.set("additional_tests", json_value::number(e.additional_tests));
+        row.set("additional_inputs",
+                json_value::number(e.additional_inputs));
+        row.set("replays", json_value::number(e.replays));
+        row.set("oracle_executions",
+                json_value::number(e.oracle_executions));
+        row.set("oracle_inputs", json_value::number(e.oracle_inputs));
+        row.set("escalated", json_value::boolean(e.escalated));
+        row.set("used_fallback", json_value::boolean(e.used_fallback));
+        entries.push(std::move(row));
+    }
+    root.set("entries", std::move(entries));
+    return root;
+}
+
+}  // namespace cfsmdiag

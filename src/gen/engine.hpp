@@ -1,0 +1,129 @@
+// Parallel fault-campaign engine: the session API behind run_campaign().
+//
+// A campaign is an embarrassingly parallel workload — one independent
+// Steps 1–6 diagnosis per fault in the universe — so the engine shards the
+// fault list across a fixed-size worker pool (util/thread_pool.hpp).  Each
+// worker owns its own `simulated_iut`; the specification and suite are
+// shared read-only (see fault/oracle.hpp for the const-safety contract).
+//
+// Determinism is the design constraint: entries are merged in fault-index
+// order and every entry field is independent of thread count and timing, so
+// an N-thread campaign is byte-identical to a serial one.  Observer
+// callbacks are likewise serialized in fault-index order — a completion
+// cursor holds back out-of-order finishers — so progress consumers never
+// need their own reordering buffer.
+//
+// Lifecycle:  configure (constructor) → attach observers → run() →
+// collect (stats() / metrics(), or the run() return value).
+//
+//     campaign_engine eng(spec, suite, faults, {.jobs = 0});  // 0 = auto
+//     eng.attach(my_progress_bar);
+//     const campaign_stats& stats = eng.run();
+//     std::cout << to_json(spec, eng.stats(), eng.metrics()).dump(true);
+#pragma once
+
+#include "gen/campaign.hpp"
+#include "util/json.hpp"
+
+namespace cfsmdiag {
+
+/// Aggregate cost counters and per-stage wall-clock for one engine run.
+/// Counters are deterministic; wall-clock fields are informational only.
+struct campaign_metrics {
+    std::size_t faults = 0;             ///< faults actually run
+    std::size_t replays = 0;            ///< hypothesis replays, all faults
+    std::size_t oracle_executions = 0;  ///< oracle::execute() calls
+    std::size_t oracle_inputs = 0;      ///< inputs applied to IUTs
+    std::size_t additional_tests = 0;   ///< Step 6 tests executed
+    std::size_t additional_inputs = 0;  ///< Step 6 inputs applied
+    std::size_t jobs = 1;               ///< workers the run actually used
+
+    /// Per-stage wall-clock summed across workers (seconds) — with jobs > 1
+    /// the sum exceeds `wall_total`, and the ratio is the effective
+    /// parallelism.  `scoring` is the truth-among-diagnoses equivalence
+    /// check, which runs outside diagnose().
+    stage_timings stage;
+    double wall_scoring = 0.0;
+    double wall_total = 0.0;  ///< end-to-end run() wall-clock
+};
+
+/// Progress/metrics hook.  All callbacks are serialized (never concurrent)
+/// and arrive in fault-index order regardless of `jobs`; they may be
+/// invoked from any worker thread, so implementations must not assume the
+/// configuring thread.  Keep them cheap — a slow observer backpressures the
+/// completion cursor, not the workers, but it delays progress reporting.
+class campaign_observer {
+  public:
+    virtual ~campaign_observer() = default;
+
+    /// Before any fault runs; `planned` is the post-max_faults count.
+    virtual void on_campaign_begin(std::size_t planned) { (void)planned; }
+
+    /// After fault `index` (0-based, in fault-index order) is scored.
+    virtual void on_fault_done(std::size_t index,
+                               const campaign_entry& entry) {
+        (void)index;
+        (void)entry;
+    }
+
+    /// After the deterministic merge, with final stats and metrics.
+    virtual void on_campaign_end(const campaign_stats& stats,
+                                 const campaign_metrics& metrics) {
+        (void)stats;
+        (void)metrics;
+    }
+};
+
+/// One campaign as a session object.
+///
+/// The engine copies the suite and fault list (the session is
+/// self-contained) but only references the specification — the spec must
+/// outlive the engine.  run() may be called repeatedly; each call re-runs
+/// the campaign and replaces the collected results.  The engine itself is
+/// not thread-safe: configure, attach, and run from one thread; the
+/// parallelism is internal.
+class campaign_engine {
+  public:
+    campaign_engine(const system& spec, test_suite suite,
+                    std::vector<single_transition_fault> faults,
+                    campaign_options options = {});
+
+    /// Registers a progress observer (not owned; must outlive run()).
+    void attach(campaign_observer& observer);
+
+    /// Runs the campaign; returns the merged stats (also via stats()).
+    const campaign_stats& run();
+
+    /// Results of the last run().  Empty-default before the first run.
+    [[nodiscard]] const campaign_stats& stats() const noexcept {
+        return stats_;
+    }
+    [[nodiscard]] const campaign_metrics& metrics() const noexcept {
+        return metrics_;
+    }
+
+    /// Faults the next run() will execute (after max_faults trimming).
+    [[nodiscard]] std::size_t planned_faults() const noexcept;
+
+  private:
+    campaign_entry run_one(const single_transition_fault& fault,
+                           stage_timings& stage_acc,
+                           double& scoring_acc) const;
+
+    const system& spec_;
+    test_suite suite_;
+    std::vector<single_transition_fault> faults_;
+    campaign_options options_;
+    std::vector<campaign_observer*> observers_;
+    campaign_stats stats_;
+    campaign_metrics metrics_;
+};
+
+/// Machine-readable dump of a finished campaign: aggregate counters,
+/// per-stage wall-clock, and one record per entry (faults rendered with
+/// describe()).  Deterministic apart from the wall-clock fields.
+[[nodiscard]] json_value campaign_to_json(const system& spec,
+                                          const campaign_stats& stats,
+                                          const campaign_metrics& metrics);
+
+}  // namespace cfsmdiag

@@ -1,0 +1,96 @@
+#include "util/thread_pool.hpp"
+
+#include <atomic>
+#include <utility>
+
+namespace cfsmdiag {
+
+std::size_t resolve_job_count(std::size_t requested) noexcept {
+    if (requested != 0) return requested;
+    const unsigned hw = std::thread::hardware_concurrency();
+    return hw == 0 ? 1 : static_cast<std::size_t>(hw);
+}
+
+thread_pool::thread_pool(std::size_t threads) {
+    const std::size_t n = resolve_job_count(threads);
+    workers_.reserve(n);
+    for (std::size_t i = 0; i < n; ++i)
+        workers_.emplace_back([this] { worker_loop(); });
+}
+
+thread_pool::~thread_pool() {
+    {
+        const std::lock_guard<std::mutex> lock(mutex_);
+        stopping_ = true;
+    }
+    work_available_.notify_all();
+    for (std::thread& w : workers_) w.join();
+}
+
+void thread_pool::submit(std::function<void()> task) {
+    {
+        const std::lock_guard<std::mutex> lock(mutex_);
+        queue_.push(std::move(task));
+    }
+    work_available_.notify_one();
+}
+
+void thread_pool::wait() {
+    std::unique_lock<std::mutex> lock(mutex_);
+    all_idle_.wait(lock,
+                   [this] { return queue_.empty() && in_flight_ == 0; });
+    if (first_error_) {
+        std::exception_ptr e = std::exchange(first_error_, nullptr);
+        lock.unlock();
+        std::rethrow_exception(e);
+    }
+}
+
+void thread_pool::worker_loop() {
+    std::unique_lock<std::mutex> lock(mutex_);
+    for (;;) {
+        work_available_.wait(
+            lock, [this] { return stopping_ || !queue_.empty(); });
+        if (queue_.empty()) {
+            if (stopping_) return;
+            continue;
+        }
+        std::function<void()> task = std::move(queue_.front());
+        queue_.pop();
+        ++in_flight_;
+        lock.unlock();
+        try {
+            task();
+        } catch (...) {
+            const std::lock_guard<std::mutex> relock(mutex_);
+            if (!first_error_) first_error_ = std::current_exception();
+        }
+        lock.lock();
+        --in_flight_;
+        if (queue_.empty() && in_flight_ == 0) all_idle_.notify_all();
+    }
+}
+
+void parallel_for(std::size_t count, std::size_t jobs,
+                  const std::function<void(std::size_t)>& body) {
+    const std::size_t n = resolve_job_count(jobs);
+    if (n <= 1 || count <= 1) {
+        for (std::size_t i = 0; i < count; ++i) body(i);
+        return;
+    }
+    thread_pool pool(std::min(n, count));
+    std::atomic<std::size_t> cursor{0};
+    for (std::size_t w = 0; w < pool.thread_count(); ++w) {
+        pool.submit([&] {
+            for (;;) {
+                const std::size_t i =
+                    cursor.fetch_add(1, std::memory_order_relaxed);
+                if (i >= count) return;
+                body(i);
+            }
+        });
+    }
+    pool.wait();
+}
+
+}  // namespace cfsmdiag

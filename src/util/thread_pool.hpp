@@ -1,0 +1,83 @@
+// Fixed-size worker pool for embarrassingly parallel workloads.
+//
+// The campaign engine (gen/engine.hpp) shards thousands of independent
+// diagnosis runs across workers; nothing here is specific to campaigns, so
+// the pool lives in util/ for reuse by future parallel subsystems.
+//
+// Design constraints, in order:
+//   - deterministic callers: the pool never reorders *results* (callers
+//     index into pre-sized output slots), only execution,
+//   - bounded: exactly `threads` workers for the pool's lifetime; no
+//     dynamic growth, no detached threads,
+//   - exception-safe: a task that throws stores its exception; `wait()`
+//     rethrows the first one instead of terminating the process.
+#pragma once
+
+#include <condition_variable>
+#include <cstddef>
+#include <exception>
+#include <functional>
+#include <mutex>
+#include <queue>
+#include <thread>
+#include <vector>
+
+namespace cfsmdiag {
+
+/// Returns a sane worker count: `requested`, or the hardware concurrency
+/// when `requested` is 0 (at least 1 even if the runtime reports nothing).
+[[nodiscard]] std::size_t resolve_job_count(std::size_t requested) noexcept;
+
+/// Fixed-size thread pool with a FIFO task queue.
+///
+/// Lifecycle: construct with a worker count, `submit()` tasks, `wait()`
+/// for quiescence (optionally many submit/wait rounds), destroy.  The
+/// destructor drains outstanding tasks before joining.
+///
+/// Thread-safety: submit()/wait() may be called from the owning thread;
+/// tasks themselves must synchronize any shared state they touch.
+class thread_pool {
+  public:
+    /// Spawns `threads` workers (0 = hardware concurrency).
+    explicit thread_pool(std::size_t threads);
+
+    thread_pool(const thread_pool&) = delete;
+    thread_pool& operator=(const thread_pool&) = delete;
+
+    /// Joins all workers after draining the queue.
+    ~thread_pool();
+
+    /// Enqueues a task.  Never blocks on task execution.
+    void submit(std::function<void()> task);
+
+    /// Blocks until every submitted task has finished.  If any task threw,
+    /// rethrows the first stored exception (subsequent ones are dropped).
+    void wait();
+
+    [[nodiscard]] std::size_t thread_count() const noexcept {
+        return workers_.size();
+    }
+
+  private:
+    void worker_loop();
+
+    std::mutex mutex_;
+    std::condition_variable work_available_;
+    std::condition_variable all_idle_;
+    std::queue<std::function<void()>> queue_;
+    std::size_t in_flight_ = 0;      ///< dequeued but not yet finished
+    std::exception_ptr first_error_;  ///< guarded by mutex_
+    bool stopping_ = false;
+    std::vector<std::thread> workers_;
+};
+
+/// Runs `body(i)` for every i in [0, count) across `jobs` workers
+/// (0 = hardware concurrency).  Blocks until done; rethrows the first
+/// exception any iteration threw.  `jobs <= 1` or `count <= 1` runs inline
+/// on the calling thread — no pool is created, so serial callers pay
+/// nothing.  Iterations are claimed from a shared cursor in index order,
+/// which keeps shard loads balanced when per-item cost varies.
+void parallel_for(std::size_t count, std::size_t jobs,
+                  const std::function<void(std::size_t)>& body);
+
+}  // namespace cfsmdiag

@@ -11,7 +11,10 @@
 //                                           (';' separates multiple faults)
 //   cfsmdiag score <system-file> <suite>    mutation-score the suite
 //   cfsmdiag reduce <system-file> <suite>   detection-preserving reduction
-//   cfsmdiag campaign <system-file> [max]   exhaustive fault campaign
+//   cfsmdiag campaign <system-file> [max] [--jobs N] [--max-faults N]
+//                     [--seed S] [--json <path>] [--progress]
+//                                           exhaustive fault campaign via
+//                                           the parallel campaign engine
 //   cfsmdiag random <seed> [N] [states]     emit a random system file
 //
 // Files use the text format of src/io/text_format.hpp.
@@ -185,13 +188,86 @@ int cmd_reduce(const std::string& sys_path, const std::string& suite_path) {
     return 0;
 }
 
-int cmd_campaign(const std::string& path, std::size_t max_faults) {
-    const auto sys = parse_system(slurp(path));
+/// Streams one line per diagnosed fault to stderr (`--progress`).
+class progress_printer final : public campaign_observer {
+  public:
+    explicit progress_printer(const cfsmdiag::system& sys) : sys_(sys) {}
+
+    void on_campaign_begin(std::size_t planned) override {
+        std::cerr << "# campaign: " << planned << " fault(s)\n";
+    }
+    void on_fault_done(std::size_t index,
+                       const campaign_entry& entry) override {
+        std::cerr << "# [" << (index + 1) << "] "
+                  << describe(sys_, entry.fault) << ": "
+                  << to_string(entry.outcome) << "\n";
+    }
+    void on_campaign_end(const campaign_stats&,
+                         const campaign_metrics& metrics) override {
+        std::cerr << "# done in " << fmt_double(metrics.wall_total, 2)
+                  << "s on " << metrics.jobs << " worker(s)\n";
+    }
+
+  private:
+    const cfsmdiag::system& sys_;
+};
+
+struct campaign_cli_args {
+    std::string system_path;
+    campaign_options options;
+    std::string json_path;  ///< empty = human-readable summary only
+    bool progress = false;
+};
+
+/// campaign <system-file> [max] [--jobs N] [--max-faults N] [--seed S]
+/// [--json <path>] [--progress] — the bare positional [max] is the
+/// pre-engine spelling and keeps old invocations working.
+campaign_cli_args parse_campaign_args(const std::vector<std::string>& args) {
+    campaign_cli_args out;
+    out.system_path = args[1];
+    auto value_of = [&](std::size_t& i, const std::string& flag) {
+        detail::require(i + 1 < args.size(), flag + " needs a value");
+        return args[++i];
+    };
+    for (std::size_t i = 2; i < args.size(); ++i) {
+        const std::string& a = args[i];
+        if (a == "--jobs") {
+            out.options.jobs = std::stoul(value_of(i, a));
+        } else if (a == "--max-faults") {
+            out.options.max_faults = std::stoul(value_of(i, a));
+        } else if (a == "--seed") {
+            out.options.seed = std::stoull(value_of(i, a));
+        } else if (a == "--json") {
+            out.json_path = value_of(i, a);
+        } else if (a == "--progress") {
+            out.progress = true;
+        } else if (!a.empty() && a[0] != '-' && !out.options.max_faults) {
+            out.options.max_faults = std::stoul(a);
+        } else {
+            throw error("campaign: unknown argument '" + a + "'");
+        }
+    }
+    return out;
+}
+
+int cmd_campaign(const campaign_cli_args& cli) {
+    const auto sys = parse_system(slurp(cli.system_path));
     validate_structure(sys);
     const auto suite = transition_tour(sys).suite;
-    auto faults = enumerate_all_faults(sys);
-    if (faults.size() > max_faults) faults.resize(max_faults);
-    const auto stats = run_campaign(sys, suite, faults);
+
+    campaign_engine engine(sys, suite, enumerate_all_faults(sys),
+                           cli.options);
+    progress_printer progress(sys);
+    if (cli.progress) engine.attach(progress);
+    const campaign_stats& stats = engine.run();
+    const campaign_metrics& metrics = engine.metrics();
+
+    if (!cli.json_path.empty()) {
+        std::ofstream jout(cli.json_path);
+        detail::require(jout.good(),
+                        "cannot write file: " + cli.json_path);
+        jout << campaign_to_json(sys, stats, metrics).dump(true) << "\n";
+    }
     std::cout << "faults: " << stats.total << ", detected: "
               << stats.detected << ", localized: " << stats.localized
               << " (+" << stats.localized_equiv << " up to equivalence)"
@@ -200,6 +276,11 @@ int cmd_campaign(const std::string& path, std::size_t max_faults) {
               << fmt_double(stats.mean_additional_tests, 2)
               << ", mean additional inputs: "
               << fmt_double(stats.mean_additional_inputs, 2) << "\n";
+    std::cout << "cost: " << metrics.replays << " replays, "
+              << metrics.oracle_executions << " oracle executions, "
+              << metrics.oracle_inputs << " oracle inputs, "
+              << fmt_double(metrics.wall_total, 2) << "s on "
+              << metrics.jobs << " worker(s)\n";
     return stats.sound == stats.detected ? 0 : 1;
 }
 
@@ -235,13 +316,17 @@ int main(int argc, char** argv) {
         if (args.size() >= 3 && args[0] == "reduce")
             return cmd_reduce(args[1], args[2]);
         if (args.size() >= 2 && args[0] == "campaign")
-            return cmd_campaign(
-                args[1], args.size() >= 3 ? std::stoul(args[2]) : 100000);
+            return cmd_campaign(parse_campaign_args(args));
         if (args.size() >= 2 && args[0] == "random")
             return cmd_random(std::stoull(args[1]),
                               args.size() >= 3 ? std::stoul(args[2]) : 3,
                               args.size() >= 4 ? std::stoul(args[3]) : 4);
     } catch (const cfsmdiag::error& e) {
+        std::cerr << "error: " << e.what() << "\n";
+        return 2;
+    } catch (const std::exception& e) {
+        // Malformed numeric arguments (std::stoul and friends) and other
+        // stdlib failures exit like any usage error instead of aborting.
         std::cerr << "error: " << e.what() << "\n";
         return 2;
     }
@@ -255,7 +340,9 @@ int main(int argc, char** argv) {
            "  cfsmdiag witness <system-file> <fault-spec>\n"
            "  cfsmdiag score <system-file> <suite-file>\n"
            "  cfsmdiag reduce <system-file> <suite-file>\n"
-           "  cfsmdiag campaign <system-file> [max-faults]\n"
+           "  cfsmdiag campaign <system-file> [max-faults] [--jobs N]\n"
+           "                    [--max-faults N] [--seed S] [--json <path>]\n"
+           "                    [--progress]\n"
            "  cfsmdiag random <seed> [machines] [states]\n";
     return 2;
 }

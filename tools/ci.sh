@@ -1,0 +1,42 @@
+#!/usr/bin/env bash
+# CI driver: build + test the two configurations that matter.
+#
+#   Release        — what users run; also the perf baseline.
+#   ThreadSanitizer — shakes data races out of the parallel campaign engine
+#                    (thread_pool, ordered observer emission, shared spec).
+#
+# Usage: tools/ci.sh [jobs]      (default: nproc)
+set -euo pipefail
+
+cd "$(dirname "$0")/.."
+JOBS="${1:-$(nproc)}"
+
+run_config() {
+  local name="$1"; shift
+  local dir="build-ci-${name}"
+  echo "=== [${name}] configure ==="
+  cmake -B "${dir}" -S . "$@" >/dev/null
+  echo "=== [${name}] build ==="
+  cmake --build "${dir}" -j "${JOBS}"
+  echo "=== [${name}] ctest ==="
+  (cd "${dir}" && ctest --output-on-failure -j "${JOBS}")
+}
+
+run_config release -DCMAKE_BUILD_TYPE=Release
+
+# TSan config: only the engine/pool tests plus the parallel CLI smoke run —
+# a full TSan ctest multiplies runtime ~10x without exercising any
+# additional threading code (everything else in the library is serial).
+tsan_dir=build-ci-tsan
+echo "=== [tsan] configure ==="
+cmake -B "${tsan_dir}" -S . -DCMAKE_BUILD_TYPE=RelWithDebInfo \
+      -DCFSMDIAG_SANITIZE=thread >/dev/null
+echo "=== [tsan] build engine tests ==="
+cmake --build "${tsan_dir}" -j "${JOBS}" \
+      --target campaign_engine_test cfsmdiag_cli
+echo "=== [tsan] run ==="
+"${tsan_dir}/tests/campaign_engine_test"
+"${tsan_dir}/tools/cfsmdiag" campaign examples/data/figure1.cfsm \
+      --max-faults 40 --jobs 4 --seed 7 >/dev/null
+
+echo "=== CI OK ==="
