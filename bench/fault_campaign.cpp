@@ -11,10 +11,16 @@
 //     search.
 //
 // `--jobs N` runs every campaign through the parallel engine with N workers
-// (0 = hardware concurrency; default 1), and the closing block times the
-// default random-system campaign serial vs parallel, asserting the entries
-// are byte-identical before reporting the speedup.
+// (0 = hardware concurrency; default 1); the two closing blocks time the
+// default random-system campaign serial vs parallel and the Figure-1
+// campaign with the replay cache on vs off, asserting entries are
+// byte-identical before reporting speedup / simulated-step reduction (the
+// latter also writes BENCH_replay.json).  `--quick` runs only the Figure-1
+// campaigns and the replay-cache block on a capped fault list — the CI
+// smoke configuration.
+#include <algorithm>
 #include <chrono>
+#include <fstream>
 #include <iostream>
 #include <string>
 
@@ -80,11 +86,80 @@ double time_campaign(campaign_engine& engine) {
 
 }  // namespace
 
+/// Figure-1 campaign with the replay cache on vs off: entries must be
+/// byte-identical; the payoff is the simulated-step reduction.  Returns
+/// false on a mismatch.  Writes the measurements to BENCH_replay.json.
+bool replay_cache_block(const cfsmdiag::system& spec,
+                        const test_suite& suite,
+                        std::vector<single_transition_fault> faults,
+                        const campaign_options& base) {
+    campaign_options cached = base;
+    campaign_options uncached = base;
+    uncached.diag.use_replay_cache = false;
+
+    campaign_engine cached_engine(spec, suite, faults, cached);
+    campaign_engine uncached_engine(spec, suite, faults, uncached);
+    const double cached_s = time_campaign(cached_engine);
+    const double uncached_s = time_campaign(uncached_engine);
+
+    const bool identical =
+        cached_engine.stats().entries == uncached_engine.stats().entries;
+    const auto cached_steps = cached_engine.metrics().simulated_steps;
+    const auto uncached_steps = uncached_engine.metrics().simulated_steps;
+    const double step_ratio =
+        cached_steps == 0 ? 0.0
+                          : static_cast<double>(uncached_steps) /
+                                static_cast<double>(cached_steps);
+
+    text_table t({"config", "faults", "replays", "simulated steps",
+                  "case skips", "suffix replays", "wall (s)"});
+    auto row = [&](const char* name, const campaign_engine& e, double secs) {
+        t.add_row({name, std::to_string(e.stats().total),
+                   std::to_string(e.metrics().replays),
+                   std::to_string(e.metrics().simulated_steps),
+                   std::to_string(e.metrics().cache_case_skips),
+                   std::to_string(e.metrics().cache_suffix_replays),
+                   fmt_double(secs, 3)});
+    };
+    row("cache on (default)", cached_engine, cached_s);
+    row("cache off", uncached_engine, uncached_s);
+    std::cout << t << "simulated-step reduction: " << fmt_double(step_ratio, 2)
+              << "x  (wall-clock: "
+              << fmt_double(uncached_s / std::max(cached_s, 1e-9), 2)
+              << "x)\n"
+              << "entries byte-identical cache on/off: "
+              << (identical ? "yes" : "NO — SOUNDNESS BUG") << "\n";
+
+    json_value root = json_value::object();
+    root.set("system", json_value::string(spec.name()));
+    root.set("faults", json_value::number(faults.size()));
+    root.set("replays", json_value::number(cached_engine.metrics().replays));
+    root.set("simulated_steps_cached", json_value::number(cached_steps));
+    root.set("simulated_steps_uncached",
+             json_value::number(uncached_steps));
+    root.set("step_reduction", json_value::number(step_ratio));
+    root.set("cache_case_skips",
+             json_value::number(cached_engine.metrics().cache_case_skips));
+    root.set("cache_suffix_replays",
+             json_value::number(
+                 cached_engine.metrics().cache_suffix_replays));
+    root.set("wall_cached_s", json_value::number(cached_s));
+    root.set("wall_uncached_s", json_value::number(uncached_s));
+    root.set("entries_identical", json_value::boolean(identical));
+    std::ofstream jout("BENCH_replay.json");
+    jout << root.dump(true) << "\n";
+
+    return identical;
+}
+
 int main(int argc, char** argv) {
     std::size_t jobs = 1;
+    bool quick = false;
     for (int i = 1; i < argc; ++i) {
         if (std::string(argv[i]) == "--jobs" && i + 1 < argc)
             jobs = std::stoul(argv[++i]);
+        else if (std::string(argv[i]) == "--quick")
+            quick = true;
     }
     campaign_options base;
     base.jobs = jobs;
@@ -93,11 +168,24 @@ int main(int argc, char** argv) {
                  "===\n";
     const auto ex = paperex::make_paper_example();
     const test_suite ex_suite = transition_tour(ex.spec).suite;
-    run_block(ex.spec, ex_suite, classes_of(ex.spec, 10'000), base);
+    run_block(ex.spec, ex_suite, classes_of(ex.spec, quick ? 30 : 10'000),
+              base);
 
     std::cout << "\n=== campaign B: Figure-1 system, Table-1 suite only "
                  "(two test cases) ===\n";
-    run_block(ex.spec, ex.suite, classes_of(ex.spec, 10'000), base);
+    run_block(ex.spec, ex.suite, classes_of(ex.spec, quick ? 30 : 10'000),
+              base);
+
+    if (quick) {
+        std::cout << "\n=== engine: replay cache on vs off (Figure-1 "
+                     "system, capped faults) ===\n";
+        auto faults = enumerate_all_faults(ex.spec);
+        if (faults.size() > 60) faults.resize(60);
+        return replay_cache_block(ex.spec, ex_suite, std::move(faults),
+                                  base)
+                   ? 0
+                   : 1;
+    }
 
     std::cout << "\n=== campaign C: random 3x4 system, tour + random walks "
                  "===\n";
@@ -279,5 +367,11 @@ int main(int argc, char** argv) {
                   << (identical ? "yes" : "NO — DETERMINISM BUG") << "\n";
         if (!identical) return 1;
     }
+
+    std::cout << "\n=== engine: replay cache on vs off (Figure-1 system, "
+                 "full single+double fault universe) ===\n";
+    if (!replay_cache_block(ex.spec, ex_suite,
+                            enumerate_all_faults(ex.spec), base))
+        return 1;
     return 0;
 }

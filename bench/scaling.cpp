@@ -62,6 +62,29 @@ void bm_hypothesis_replay(benchmark::State& state) {
 }
 BENCHMARK(bm_hypothesis_replay)->Arg(3)->Arg(5)->Arg(8);
 
+/// The same consistency check through the replay cache (prefix skipping +
+/// snapshot suffix).  Compare against bm_hypothesis_replay at equal Arg:
+/// the gap is the per-check saving; the cache build cost is outside the
+/// timed loop, as in a diagnose() run where it is amortized over hundreds
+/// of checks.
+void bm_replay_cache(benchmark::State& state) {
+    const auto spec =
+        make_system(3, static_cast<std::size_t>(state.range(0)), 7);
+    const test_suite suite = transition_tour(spec).suite;
+    const auto fault = pick_fault(spec, suite);
+    simulated_iut iut(spec, fault);
+    const auto report = collect_symptoms(spec, suite, iut);
+    const replay_cache cache(spec, suite, report);
+    for (auto _ : state) {
+        benchmark::DoNotOptimize(
+            hypothesis_consistent(spec, suite, report, fault.to_override(),
+                                  &cache));
+    }
+    state.counters["case_skips_total"] =
+        static_cast<double>(replay_cache_case_skips());
+}
+BENCHMARK(bm_replay_cache)->Arg(3)->Arg(5)->Arg(8);
+
 void bm_diagnose_states(benchmark::State& state) {
     const auto spec =
         make_system(3, static_cast<std::size_t>(state.range(0)), 9);

@@ -3,6 +3,11 @@
 #include "util/error.hpp"
 
 namespace cfsmdiag {
+
+namespace detail {
+thread_local std::size_t simulated_step_count = 0;
+}  // namespace detail
+
 namespace {
 
 /// Hard cap on internal-message hops per step.  Valid systems use at most
@@ -71,6 +76,7 @@ simulator::effective simulator::resolve(global_transition_id id) const {
 
 observation simulator::apply(const global_input& in,
                              std::vector<global_transition_id>* fired) {
+    ++detail::simulated_step_count;
     if (in.action == global_input::kind::reset) {
         reset();
         return observation::none();

@@ -11,6 +11,7 @@ std::vector<trace_step> explain(const system& spec,
     for (const auto& in : seq) {
         trace_step step;
         step.input = in;
+        step.before = sim.state();
         step.expected = sim.apply(in, &step.fired);
         steps.push_back(std::move(step));
     }

@@ -22,6 +22,11 @@ struct trace_step {
     /// firing order (empty for reset and for unspecified inputs, two
     /// entries for internal-input steps).
     std::vector<global_transition_id> fired;
+    /// System state at the beginning of the step (before `input` is
+    /// applied).  Recorded so downstream consumers — the replay cache in
+    /// particular — can restart a simulation mid-run without replaying
+    /// the prefix.
+    system_state before;
 };
 
 /// Full specification trace of an input sequence, from reset.

@@ -53,12 +53,13 @@ double lap(std::chrono::steady_clock::time_point& since) {
 }  // namespace
 
 diagnosis_result diagnose(const system& spec, const test_suite& suite,
-                          oracle& iut, const diagnoser_options& options) {
+                          oracle& iut, const diagnoser_options& options,
+                          const suite_traces* precomputed) {
     diagnosis_result result;
     auto mark = std::chrono::steady_clock::now();
 
     // Steps 1-3.
-    result.symptoms = collect_symptoms(spec, suite, iut);
+    result.symptoms = collect_symptoms(spec, suite, iut, precomputed);
     result.timings.symptoms = lap(mark);
     if (!result.symptoms.has_symptoms()) {
         result.outcome = diagnosis_outcome::passed;
@@ -68,16 +69,21 @@ diagnosis_result diagnose(const system& spec, const test_suite& suite,
     // Step 4.
     result.conflicts = generate_conflict_sets(spec, result.symptoms);
 
-    // Steps 5A-5C.
+    // Steps 5A-5C.  The replay cache (one spec replay per suite case) is
+    // amortized over every hypothesis check below.
     result.candidates =
         generate_candidates(spec, result.symptoms, result.conflicts);
+    std::optional<replay_cache> cache;
+    if (options.use_replay_cache)
+        cache.emplace(spec, suite, result.symptoms);
+    const replay_cache* cache_ptr = cache ? &*cache : nullptr;
     if (options.evaluation == evaluation_mode::complete) {
         result.evaluated = evaluate_candidates_escalated(
             spec, suite, result.symptoms, result.candidates,
-            options.include_addressing_faults);
+            options.include_addressing_faults, cache_ptr);
     } else {
-        result.evaluated = evaluate_candidates(spec, suite, result.symptoms,
-                                               result.candidates);
+        result.evaluated = evaluate_candidates(
+            spec, suite, result.symptoms, result.candidates, cache_ptr);
     }
     result.initial_diagnoses = result.evaluated.diagnoses();
     if (result.initial_diagnoses.empty() && options.escalate_if_empty &&
@@ -85,7 +91,7 @@ diagnosis_result diagnose(const system& spec, const test_suite& suite,
         result.used_escalation = true;
         result.evaluated = evaluate_candidates_escalated(
             spec, suite, result.symptoms, result.candidates,
-            options.include_addressing_faults);
+            options.include_addressing_faults, cache_ptr);
         result.initial_diagnoses = result.evaluated.diagnoses();
     }
     result.timings.evaluation = lap(mark);
@@ -95,7 +101,8 @@ diagnosis_result diagnose(const system& spec, const test_suite& suite,
     }
 
     // Step 6: adaptive discrimination.
-    hypothesis_tracker tracker(spec, result.initial_diagnoses);
+    hypothesis_tracker tracker(spec, result.initial_diagnoses,
+                               options.use_replay_cache);
     while (result.additional_tests.size() < options.max_additional_tests) {
         if (tracker.count() == 0 && options.escalate_if_empty &&
             options.evaluation == evaluation_mode::paper_flag_routing &&
@@ -106,8 +113,9 @@ diagnosis_result diagnose(const system& spec, const test_suite& suite,
             result.used_escalation = true;
             result.evaluated = evaluate_candidates_escalated(
                 spec, suite, result.symptoms, result.candidates,
-                options.include_addressing_faults);
-            tracker = hypothesis_tracker(spec, result.evaluated.diagnoses());
+                options.include_addressing_faults, cache_ptr);
+            tracker = hypothesis_tracker(spec, result.evaluated.diagnoses(),
+                                         options.use_replay_cache);
             for (const auto& rec : result.additional_tests)
                 (void)tracker.apply_result(rec.tc.inputs, rec.observed);
         }

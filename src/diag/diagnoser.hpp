@@ -127,16 +127,24 @@ struct diagnoser_options {
     /// Re-evaluate with the full hypothesis space if the flag-routed pass
     /// finds nothing (see diag/diagnosis.hpp).
     bool escalate_if_empty = true;
+    /// Route Step 5B/6 hypothesis replays through the replay cache
+    /// (diag/replay_cache.hpp): firing-index prefix skipping + snapshot
+    /// suffix simulation.  Results are byte-identical with the cache on or
+    /// off; off exists for A/B measurement (`campaign --no-replay-cache`).
+    bool use_replay_cache = true;
     std::size_t max_additional_tests = 200;
     std::size_t max_joint_states = 100'000;
     step6_options step6;
 };
 
 /// Runs the full algorithm.  The oracle is consulted once per suite case
-/// plus once per applied additional test.
-[[nodiscard]] diagnosis_result diagnose(const system& spec,
-                                        const test_suite& suite, oracle& iut,
-                                        const diagnoser_options& options = {});
+/// plus once per applied additional test.  `precomputed`, when given, must
+/// be explain_suite(spec, suite); it spares Step 1's spec replay (the
+/// campaign engine shares one across all faults).
+[[nodiscard]] diagnosis_result diagnose(
+    const system& spec, const test_suite& suite, oracle& iut,
+    const diagnoser_options& options = {},
+    const suite_traces* precomputed = nullptr);
 
 /// Multi-line human-readable report of a diagnosis run.
 [[nodiscard]] std::string summarize(const system& spec,

@@ -45,7 +45,8 @@ std::vector<diagnosis> diagnostic_candidates::diagnoses() const {
 diagnostic_candidates evaluate_candidates(const system& spec,
                                           const test_suite& suite,
                                           const symptom_report& report,
-                                          const candidate_sets& cands) {
+                                          const candidate_sets& cands,
+                                          const replay_cache* cache) {
     diagnostic_candidates dc;
     const auto alphabets = compute_alphabets(spec);
 
@@ -61,10 +62,10 @@ diagnostic_candidates evaluate_candidates(const system& spec,
                 const std::vector<symbol> pool{report.uso.output};
                 if (report.flag) {
                     c.statout = consistent_statout(spec, suite, report, gid,
-                                                   pool);
+                                                   pool, cache);
                 } else {
-                    c.outputs =
-                        consistent_outputs(spec, suite, report, gid, pool);
+                    c.outputs = consistent_outputs(spec, suite, report, gid,
+                                                   pool, cache);
                 }
             } else {
                 const bool in_ftctr = std::binary_search(
@@ -72,7 +73,8 @@ diagnostic_candidates evaluate_candidates(const system& spec,
                 const bool in_ftcco = std::binary_search(
                     cands.ftc_co[m].begin(), cands.ftc_co[m].end(), t);
                 if (in_ftctr) {
-                    c.end_states = end_states(spec, suite, report, gid);
+                    c.end_states =
+                        end_states(spec, suite, report, gid, cache);
                 }
                 if (in_ftcco) {
                     // inttransproc: pool = OIO_{i>j} minus the specified
@@ -81,10 +83,10 @@ diagnostic_candidates evaluate_candidates(const system& spec,
                         admissible_faulty_outputs(spec, alphabets, gid);
                     if (report.flag) {
                         c.statout = consistent_statout(spec, suite, report,
-                                                       gid, pool);
+                                                       gid, pool, cache);
                     } else {
                         c.outputs = consistent_outputs(spec, suite, report,
-                                                       gid, pool);
+                                                       gid, pool, cache);
                     }
                 }
             }
@@ -144,7 +146,8 @@ step6_case classify_step6(const diagnostic_candidates& dc) {
 
 diagnostic_candidates evaluate_candidates_escalated(
     const system& spec, const test_suite& suite, const symptom_report& report,
-    const candidate_sets& cands, bool include_addressing) {
+    const candidate_sets& cands, bool include_addressing,
+    const replay_cache* cache) {
     diagnostic_candidates dc;
     const auto alphabets = compute_alphabets(spec);
 
@@ -166,12 +169,14 @@ diagnostic_candidates evaluate_candidates_escalated(
                 pool.push_back(report.uso.output);
             }
 
-            c.end_states = end_states(spec, suite, report, gid);
-            c.outputs = consistent_outputs(spec, suite, report, gid, pool);
-            c.statout = consistent_statout(spec, suite, report, gid, pool);
+            c.end_states = end_states(spec, suite, report, gid, cache);
+            c.outputs =
+                consistent_outputs(spec, suite, report, gid, pool, cache);
+            c.statout =
+                consistent_statout(spec, suite, report, gid, pool, cache);
             if (include_addressing) {
                 c.destinations =
-                    consistent_destinations(spec, suite, report, gid);
+                    consistent_destinations(spec, suite, report, gid, cache);
             }
             dc.evaluated.push_back(std::move(c));
         }

@@ -61,10 +61,12 @@ struct diagnostic_candidates {
     [[nodiscard]] std::vector<diagnosis> diagnoses() const;
 };
 
-/// Steps 5B + 5C with the paper's flag routing.
+/// Steps 5B + 5C with the paper's flag routing.  A non-null `cache` (built
+/// over the same spec/suite/report) routes every replay through the
+/// prefix-skipping fast path; results are identical with or without it.
 [[nodiscard]] diagnostic_candidates evaluate_candidates(
     const system& spec, const test_suite& suite, const symptom_report& report,
-    const candidate_sets& cands);
+    const candidate_sets& cands, const replay_cache* cache = nullptr);
 
 /// Full-width pass: every ITC member gets EndStates, outputs (over its
 /// admissible pool) and statout — plus, when `include_addressing` is set,
@@ -73,7 +75,8 @@ struct diagnostic_candidates {
 /// always consistent, so it is found.
 [[nodiscard]] diagnostic_candidates evaluate_candidates_escalated(
     const system& spec, const test_suite& suite, const symptom_report& report,
-    const candidate_sets& cands, bool include_addressing = false);
+    const candidate_sets& cands, bool include_addressing = false,
+    const replay_cache* cache = nullptr);
 
 /// The paper's Step 6 case analysis (Cases 1-5), over the Step 5C result:
 ///   1 — ust with a singleton outputs set, everything else empty: the ust

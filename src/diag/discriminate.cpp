@@ -19,8 +19,9 @@ std::vector<global_input> all_port_inputs(const system& spec) {
 }  // namespace
 
 hypothesis_tracker::hypothesis_tracker(const system& spec,
-                                       std::vector<diagnosis> initial)
-    : spec_(&spec), alive_(std::move(initial)) {
+                                       std::vector<diagnosis> initial,
+                                       bool accelerate)
+    : spec_(&spec), alive_(std::move(initial)), accelerate_(accelerate) {
     std::sort(alive_.begin(), alive_.end());
     alive_.erase(std::unique(alive_.begin(), alive_.end()), alive_.end());
 }
@@ -33,6 +34,16 @@ std::vector<observation> hypothesis_tracker::predict(
 bool hypothesis_tracker::splits(
     const std::vector<global_input>& inputs) const {
     if (alive_.size() < 2) return false;
+    if (accelerate_) {
+        // One spec replay of `inputs`; each hypothesis then replays only
+        // from its first firing step.
+        const sequence_replay rep(*spec_, inputs);
+        const auto first = rep.predict(alive_[0].to_override());
+        for (std::size_t i = 1; i < alive_.size(); ++i) {
+            if (!rep.matches(alive_[i].to_override(), first)) return true;
+        }
+        return false;
+    }
     const auto first = predict(0, inputs);
     for (std::size_t i = 1; i < alive_.size(); ++i) {
         if (predict(i, inputs) != first) return true;
@@ -46,9 +57,17 @@ std::size_t hypothesis_tracker::apply_result(
     const std::size_t before = alive_.size();
     std::vector<diagnosis> survivors;
     survivors.reserve(alive_.size());
-    for (std::size_t i = 0; i < alive_.size(); ++i) {
-        if (predict(i, inputs) == observed)
-            survivors.push_back(alive_[i]);
+    if (accelerate_) {
+        const sequence_replay rep(*spec_, inputs);
+        for (std::size_t i = 0; i < alive_.size(); ++i) {
+            if (rep.matches(alive_[i].to_override(), observed))
+                survivors.push_back(alive_[i]);
+        }
+    } else {
+        for (std::size_t i = 0; i < alive_.size(); ++i) {
+            if (predict(i, inputs) == observed)
+                survivors.push_back(alive_[i]);
+        }
     }
     alive_ = std::move(survivors);
     return before - alive_.size();
@@ -77,6 +96,63 @@ std::optional<std::vector<global_input>> splitting_sequence(
     sims.reserve(k);
     for (const auto& overrides : hypotheses)
         sims.emplace_back(spec, overrides);
+
+    // A step is a pure function of (state, input), and an override never
+    // changes which transitions fire — only their effects.  So one
+    // memoized *specification* step per (state, input) serves every
+    // hypothesis whose target is absent from the spec's fired set (before
+    // divergence all hypotheses track the spec); a hypothesis simulates
+    // its own step only when its target actually fires, memoized likewise.
+    struct effect {
+        observation obs;
+        system_state next;
+        bool progressed;
+        std::vector<global_transition_id> fired;  ///< spec steps only
+    };
+    simulator spec_sim(spec);
+    std::map<std::pair<system_state, global_input>, effect> spec_memo;
+    auto step_spec = [&](const system_state& from,
+                         const global_input& in) -> const effect& {
+        auto key = std::make_pair(from, in);
+        auto it = spec_memo.find(key);
+        if (it == spec_memo.end()) {
+            spec_sim.set_state(from);
+            std::vector<global_transition_id> fired;
+            const observation obs = spec_sim.apply(in, &fired);
+            it = spec_memo
+                     .emplace(std::move(key),
+                              effect{obs, spec_sim.state(), !fired.empty(),
+                                     std::move(fired)})
+                     .first;
+        }
+        return it->second;
+    };
+    std::vector<std::map<std::pair<system_state, global_input>, effect>>
+        memo(k);
+    auto step_hypothesis = [&](std::size_t i, const system_state& from,
+                               const global_input& in) -> const effect& {
+        const effect& se = step_spec(from, in);
+        const bool hits = std::any_of(
+            hypotheses[i].begin(), hypotheses[i].end(),
+            [&](const transition_override& ov) {
+                return std::find(se.fired.begin(), se.fired.end(),
+                                 ov.target) != se.fired.end();
+            });
+        if (!hits) return se;  // mutated step == spec step
+        auto key = std::make_pair(from, in);
+        auto it = memo[i].find(key);
+        if (it == memo[i].end()) {
+            sims[i].set_state(from);
+            std::vector<global_transition_id> fired;
+            const observation obs = sims[i].apply(in, &fired);
+            it = memo[i]
+                     .emplace(std::move(key),
+                              effect{obs, sims[i].state(), !fired.empty(),
+                                     {}})
+                     .first;
+        }
+        return it->second;
+    };
 
     using joint = std::vector<system_state>;
     auto reset_joint = [&]() {
@@ -111,16 +187,14 @@ std::optional<std::vector<global_input>> splitting_sequence(
             bool disagree = false;
             bool progressed = false;
             for (std::size_t i = 0; i < k; ++i) {
-                sims[i].set_state(nodes[idx].state[i]);
-                std::vector<global_transition_id> fired;
-                const observation obs = sims[i].apply(in, &fired);
-                progressed = progressed || !fired.empty();
+                const effect& e = step_hypothesis(i, nodes[idx].state[i], in);
+                progressed = progressed || e.progressed;
                 if (!common) {
-                    common = obs;
-                } else if (*common != obs) {
+                    common = e.obs;
+                } else if (*common != e.obs) {
                     disagree = true;
                 }
-                next.push_back(sims[i].state());
+                next.push_back(e.next);
             }
             if (disagree) {
                 std::vector<global_input> seq{in};

@@ -27,7 +27,10 @@ namespace cfsmdiag {
 
 class hypothesis_tracker {
   public:
-    hypothesis_tracker(const system& spec, std::vector<diagnosis> initial);
+    /// `accelerate` routes splits()/apply_result() through sequence_replay
+    /// (prefix skipping per hypothesis); verdicts are identical either way.
+    hypothesis_tracker(const system& spec, std::vector<diagnosis> initial,
+                       bool accelerate = true);
 
     [[nodiscard]] const std::vector<diagnosis>& alive() const noexcept {
         return alive_;
@@ -59,6 +62,7 @@ class hypothesis_tracker {
   private:
     const system* spec_;
     std::vector<diagnosis> alive_;
+    bool accelerate_;
 };
 
 /// True if spec⊕a and spec⊕b produce identical observations on every input

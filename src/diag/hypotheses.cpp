@@ -8,10 +8,16 @@ thread_local std::size_t replay_count = 0;
 
 std::size_t hypothesis_replays() noexcept { return replay_count; }
 
+std::size_t simulated_steps() noexcept {
+    return detail::simulated_step_count;
+}
+
 bool hypothesis_consistent(const system& spec, const test_suite& suite,
                            const symptom_report& report,
-                           const transition_override& ov) {
+                           const transition_override& ov,
+                           const replay_cache* cache) {
     ++replay_count;
+    if (cache) return cache->consistent(ov);
     simulator sim(spec, ov);
     for (std::size_t ci = 0; ci < suite.cases.size(); ++ci) {
         const auto& inputs = suite.cases[ci].inputs;
@@ -26,14 +32,15 @@ bool hypothesis_consistent(const system& spec, const test_suite& suite,
 
 std::vector<state_id> end_states(const system& spec, const test_suite& suite,
                                  const symptom_report& report,
-                                 global_transition_id t) {
+                                 global_transition_id t,
+                                 const replay_cache* cache) {
     std::vector<state_id> out;
     const fsm& m = spec.machine(t.machine);
     const state_id specified = m.at(t.transition).to;
     for (std::uint32_t s = 0; s < m.state_count(); ++s) {
         if (state_id{s} == specified) continue;
         const transition_override ov{t, std::nullopt, state_id{s}};
-        if (hypothesis_consistent(spec, suite, report, ov))
+        if (hypothesis_consistent(spec, suite, report, ov, cache))
             out.push_back(state_id{s});
     }
     return out;
@@ -43,13 +50,15 @@ std::vector<symbol> consistent_outputs(const system& spec,
                                        const test_suite& suite,
                                        const symptom_report& report,
                                        global_transition_id t,
-                                       const std::vector<symbol>& pool) {
+                                       const std::vector<symbol>& pool,
+                                       const replay_cache* cache) {
     std::vector<symbol> out;
     const symbol specified = spec.transition_at(t).output;
     for (symbol o : pool) {
         if (o == specified) continue;
         const transition_override ov{t, o, std::nullopt};
-        if (hypothesis_consistent(spec, suite, report, ov)) out.push_back(o);
+        if (hypothesis_consistent(spec, suite, report, ov, cache))
+            out.push_back(o);
     }
     return out;
 }
@@ -57,7 +66,8 @@ std::vector<symbol> consistent_outputs(const system& spec,
 std::vector<machine_id> consistent_destinations(const system& spec,
                                                 const test_suite& suite,
                                                 const symptom_report& report,
-                                                global_transition_id t) {
+                                                global_transition_id t,
+                                                const replay_cache* cache) {
     std::vector<machine_id> out;
     const transition& tr = spec.transition_at(t);
     if (tr.kind != output_kind::internal) return out;
@@ -67,7 +77,7 @@ std::vector<machine_id> consistent_destinations(const system& spec,
         transition_override ov;
         ov.target = t;
         ov.destination = dest;
-        if (hypothesis_consistent(spec, suite, report, ov))
+        if (hypothesis_consistent(spec, suite, report, ov, cache))
             out.push_back(dest);
     }
     return out;
@@ -75,7 +85,8 @@ std::vector<machine_id> consistent_destinations(const system& spec,
 
 std::vector<std::pair<state_id, symbol>> consistent_statout(
     const system& spec, const test_suite& suite, const symptom_report& report,
-    global_transition_id t, const std::vector<symbol>& pool) {
+    global_transition_id t, const std::vector<symbol>& pool,
+    const replay_cache* cache) {
     std::vector<std::pair<state_id, symbol>> out;
     const fsm& m = spec.machine(t.machine);
     const transition& tr = m.at(t.transition);
@@ -84,7 +95,7 @@ std::vector<std::pair<state_id, symbol>> consistent_statout(
         for (symbol o : pool) {
             if (o == tr.output) continue;
             const transition_override ov{t, o, state_id{s}};
-            if (hypothesis_consistent(spec, suite, report, ov))
+            if (hypothesis_consistent(spec, suite, report, ov, cache))
                 out.emplace_back(state_id{s}, o);
         }
     }

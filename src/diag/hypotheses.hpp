@@ -20,48 +20,63 @@
 
 #include <utility>
 
+#include "diag/replay_cache.hpp"
 #include "diag/symptom.hpp"
 
 namespace cfsmdiag {
 
 /// True iff the mutated spec reproduces the IUT's observed outputs on every
-/// test case of the report.
+/// test case of the report.  When `cache` is non-null the check runs
+/// through the replay cache (prefix skipping + suffix simulation) instead
+/// of a full from-reset replay; the verdict is identical either way.
 [[nodiscard]] bool hypothesis_consistent(const system& spec,
                                          const test_suite& suite,
                                          const symptom_report& report,
-                                         const transition_override& ov);
+                                         const transition_override& ov,
+                                         const replay_cache* cache = nullptr);
 
 /// Number of hypothesis replays (`hypothesis_consistent` calls) performed
 /// by the *calling thread* so far.  Thread-local, so parallel campaign
 /// workers get attributable per-fault counts without synchronization; the
 /// count is monotone — snapshot before and after a diagnose() run and
-/// subtract.
+/// subtract.  Cached and uncached replays count alike, so the count is
+/// independent of `use_replay_cache`.
 [[nodiscard]] std::size_t hypothesis_replays() noexcept;
+
+/// Simulator steps (`simulator::apply` calls) performed by the calling
+/// thread so far.  Same thread-local snapshot-and-subtract protocol as
+/// hypothesis_replays(); together they make the replay cache's savings
+/// observable (replays stay constant, steps drop).
+[[nodiscard]] std::size_t simulated_steps() noexcept;
 
 /// findendingstates for one transition.
 [[nodiscard]] std::vector<state_id> end_states(const system& spec,
                                                const test_suite& suite,
                                                const symptom_report& report,
-                                               global_transition_id t);
+                                               global_transition_id t,
+                                               const replay_cache* cache =
+                                                   nullptr);
 
 /// calouts for one transition over an explicit pool of candidate outputs
 /// (the caller supplies the admissible faulty outputs; entries equal to the
 /// specified output are skipped).
 [[nodiscard]] std::vector<symbol> consistent_outputs(
     const system& spec, const test_suite& suite, const symptom_report& report,
-    global_transition_id t, const std::vector<symbol>& pool);
+    global_transition_id t, const std::vector<symbol>& pool,
+    const replay_cache* cache = nullptr);
 
 /// processtate&out: all (state, output) couples, state ≠ NextState(T),
 /// output from `pool` (≠ specified output).
 [[nodiscard]] std::vector<std::pair<state_id, symbol>> consistent_statout(
     const system& spec, const test_suite& suite, const symptom_report& report,
-    global_transition_id t, const std::vector<symbol>& pool);
+    global_transition_id t, const std::vector<symbol>& pool,
+    const replay_cache* cache = nullptr);
 
 /// Addressing extension: destinations d ≠ the specified one such that "T
 /// sends its message to M_d" explains all observations.  Empty for
 /// external-output transitions.
 [[nodiscard]] std::vector<machine_id> consistent_destinations(
     const system& spec, const test_suite& suite, const symptom_report& report,
-    global_transition_id t);
+    global_transition_id t, const replay_cache* cache = nullptr);
 
 }  // namespace cfsmdiag

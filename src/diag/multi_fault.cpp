@@ -49,7 +49,9 @@ namespace {
 /// Replay check with a full override set.
 bool consistent(const system& spec, const test_suite& suite,
                 const symptom_report& report,
-                const std::vector<transition_override>& overrides) {
+                const std::vector<transition_override>& overrides,
+                const replay_cache* cache) {
+    if (cache) return cache->consistent(overrides);
     simulator sim(spec, overrides);
     for (std::size_t ci = 0; ci < suite.cases.size(); ++ci) {
         const auto& inputs = suite.cases[ci].inputs;
@@ -113,13 +115,19 @@ multi_fault_result diagnose_multi(const system& spec,
         if (suspicious.count(id) == 0) ordered.push_back(id);
     }
 
+    // The O(pairs) loop below replays every hypothesis set against the
+    // suite; the cache turns most of those replays into prefix checks.
+    std::optional<replay_cache> cache;
+    if (options.use_replay_cache) cache.emplace(spec, suite, report);
+    const replay_cache* cache_ptr = cache ? &*cache : nullptr;
+
     std::vector<fault_set> alive;
     auto consider = [&](fault_set fs) {
         if (alive.size() >= options.max_hypotheses) {
             result.truncated_hypotheses = true;
             return;
         }
-        if (consistent(spec, suite, report, fs.to_overrides()))
+        if (consistent(spec, suite, report, fs.to_overrides(), cache_ptr))
             alive.push_back(std::move(fs));
     };
 

@@ -71,6 +71,9 @@ struct multi_fault_options {
     std::size_t max_hypotheses = 50'000;
     std::size_t max_additional_tests = 300;
     std::size_t max_joint_states = 50'000;
+    /// Prefix-skip replays in the O(pairs) consistency loop (see
+    /// diag/replay_cache.hpp); results are identical with or without.
+    bool use_replay_cache = true;
 };
 
 struct multi_fault_result {

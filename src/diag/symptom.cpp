@@ -4,8 +4,20 @@
 
 namespace cfsmdiag {
 
+suite_traces explain_suite(const system& spec, const test_suite& suite) {
+    suite_traces traces;
+    traces.reserve(suite.cases.size());
+    for (const test_case& tc : suite.cases)
+        traces.push_back(explain(spec, tc.inputs));
+    return traces;
+}
+
 symptom_report collect_symptoms(const system& spec, const test_suite& suite,
-                                oracle& iut) {
+                                oracle& iut,
+                                const suite_traces* precomputed) {
+    detail::require(!precomputed ||
+                        precomputed->size() == suite.cases.size(),
+                    "collect_symptoms: precomputed traces do not match suite");
     symptom_report report;
     report.runs.reserve(suite.size());
 
@@ -13,7 +25,8 @@ symptom_report collect_symptoms(const system& spec, const test_suite& suite,
         const test_case& tc = suite.cases[ci];
         executed_case run;
         run.case_index = ci;
-        run.trace = explain(spec, tc.inputs);
+        run.trace = precomputed ? (*precomputed)[ci]
+                                : explain(spec, tc.inputs);
         run.observed = iut.execute(tc.inputs);
         detail::require(run.observed.size() == tc.inputs.size(),
                         "collect_symptoms: oracle returned " +

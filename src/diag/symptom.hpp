@@ -58,10 +58,21 @@ struct symptom_report {
     }
 };
 
+/// Step 1's spec run of every case, indexed like `suite.cases`.
+using suite_traces = std::vector<std::vector<trace_step>>;
+
+/// Replays the whole suite on the spec once (Step 1 in isolation).  The
+/// traces depend only on (spec, suite), so a campaign that diagnoses many
+/// IUTs against the same suite computes them once and passes them to
+/// collect_symptoms()/diagnose() instead of re-simulating per IUT.
+[[nodiscard]] suite_traces explain_suite(const system& spec,
+                                         const test_suite& suite);
+
 /// Runs the suite on the spec (Step 1) and the IUT (Step 2) and compares
-/// (Step 3).
-[[nodiscard]] symptom_report collect_symptoms(const system& spec,
-                                              const test_suite& suite,
-                                              oracle& iut);
+/// (Step 3).  `precomputed`, when given, must be explain_suite(spec, suite)
+/// and replaces the Step 1 simulation.
+[[nodiscard]] symptom_report collect_symptoms(
+    const system& spec, const test_suite& suite, oracle& iut,
+    const suite_traces* precomputed = nullptr);
 
 }  // namespace cfsmdiag

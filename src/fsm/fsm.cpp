@@ -31,12 +31,6 @@ const transition& fsm::at(transition_id t) const {
     return transitions_[t.value];
 }
 
-std::optional<transition_id> fsm::find(state_id s, symbol input) const {
-    auto it = lookup_.find(state_input_key(s, input));
-    if (it == lookup_.end()) return std::nullopt;
-    return transition_id{it->second};
-}
-
 std::vector<symbol> fsm::input_alphabet() const {
     std::unordered_set<symbol> seen;
     std::vector<symbol> out;
@@ -94,16 +88,20 @@ fsm fsm::with_transition_replaced(transition_id t,
                         "fsm::with_transition_replaced: target out of range");
         tr.to = *new_target;
     }
-    // (state, input) keys are unchanged, so the lookup stays valid.
+    // (state, input) keys are unchanged, so the dispatch table stays valid.
     return copy;
 }
 
 void fsm::reindex() {
-    lookup_.clear();
+    input_stride_ = 0;
+    for (const auto& t : transitions_)
+        input_stride_ = std::max(input_stride_, t.input.id + 1);
+    dispatch_.assign(state_names_.size() * input_stride_, invalid_index);
     for (std::size_t i = 0; i < transitions_.size(); ++i) {
-        lookup_.emplace(
-            state_input_key(transitions_[i].from, transitions_[i].input),
-            static_cast<std::uint32_t>(i));
+        dispatch_[static_cast<std::size_t>(transitions_[i].from.value) *
+                      input_stride_ +
+                  transitions_[i].input.id] =
+            static_cast<std::uint32_t>(i);
     }
 }
 

@@ -11,7 +11,6 @@
 #include <cstdint>
 #include <optional>
 #include <string>
-#include <unordered_map>
 #include <vector>
 
 #include "fsm/symbol.hpp"
@@ -68,9 +67,21 @@ class fsm {
     [[nodiscard]] const transition& at(transition_id t) const;
 
     /// The deterministic lookup: transition defined for (state, input), if
-    /// any.  This *is* NextStaFunc/OutFunc, fused.
+    /// any.  This *is* NextStaFunc/OutFunc, fused.  It is also the innermost
+    /// operation of every simulator step, so it reads a dense
+    /// state_count × input-alphabet dispatch table built at construction
+    /// instead of probing a hash map.
     [[nodiscard]] std::optional<transition_id> find(state_id s,
-                                                    symbol input) const;
+                                                    symbol input) const
+        noexcept {
+        if (s.value >= state_names_.size() || input.id >= input_stride_)
+            return std::nullopt;
+        const std::uint32_t idx =
+            dispatch_[static_cast<std::size_t>(s.value) * input_stride_ +
+                      input.id];
+        if (idx == invalid_index) return std::nullopt;
+        return transition_id{idx};
+    }
 
     /// All inputs with a defined transition anywhere in the machine.
     [[nodiscard]] std::vector<symbol> input_alphabet() const;
@@ -96,8 +107,13 @@ class fsm {
     std::vector<std::string> state_names_;
     state_id initial_{};
     std::vector<transition> transitions_;
-    /// (state, input) -> transition index; key = state * 2^32 + symbol.
-    std::unordered_map<std::uint64_t, std::uint32_t> lookup_;
+    /// Dense (state, input) -> transition-index dispatch table: row `s`
+    /// covers interned symbol ids [0, input_stride_), cell value
+    /// invalid_index = no transition.  Symbol ids are interned per system
+    /// and small, so the table stays compact while making find() a single
+    /// bounds-checked load.
+    std::vector<std::uint32_t> dispatch_;
+    std::uint32_t input_stride_ = 0;  ///< max input symbol id + 1
 };
 
 /// Key helper for the (state, input) lookup map.

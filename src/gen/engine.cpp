@@ -93,12 +93,27 @@ std::size_t campaign_engine::planned_faults() const noexcept {
 }
 
 campaign_entry campaign_engine::run_one(const single_transition_fault& fault,
+                                        const suite_traces& traces,
                                         stage_timings& stage_acc,
-                                        double& scoring_acc) const {
+                                        double& scoring_acc,
+                                        replay_cost& cost_acc) const {
     const std::size_t replay_base = hypothesis_replays();
+    const std::size_t steps_base = simulated_steps();
+    const std::size_t skips_base = replay_cache_case_skips();
+    const std::size_t suffix_base = replay_cache_suffix_replays();
     simulated_iut iut(spec_, fault);
     const diagnosis_result result = diagnose(spec_, suite_, iut,
-                                             options_.diag);
+                                             options_.diag, &traces);
+    // The simulated IUT stands in for a physical implementation whose
+    // execution costs the tester nothing; its apply calls (one per input
+    // it consumed) are excluded so the metric counts only the diagnostic
+    // algorithm's own simulation work.
+    const std::size_t diag_steps = simulated_steps() - steps_base;
+    cost_acc.simulated_steps +=
+        diag_steps - std::min(diag_steps, iut.inputs_applied());
+    cost_acc.cache_case_skips += replay_cache_case_skips() - skips_base;
+    cost_acc.cache_suffix_replays +=
+        replay_cache_suffix_replays() - suffix_base;
     stage_acc += result.timings;
 
     campaign_entry entry;
@@ -128,6 +143,7 @@ const campaign_stats& campaign_engine::run() {
     const std::size_t n = planned_faults();
     stats_ = {};
     metrics_ = {};
+    metrics_.replay_cache_enabled = options_.diag.use_replay_cache;
     metrics_.jobs =
         std::max<std::size_t>(1, std::min(resolve_job_count(options_.jobs),
                                           std::max<std::size_t>(n, 1)));
@@ -149,11 +165,19 @@ const campaign_stats& campaign_engine::run() {
     std::size_t next_emit = 0;
     std::mutex merge_mutex;
 
+    // Step 1's spec run depends only on (spec, suite): replay it once and
+    // share the traces across every fault instead of once per diagnose().
+    const std::size_t trace_steps_base = simulated_steps();
+    const suite_traces traces = explain_suite(spec_, suite_);
+    metrics_.simulated_steps += simulated_steps() - trace_steps_base;
+
     parallel_for(n, metrics_.jobs, [&](std::size_t k) {
         const std::size_t i = order[k];
         stage_timings stage;
         double scoring = 0.0;
-        campaign_entry entry = run_one(faults_[i], stage, scoring);
+        replay_cost cost;
+        campaign_entry entry =
+            run_one(faults_[i], traces, stage, scoring, cost);
 
         const std::lock_guard<std::mutex> lock(merge_mutex);
         entries[i] = std::move(entry);
@@ -163,6 +187,9 @@ const campaign_stats& campaign_engine::run() {
         metrics_.oracle_inputs += entries[i].oracle_inputs;
         metrics_.additional_tests += entries[i].additional_tests;
         metrics_.additional_inputs += entries[i].additional_inputs;
+        metrics_.simulated_steps += cost.simulated_steps;
+        metrics_.cache_case_skips += cost.cache_case_skips;
+        metrics_.cache_suffix_replays += cost.cache_suffix_replays;
         metrics_.stage += stage;
         metrics_.wall_scoring += scoring;
         while (next_emit < n && ready[next_emit]) {
@@ -216,6 +243,13 @@ json_value campaign_to_json(const system& spec, const campaign_stats& stats,
              json_value::number(metrics.additional_tests));
     cost.set("additional_inputs",
              json_value::number(metrics.additional_inputs));
+    cost.set("replay_cache_enabled",
+             json_value::boolean(metrics.replay_cache_enabled));
+    cost.set("simulated_steps", json_value::number(metrics.simulated_steps));
+    cost.set("cache_case_skips",
+             json_value::number(metrics.cache_case_skips));
+    cost.set("cache_suffix_replays",
+             json_value::number(metrics.cache_suffix_replays));
     cost.set("wall_symptoms_s", json_value::number(metrics.stage.symptoms));
     cost.set("wall_evaluation_s",
              json_value::number(metrics.stage.evaluation));

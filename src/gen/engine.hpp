@@ -38,6 +38,17 @@ struct campaign_metrics {
     std::size_t additional_inputs = 0;  ///< Step 6 inputs applied
     std::size_t jobs = 1;               ///< workers the run actually used
 
+    /// Replay-cache cost counters, measured around diagnose() only (the
+    /// scoring equivalence check is identical in both configurations and
+    /// would dilute the comparison).  `simulated_steps` is simulator::apply
+    /// calls net of the simulated IUT's own execution — a real IUT runs in
+    /// hardware, so only the algorithm's simulation work is counted.  The
+    /// cache counters stay zero when the cache is off.
+    std::size_t simulated_steps = 0;
+    std::size_t cache_case_skips = 0;       ///< cases resolved w/o simulation
+    std::size_t cache_suffix_replays = 0;   ///< snapshot-restore replays
+    bool replay_cache_enabled = true;
+
     /// Per-stage wall-clock summed across workers (seconds) — with jobs > 1
     /// the sum exceeds `wall_total`, and the ratio is the effective
     /// parallelism.  `scoring` is the truth-among-diagnoses equivalence
@@ -106,9 +117,18 @@ class campaign_engine {
     [[nodiscard]] std::size_t planned_faults() const noexcept;
 
   private:
+    /// Per-fault deltas of the thread-local replay cost counters, taken
+    /// around the diagnose() call only.
+    struct replay_cost {
+        std::size_t simulated_steps = 0;
+        std::size_t cache_case_skips = 0;
+        std::size_t cache_suffix_replays = 0;
+    };
+
     campaign_entry run_one(const single_transition_fault& fault,
-                           stage_timings& stage_acc,
-                           double& scoring_acc) const;
+                           const suite_traces& traces,
+                           stage_timings& stage_acc, double& scoring_acc,
+                           replay_cost& cost_acc) const;
 
     const system& spec_;
     test_suite suite_;

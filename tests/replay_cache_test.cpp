@@ -1,0 +1,330 @@
+// The replay cache (diag/replay_cache.hpp): firing index and snapshot
+// correctness, verdict equivalence with the legacy full replay, and — the
+// load-bearing contract — byte-identical diagnose()/run_campaign() results
+// with the cache on or off, on the paper example and across random systems.
+#include <gtest/gtest.h>
+
+#include <algorithm>
+
+#include "cfsmdiag.hpp"
+
+namespace cfsmdiag {
+namespace {
+
+struct paper_fixture {
+    paperex::paper_example ex;
+    symptom_report report;
+
+    static paper_fixture make() {
+        paper_fixture fx{paperex::make_paper_example(), {}};
+        simulated_iut iut(fx.ex.spec, fx.ex.fault);
+        fx.report = collect_symptoms(fx.ex.spec, fx.ex.suite, iut);
+        return fx;
+    }
+};
+
+/// First step of `trace` whose fired list contains `t`, if any.
+std::optional<std::size_t> first_fired_step(
+    const std::vector<trace_step>& trace, global_transition_id t) {
+    for (std::size_t step = 0; step < trace.size(); ++step) {
+        for (global_transition_id g : trace[step].fired) {
+            if (g == t) return step;
+        }
+    }
+    return std::nullopt;
+}
+
+TEST(replay_cache, firing_index_matches_spec_trace) {
+    const auto fx = paper_fixture::make();
+    const replay_cache cache(fx.ex.spec, fx.ex.suite, fx.report);
+    ASSERT_EQ(cache.case_count(), fx.ex.suite.cases.size());
+
+    for (std::size_t ci = 0; ci < fx.ex.suite.cases.size(); ++ci) {
+        const auto trace =
+            explain(fx.ex.spec, fx.ex.suite.cases[ci].inputs);
+        for (global_transition_id t : fx.ex.spec.all_transitions()) {
+            SCOPED_TRACE("case " + std::to_string(ci) + ", " +
+                         fx.ex.spec.transition_label(t));
+            EXPECT_EQ(cache.first_firing(ci, t), first_fired_step(trace, t));
+        }
+    }
+}
+
+TEST(replay_cache, snapshot_restore_reproduces_spec_suffix) {
+    const auto fx = paper_fixture::make();
+    const replay_cache cache(fx.ex.spec, fx.ex.suite, fx.report);
+
+    simulator sim(fx.ex.spec);
+    for (std::size_t ci = 0; ci < fx.ex.suite.cases.size(); ++ci) {
+        const auto& inputs = fx.ex.suite.cases[ci].inputs;
+        const auto trace = explain(fx.ex.spec, inputs);
+        for (global_transition_id t : fx.ex.spec.all_transitions()) {
+            const auto f = cache.first_firing(ci, t);
+            if (!f) continue;
+            SCOPED_TRACE("case " + std::to_string(ci) + ", " +
+                         fx.ex.spec.transition_label(t));
+            // Restoring the snapshot and replaying the suffix on the plain
+            // spec must reproduce the expected outputs exactly.
+            sim.set_state(cache.snapshot(ci, t));
+            for (std::size_t step = *f; step < inputs.size(); ++step)
+                EXPECT_EQ(sim.apply(inputs[step]), trace[step].expected);
+        }
+    }
+}
+
+TEST(replay_cache, verdict_equals_legacy_for_every_enumerated_fault) {
+    const auto fx = paper_fixture::make();
+    const replay_cache cache(fx.ex.spec, fx.ex.suite, fx.report);
+
+    for (const auto& fault : enumerate_all_faults(fx.ex.spec)) {
+        const transition_override ov = fault.to_override();
+        SCOPED_TRACE(describe(fx.ex.spec, fault));
+        EXPECT_EQ(cache.consistent(ov),
+                  hypothesis_consistent(fx.ex.spec, fx.ex.suite, fx.report,
+                                        ov, nullptr));
+    }
+}
+
+TEST(replay_cache, multi_override_verdict_equals_full_replay) {
+    const auto fx = paper_fixture::make();
+    const replay_cache cache(fx.ex.spec, fx.ex.suite, fx.report);
+    const auto faults = enumerate_all_faults(fx.ex.spec);
+
+    // Pair faults on distinct transitions; compare against a plain
+    // full-suite replay of the pair.
+    std::size_t checked = 0;
+    for (std::size_t i = 0; i < faults.size() && checked < 400; i += 7) {
+        for (std::size_t j = i + 1; j < faults.size() && checked < 400;
+             j += 11) {
+            if (faults[i].target == faults[j].target) continue;
+            const std::vector<transition_override> ovs{
+                faults[i].to_override(), faults[j].to_override()};
+            bool legacy = true;
+            simulator sim(fx.ex.spec, ovs);
+            for (std::size_t ci = 0;
+                 legacy && ci < fx.ex.suite.cases.size(); ++ci) {
+                const auto& inputs = fx.ex.suite.cases[ci].inputs;
+                const auto& observed = fx.report.runs[ci].observed;
+                sim.reset();
+                for (std::size_t step = 0; step < inputs.size(); ++step) {
+                    if (sim.apply(inputs[step]) != observed[step]) {
+                        legacy = false;
+                        break;
+                    }
+                }
+            }
+            SCOPED_TRACE(describe(fx.ex.spec, faults[i]) + " + " +
+                         describe(fx.ex.spec, faults[j]));
+            EXPECT_EQ(cache.consistent(ovs), legacy);
+            ++checked;
+        }
+    }
+    ASSERT_GT(checked, 0u);
+}
+
+TEST(sequence_replay, predict_and_matches_equal_plain_observe) {
+    const auto fx = paper_fixture::make();
+    const auto faults = enumerate_all_faults(fx.ex.spec);
+
+    for (const auto& tc : fx.ex.suite.cases) {
+        const sequence_replay rep(fx.ex.spec, tc.inputs);
+        for (std::size_t i = 0; i < faults.size(); i += 3) {
+            const transition_override ov = faults[i].to_override();
+            const auto plain = observe(fx.ex.spec, tc.inputs, ov);
+            SCOPED_TRACE(describe(fx.ex.spec, faults[i]));
+            EXPECT_EQ(rep.predict(ov), plain);
+            EXPECT_TRUE(rep.matches(ov, plain));
+            // And against the *spec* observations (disagreeing whenever the
+            // fault is visible on this case).
+            const auto spec_obs = observe(fx.ex.spec, tc.inputs);
+            EXPECT_EQ(rep.matches(ov, spec_obs), plain == spec_obs);
+        }
+    }
+}
+
+/// Field-wise equality of two diagnosis results (additional-test records
+/// compared by inputs/outputs/elimination, not wall-clock).
+void expect_same_result(const diagnosis_result& a,
+                        const diagnosis_result& b) {
+    EXPECT_EQ(a.outcome, b.outcome);
+    EXPECT_EQ(a.initial_diagnoses, b.initial_diagnoses);
+    EXPECT_EQ(a.final_diagnoses, b.final_diagnoses);
+    EXPECT_EQ(a.used_escalation, b.used_escalation);
+    EXPECT_EQ(a.used_fallback_search, b.used_fallback_search);
+    ASSERT_EQ(a.additional_tests.size(), b.additional_tests.size());
+    for (std::size_t i = 0; i < a.additional_tests.size(); ++i) {
+        const auto& ra = a.additional_tests[i];
+        const auto& rb = b.additional_tests[i];
+        EXPECT_EQ(ra.tc.inputs, rb.tc.inputs);
+        EXPECT_EQ(ra.purpose, rb.purpose);
+        EXPECT_EQ(ra.expected, rb.expected);
+        EXPECT_EQ(ra.observed, rb.observed);
+        EXPECT_EQ(ra.eliminated, rb.eliminated);
+        EXPECT_EQ(ra.from_fallback, rb.from_fallback);
+    }
+}
+
+TEST(replay_cache, diagnose_identical_with_cache_on_and_off_paper) {
+    const auto ex = paperex::make_paper_example();
+    diagnoser_options with_cache;
+    diagnoser_options without_cache;
+    without_cache.use_replay_cache = false;
+
+    for (const auto& fault : enumerate_all_faults(ex.spec)) {
+        SCOPED_TRACE(describe(ex.spec, fault));
+        simulated_iut iut_a(ex.spec, fault);
+        simulated_iut iut_b(ex.spec, fault);
+        expect_same_result(diagnose(ex.spec, ex.suite, iut_a, with_cache),
+                           diagnose(ex.spec, ex.suite, iut_b,
+                                    without_cache));
+    }
+}
+
+TEST(replay_cache, diagnose_identical_both_evaluation_modes) {
+    const auto ex = paperex::make_paper_example();
+    for (const auto mode : {evaluation_mode::paper_flag_routing,
+                            evaluation_mode::complete}) {
+        diagnoser_options with_cache;
+        with_cache.evaluation = mode;
+        diagnoser_options without_cache = with_cache;
+        without_cache.use_replay_cache = false;
+        simulated_iut iut_a(ex.spec, ex.fault);
+        simulated_iut iut_b(ex.spec, ex.fault);
+        expect_same_result(diagnose(ex.spec, ex.suite, iut_a, with_cache),
+                           diagnose(ex.spec, ex.suite, iut_b,
+                                    without_cache));
+    }
+}
+
+TEST(replay_cache, randomized_diagnose_equivalence_20_systems) {
+    diagnoser_options with_cache;
+    diagnoser_options without_cache;
+    without_cache.use_replay_cache = false;
+
+    for (std::uint64_t seed = 1; seed <= 20; ++seed) {
+        rng random(seed);
+        random_system_options opts;
+        opts.machines = 2;
+        opts.states_per_machine = 3;
+        opts.extra_transitions = 4;
+        const system sys = random_system(opts, random);
+        test_suite suite = transition_tour(sys).suite;
+        rng walk(seed + 1000);
+        suite.extend(random_walk_suite(
+            sys, walk, {.cases = 2, .steps_per_case = 8}));
+
+        auto faults = enumerate_all_faults(sys);
+        // Every 5th fault keeps the test fast while covering output,
+        // transfer and both-fault kinds across all machines.
+        for (std::size_t i = 0; i < faults.size(); i += 5) {
+            SCOPED_TRACE("seed " + std::to_string(seed) + ", " +
+                         describe(sys, faults[i]));
+            simulated_iut iut_a(sys, faults[i]);
+            simulated_iut iut_b(sys, faults[i]);
+            expect_same_result(diagnose(sys, suite, iut_a, with_cache),
+                               diagnose(sys, suite, iut_b, without_cache));
+        }
+    }
+}
+
+TEST(replay_cache, campaign_entries_identical_with_cache_on_and_off) {
+    rng random(42);
+    random_system_options opts;
+    opts.machines = 2;
+    opts.states_per_machine = 3;
+    opts.extra_transitions = 5;
+    const system sys = random_system(opts, random);
+    const test_suite suite = transition_tour(sys).suite;
+    auto faults = enumerate_all_faults(sys);
+    if (faults.size() > 40) faults.resize(40);
+
+    campaign_options on;
+    campaign_options off;
+    off.diag.use_replay_cache = false;
+
+    campaign_engine engine_on(sys, suite, faults, on);
+    campaign_engine engine_off(sys, suite, faults, off);
+    const campaign_stats& a = engine_on.run();
+    const campaign_stats& b = engine_off.run();
+
+    ASSERT_EQ(a.entries.size(), b.entries.size());
+    for (std::size_t i = 0; i < a.entries.size(); ++i) {
+        SCOPED_TRACE("fault #" + std::to_string(i) + ": " +
+                     describe(sys, a.entries[i].fault));
+        EXPECT_EQ(a.entries[i], b.entries[i]);
+    }
+    EXPECT_EQ(engine_on.metrics().replays, engine_off.metrics().replays);
+    EXPECT_TRUE(engine_on.metrics().replay_cache_enabled);
+    EXPECT_FALSE(engine_off.metrics().replay_cache_enabled);
+    // The cache must actually engage (and save simulation work) on any
+    // campaign with detected faults.
+    if (a.detected > 0) {
+        EXPECT_GT(engine_on.metrics().cache_case_skips +
+                      engine_on.metrics().cache_suffix_replays,
+                  0u);
+        EXPECT_LT(engine_on.metrics().simulated_steps,
+                  engine_off.metrics().simulated_steps);
+        EXPECT_EQ(engine_off.metrics().cache_case_skips, 0u);
+        EXPECT_EQ(engine_off.metrics().cache_suffix_replays, 0u);
+    }
+}
+
+TEST(replay_cache, multi_fault_diagnosis_identical_with_cache_on_and_off) {
+    const auto ex = paperex::make_paper_example();
+    // The paper's transfer fault plus a second fault on another transition.
+    const auto all = enumerate_all_faults(ex.spec);
+    const auto second =
+        std::find_if(all.begin(), all.end(),
+                     [&](const single_transition_fault& f) {
+                         return f.target != ex.fault.target;
+                     });
+    ASSERT_NE(second, all.end());
+    const fault_set fs{{ex.fault, *second}};
+
+    multi_fault_options with_cache;
+    with_cache.max_hypotheses = 3000;
+    with_cache.max_additional_tests = 10;
+    multi_fault_options without_cache = with_cache;
+    without_cache.use_replay_cache = false;
+
+    simulated_multi_iut iut_a(ex.spec, fs);
+    simulated_multi_iut iut_b(ex.spec, fs);
+    const auto a = diagnose_multi(ex.spec, ex.suite, iut_a, with_cache);
+    const auto b = diagnose_multi(ex.spec, ex.suite, iut_b, without_cache);
+
+    EXPECT_EQ(a.outcome, b.outcome);
+    EXPECT_EQ(a.initial_hypotheses, b.initial_hypotheses);
+    EXPECT_EQ(a.final_hypotheses, b.final_hypotheses);
+    EXPECT_EQ(a.truncated_hypotheses, b.truncated_hypotheses);
+    ASSERT_EQ(a.additional_tests.size(), b.additional_tests.size());
+    for (std::size_t i = 0; i < a.additional_tests.size(); ++i) {
+        EXPECT_EQ(a.additional_tests[i].tc.inputs,
+                  b.additional_tests[i].tc.inputs);
+        EXPECT_EQ(a.additional_tests[i].observed,
+                  b.additional_tests[i].observed);
+        EXPECT_EQ(a.additional_tests[i].eliminated,
+                  b.additional_tests[i].eliminated);
+    }
+}
+
+TEST(replay_cache, step_counter_is_monotone_and_counted_per_apply) {
+    const auto ex = paperex::make_paper_example();
+    const std::size_t before = simulated_steps();
+    simulator sim(ex.spec);
+    sim.reset();
+    (void)sim.apply(ex.suite.cases[0].inputs[0]);
+    (void)sim.apply(ex.suite.cases[0].inputs[1]);
+    EXPECT_EQ(simulated_steps(), before + 2);
+}
+
+TEST(replay_cache, rejects_out_of_range_override) {
+    const auto fx = paper_fixture::make();
+    const replay_cache cache(fx.ex.spec, fx.ex.suite, fx.report);
+    transition_override bad;
+    bad.target = {machine_id{99}, transition_id{0}};
+    bad.output = symbol{};
+    EXPECT_THROW((void)cache.consistent(bad), error);
+}
+
+}  // namespace
+}  // namespace cfsmdiag

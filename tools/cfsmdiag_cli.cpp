@@ -220,8 +220,8 @@ struct campaign_cli_args {
 };
 
 /// campaign <system-file> [max] [--jobs N] [--max-faults N] [--seed S]
-/// [--json <path>] [--progress] — the bare positional [max] is the
-/// pre-engine spelling and keeps old invocations working.
+/// [--json <path>] [--progress] [--no-replay-cache] — the bare positional
+/// [max] is the pre-engine spelling and keeps old invocations working.
 campaign_cli_args parse_campaign_args(const std::vector<std::string>& args) {
     campaign_cli_args out;
     out.system_path = args[1];
@@ -241,6 +241,9 @@ campaign_cli_args parse_campaign_args(const std::vector<std::string>& args) {
             out.json_path = value_of(i, a);
         } else if (a == "--progress") {
             out.progress = true;
+        } else if (a == "--no-replay-cache") {
+            // A/B switch: results are identical, only cost differs.
+            out.options.diag.use_replay_cache = false;
         } else if (!a.empty() && a[0] != '-' && !out.options.max_faults) {
             out.options.max_faults = std::stoul(a);
         } else {
@@ -277,10 +280,18 @@ int cmd_campaign(const campaign_cli_args& cli) {
               << ", mean additional inputs: "
               << fmt_double(stats.mean_additional_inputs, 2) << "\n";
     std::cout << "cost: " << metrics.replays << " replays, "
+              << metrics.simulated_steps << " simulated steps, "
               << metrics.oracle_executions << " oracle executions, "
               << metrics.oracle_inputs << " oracle inputs, "
               << fmt_double(metrics.wall_total, 2) << "s on "
               << metrics.jobs << " worker(s)\n";
+    if (metrics.replay_cache_enabled) {
+        std::cout << "replay cache: " << metrics.cache_case_skips
+                  << " case skips, " << metrics.cache_suffix_replays
+                  << " suffix replays\n";
+    } else {
+        std::cout << "replay cache: disabled\n";
+    }
     return stats.sound == stats.detected ? 0 : 1;
 }
 
@@ -342,7 +353,7 @@ int main(int argc, char** argv) {
            "  cfsmdiag reduce <system-file> <suite-file>\n"
            "  cfsmdiag campaign <system-file> [max-faults] [--jobs N]\n"
            "                    [--max-faults N] [--seed S] [--json <path>]\n"
-           "                    [--progress]\n"
+           "                    [--progress] [--no-replay-cache]\n"
            "  cfsmdiag random <seed> [machines] [states]\n";
     return 2;
 }

@@ -24,6 +24,13 @@ run_config() {
 
 run_config release -DCMAKE_BUILD_TYPE=Release
 
+# Bench smoke run: the replay-cache closing block asserts cache-on/off
+# campaigns stay byte-identical and prints the simulated-step reduction on
+# a small workload (--quick caps the fault count).
+echo "=== [release] bench smoke ==="
+cmake --build build-ci-release -j "${JOBS}" --target bench_fault_campaign
+(cd build-ci-release && bench/fault_campaign --quick)
+
 # TSan config: only the engine/pool tests plus the parallel CLI smoke run —
 # a full TSan ctest multiplies runtime ~10x without exercising any
 # additional threading code (everything else in the library is serial).
