@@ -11,13 +11,15 @@
 //     search.
 //
 // `--jobs N` runs every campaign through the parallel engine with N workers
-// (0 = hardware concurrency; default 1); the two closing blocks time the
-// default random-system campaign serial vs parallel and the Figure-1
-// campaign with the replay cache on vs off, asserting entries are
-// byte-identical before reporting speedup / simulated-step reduction (the
-// latter also writes BENCH_replay.json).  `--quick` runs only the Figure-1
-// campaigns and the replay-cache block on a capped fault list — the CI
-// smoke configuration.
+// (0 = hardware concurrency; default 1); the closing blocks time the
+// default random-system campaign serial vs parallel, the Figure-1 campaign
+// with the replay cache on vs off (asserting entries are byte-identical
+// before reporting speedup / simulated-step reduction; writes
+// BENCH_replay.json), and the unreliable-lab comparison — the same
+// Figure-1 campaign clean vs 5%-flaky with retries, checking verdict
+// agreement, determinism across thread counts, and crash isolation.
+// `--quick` runs only the Figure-1 campaigns and the closing blocks on a
+// capped fault list — the CI smoke configuration.
 #include <algorithm>
 #include <chrono>
 #include <fstream>
@@ -152,6 +154,80 @@ bool replay_cache_block(const cfsmdiag::system& spec,
     return identical;
 }
 
+/// Unreliable-lab block: the same Figure-1 campaign clean vs flaky
+/// (5% injection, 3 retries).  Reports verdict agreement, the reliability
+/// counters, and checks the three hardening guarantees — noisy verdicts
+/// never *contradict* clean ones (refusals are fine, misdiagnoses are not),
+/// flaky entries stay byte-identical across thread counts, and an injected
+/// diagnose crash is isolated to one errored entry.  Returns false when a
+/// guarantee is violated.
+bool unreliable_lab_block(const cfsmdiag::system& spec,
+                          const test_suite& suite,
+                          std::vector<single_transition_fault> faults,
+                          const campaign_options& base) {
+    campaign_options clean = base;
+    campaign_options flaky = base;
+    flaky.flaky = flakiness_profile::uniform(0.05, 7);
+    flaky.retry.max_retries = 3;
+
+    const auto cs = run_campaign(spec, suite, faults, clean);
+    const auto fs = run_campaign(spec, suite, faults, flaky);
+
+    std::size_t agree = 0;
+    bool misdiagnosis = false;
+    for (std::size_t i = 0; i < cs.entries.size(); ++i) {
+        const auto& c = cs.entries[i];
+        const auto& f = fs.entries[i];
+        if (f.outcome == c.outcome && f.sound == c.sound) ++agree;
+        if (c.sound && f.detected && !f.sound) misdiagnosis = true;
+    }
+    const double agree_pct =
+        cs.entries.empty() ? 100.0
+                           : 100.0 * static_cast<double>(agree) /
+                                 static_cast<double>(cs.entries.size());
+
+    // Determinism: the flaky stream is a function of (seed, fault index),
+    // never of the thread count.
+    campaign_options flaky4 = flaky;
+    flaky4.jobs = 4;
+    flaky4.seed = 123;
+    const bool identical =
+        run_campaign(spec, suite, faults, flaky4).entries == fs.entries;
+
+    // Crash isolation: one poisoned diagnosis becomes one errored entry.
+    campaign_options crashing = clean;
+    crashing.fault_hook = [](std::size_t index) {
+        if (index == 1) throw cfsmdiag::error("bench: injected crash");
+    };
+    const auto es = run_campaign(spec, suite, faults, crashing);
+    bool isolated = es.errored == 1 && es.entries[1].errored;
+    for (std::size_t i = 0; isolated && i < es.entries.size(); ++i) {
+        if (i != 1 && !(es.entries[i] == cs.entries[i])) isolated = false;
+    }
+
+    text_table t({"config", "faults", "detected", "sound",
+                  "inconclusive", "retries", "transients", "quarantined"});
+    auto row = [&](const char* name, const campaign_stats& s) {
+        t.add_row({name, std::to_string(s.total),
+                   std::to_string(s.detected), std::to_string(s.sound),
+                   std::to_string(s.inconclusive_unreliable),
+                   std::to_string(s.retries),
+                   std::to_string(s.transient_failures),
+                   std::to_string(s.quarantined_runs)});
+    };
+    row("clean lab", cs);
+    row("flaky 5% + 3 retries", fs);
+    std::cout << t << "verdict agreement clean vs flaky: "
+              << fmt_double(agree_pct, 1) << "%\n"
+              << "noisy verdicts never contradict clean ones: "
+              << (misdiagnosis ? "NO — MISDIAGNOSIS" : "yes") << "\n"
+              << "flaky entries byte-identical across thread counts: "
+              << (identical ? "yes" : "NO — DETERMINISM BUG") << "\n"
+              << "injected crash isolated to one errored entry: "
+              << (isolated ? "yes" : "NO — ISOLATION BUG") << "\n";
+    return !misdiagnosis && identical && isolated;
+}
+
 int main(int argc, char** argv) {
     std::size_t jobs = 1;
     bool quick = false;
@@ -181,10 +257,14 @@ int main(int argc, char** argv) {
                      "system, capped faults) ===\n";
         auto faults = enumerate_all_faults(ex.spec);
         if (faults.size() > 60) faults.resize(60);
-        return replay_cache_block(ex.spec, ex_suite, std::move(faults),
-                                  base)
-                   ? 0
-                   : 1;
+        bool ok = replay_cache_block(ex.spec, ex_suite, faults, base);
+        std::cout << "\n=== engine: unreliable lab, clean vs flaky "
+                     "(Figure-1 system, capped faults) ===\n";
+        auto few = std::move(faults);
+        if (few.size() > 24) few.resize(24);
+        ok = unreliable_lab_block(ex.spec, ex_suite, std::move(few), base) &&
+             ok;
+        return ok ? 0 : 1;
     }
 
     std::cout << "\n=== campaign C: random 3x4 system, tour + random walks "
@@ -372,6 +452,14 @@ int main(int argc, char** argv) {
                  "full single+double fault universe) ===\n";
     if (!replay_cache_block(ex.spec, ex_suite,
                             enumerate_all_faults(ex.spec), base))
+        return 1;
+
+    std::cout << "\n=== engine: unreliable lab, clean vs flaky (Figure-1 "
+                 "system, capped faults) ===\n";
+    auto lab_faults = enumerate_all_faults(ex.spec);
+    if (lab_faults.size() > 60) lab_faults.resize(60);
+    if (!unreliable_lab_block(ex.spec, ex_suite, std::move(lab_faults),
+                              base))
         return 1;
     return 0;
 }

@@ -77,12 +77,20 @@ std::optional<observation> async_simulator::deliver(machine_id receiver,
 
 std::vector<observation> async_simulator::drain() {
     std::vector<observation> out;
+    std::size_t delivered = 0;
     bool progressed = true;
     while (progressed) {
         progressed = false;
         for (std::uint32_t r = 0; r < sys_->machine_count(); ++r) {
             for (std::uint32_t s = 0; s < sys_->machine_count(); ++s) {
                 if (auto obs = deliver(machine_id{r}, machine_id{s})) {
+                    if (++delivered > drain_budget_) {
+                        throw budget_exceeded(
+                            "async_simulator::drain: exceeded " +
+                            std::to_string(drain_budget_) +
+                            " deliveries (message cycle?) in system '" +
+                            sys_->name() + "'");
+                    }
                     out.push_back(*obs);
                     progressed = true;
                 }
@@ -90,6 +98,12 @@ std::vector<observation> async_simulator::drain() {
         }
     }
     return out;
+}
+
+void async_simulator::set_drain_budget(std::size_t deliveries) {
+    detail::require(deliveries > 0,
+                    "async_simulator::set_drain_budget: budget must be > 0");
+    drain_budget_ = deliveries;
 }
 
 bool async_simulator::quiescent() const noexcept { return pending() == 0; }

@@ -52,8 +52,16 @@ class async_simulator {
 
     /// Delivers all pending messages in receiver-major, sender-minor FIFO
     /// order until quiescence; returns the non-trivial observations in
-    /// delivery order.
+    /// delivery order.  A message cycle keeps the queues non-empty forever;
+    /// the delivery budget turns that livelock into budget_exceeded.
     std::vector<observation> drain();
+
+    /// Caps deliveries per drain() call (livelock guard, like the
+    /// synchronous simulator's hop budget).  Default generous; must be > 0.
+    void set_drain_budget(std::size_t deliveries);
+    [[nodiscard]] std::size_t drain_budget() const noexcept {
+        return drain_budget_;
+    }
 
     [[nodiscard]] bool quiescent() const noexcept;
     [[nodiscard]] std::size_t pending() const noexcept;
@@ -80,6 +88,7 @@ class async_simulator {
     system_state state_;
     /// queues_[receiver][sender]: FIFO of message symbols.
     std::vector<std::vector<std::deque<symbol>>> queues_;
+    std::size_t drain_budget_ = 1'000'000;
 };
 
 }  // namespace cfsmdiag

@@ -10,10 +10,11 @@ thread_local std::size_t simulated_step_count = 0;
 
 namespace {
 
-/// Hard cap on internal-message hops per step.  Valid systems use at most
-/// one hop (chain length 2); the cap turns accidental message cycles in
-/// unvalidated or mutated systems into a clear error instead of a hang.
-constexpr int max_internal_hops = 64;
+/// Default internal-message hop budget per step.  Valid systems use at
+/// most one hop (chain length 2); the generous default only trips on
+/// genuine message cycles in unvalidated or mutated systems, turning a
+/// would-be livelock into budget_exceeded.
+constexpr std::size_t default_hop_budget = 1024;
 
 }  // namespace
 
@@ -24,7 +25,9 @@ simulator::simulator(const system& sys,
 
 simulator::simulator(const system& sys,
                      std::vector<transition_override> overrides)
-    : sys_(&sys), overrides_(std::move(overrides)) {
+    : sys_(&sys),
+      overrides_(std::move(overrides)),
+      hop_budget_(default_hop_budget) {
     for (std::size_t i = 0; i < overrides_.size(); ++i) {
         const auto id = overrides_[i].target;
         detail::require(id.machine.value < sys.machine_count(),
@@ -88,7 +91,7 @@ observation simulator::apply(const global_input& in,
 
     machine_id current = in.port;
     symbol message = in.input;
-    for (int hop = 0; hop < max_internal_hops; ++hop) {
+    for (std::size_t hop = 0; hop <= hop_budget_; ++hop) {
         const fsm& m = sys_->machine(current);
         const auto found = m.find(state_.states[current.value], message);
         if (!found) {
@@ -115,10 +118,16 @@ observation simulator::apply(const global_input& in,
                             sys_->transition_label(gid) +
                             " sends an ε message");
     }
-    throw model_error(
+    throw budget_exceeded(
         "simulator::apply: internal-message chain exceeded " +
-        std::to_string(max_internal_hops) +
+        std::to_string(hop_budget_) +
         " hops (message cycle?) in system '" + sys_->name() + "'");
+}
+
+void simulator::set_internal_hop_budget(std::size_t hops) {
+    detail::require(hops > 0,
+                    "simulator::set_internal_hop_budget: budget must be > 0");
+    hop_budget_ = hops;
 }
 
 std::vector<observation> simulator::run(

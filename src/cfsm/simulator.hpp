@@ -139,6 +139,16 @@ class simulator {
 
     [[nodiscard]] const system& target() const noexcept { return *sys_; }
 
+    /// Caps internal-message hops per applied input (the livelock guard for
+    /// adversarial or mutated systems whose internal outputs form a message
+    /// cycle).  Valid systems per the paper use at most one hop; the
+    /// generous default only trips on genuine cycles.  Exceeding the budget
+    /// throws budget_exceeded instead of looping forever.
+    void set_internal_hop_budget(std::size_t hops);
+    [[nodiscard]] std::size_t internal_hop_budget() const noexcept {
+        return hop_budget_;
+    }
+
   private:
     /// Effective (output, next, kind, destination) of a transition after
     /// the override.
@@ -153,6 +163,7 @@ class simulator {
     const system* sys_;
     std::vector<transition_override> overrides_;
     system_state state_;
+    std::size_t hop_budget_;
 };
 
 /// Convenience: observations of `seq` on `sys` from reset.

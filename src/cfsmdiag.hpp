@@ -64,6 +64,8 @@
 #include "nondet/diagnose.hpp"
 #include "paperex/figure1.hpp"
 #include "tester/coordinator.hpp"
+#include "tester/flaky_sut.hpp"
+#include "tester/resilient.hpp"
 #include "tester/sut.hpp"
 #include "testgen/diagnostic_suite.hpp"
 #include "testgen/methods.hpp"

@@ -1,8 +1,10 @@
 #include "diag/diagnoser.hpp"
 
+#include <algorithm>
 #include <chrono>
 #include <sstream>
 
+#include "util/error.hpp"
 #include "util/strings.hpp"
 
 namespace cfsmdiag {
@@ -16,6 +18,8 @@ std::string to_string(diagnosis_outcome outcome) {
         case diagnosis_outcome::ambiguous: return "ambiguous";
         case diagnosis_outcome::no_consistent_hypothesis:
             return "no consistent hypothesis";
+        case diagnosis_outcome::inconclusive_unreliable:
+            return "inconclusive (unreliable lab)";
     }
     return "?";
 }
@@ -29,7 +33,10 @@ std::size_t diagnosis_result::additional_inputs() const noexcept {
 namespace {
 
 /// Applies one test to the IUT, records it, and filters the live set.
-void apply_test(const system& spec, oracle& iut, hypothesis_tracker& tracker,
+/// Returns false when the run came back untrusted (or never came back):
+/// the record is kept for the report but its observations are NOT applied
+/// to the tracker — quarantined evidence must not refute hypotheses.
+bool apply_test(const system& spec, oracle& iut, hypothesis_tracker& tracker,
                 diagnosis_result& result, test_case tc, std::string purpose,
                 bool from_fallback) {
     additional_test_record rec;
@@ -37,9 +44,23 @@ void apply_test(const system& spec, oracle& iut, hypothesis_tracker& tracker,
     rec.purpose = std::move(purpose);
     rec.from_fallback = from_fallback;
     rec.expected = observe(spec, rec.tc.inputs);
-    rec.observed = iut.execute(rec.tc.inputs);
-    rec.eliminated = tracker.apply_result(rec.tc.inputs, rec.observed);
+    try {
+        rec.observed = iut.execute(rec.tc.inputs);
+        if (const run_reliability* rel = iut.last_run_reliability();
+            rel && !rel->trusted) {
+            rec.quarantined = true;
+            rec.quarantine_reason = rel->reason;
+        }
+    } catch (const transient_error& e) {
+        rec.quarantined = true;
+        rec.quarantine_reason = e.what();
+        rec.observed.assign(rec.tc.inputs.size(), observation::none());
+    }
+    if (!rec.quarantined)
+        rec.eliminated = tracker.apply_result(rec.tc.inputs, rec.observed);
+    const bool trusted = !rec.quarantined;
     result.additional_tests.push_back(std::move(rec));
+    return trusted;
 }
 
 /// Seconds elapsed since `since`, advancing `since` to now.
@@ -48,6 +69,35 @@ double lap(std::chrono::steady_clock::time_point& since) {
     const std::chrono::duration<double> d = now - since;
     since = now;
     return d.count();
+}
+
+void note_reason(reliability_summary& rel, const std::string& reason) {
+    if (reason.empty()) return;
+    if (std::find(rel.reasons.begin(), rel.reasons.end(), reason) !=
+        rel.reasons.end())
+        return;
+    rel.reasons.push_back(reason);
+}
+
+/// Fills result.reliability from the symptom report, the Step-6 records,
+/// and the oracle's lifetime totals.  Called on every return path.
+void finalize_reliability(diagnosis_result& result, const oracle& iut) {
+    reliability_summary& rel = result.reliability;
+    rel.quarantined_cases = result.symptoms.quarantined_cases.size();
+    for (std::size_t ci : result.symptoms.quarantined_cases)
+        note_reason(rel, result.symptoms.runs[ci].quarantine_reason);
+    rel.quarantined_tests = 0;
+    for (const auto& rec : result.additional_tests) {
+        if (!rec.quarantined) continue;
+        ++rel.quarantined_tests;
+        note_reason(rel, rec.quarantine_reason);
+    }
+    if (const reliability_stats* totals = iut.reliability_totals()) {
+        rel.attempts = totals->attempts;
+        rel.retries = totals->retries;
+        rel.transient_failures = totals->transient_failures;
+        rel.untrusted_runs = totals->untrusted_runs;
+    }
 }
 
 }  // namespace
@@ -62,7 +112,13 @@ diagnosis_result diagnose(const system& spec, const test_suite& suite,
     result.symptoms = collect_symptoms(spec, suite, iut, precomputed);
     result.timings.symptoms = lap(mark);
     if (!result.symptoms.has_symptoms()) {
-        result.outcome = diagnosis_outcome::passed;
+        // Clean on every trusted run.  If runs had to be quarantined the
+        // clean verdict rests on partial evidence — refuse to call it
+        // "passed" (a fault could be hiding in the discarded runs).
+        result.outcome = result.symptoms.quarantined_cases.empty()
+                             ? diagnosis_outcome::passed
+                             : diagnosis_outcome::inconclusive_unreliable;
+        finalize_reliability(result, iut);
         return result;
     }
 
@@ -96,13 +152,19 @@ diagnosis_result diagnose(const system& spec, const test_suite& suite,
     }
     result.timings.evaluation = lap(mark);
     if (result.initial_diagnoses.empty()) {
-        result.outcome = diagnosis_outcome::no_consistent_hypothesis;
+        // With quarantined runs in play the refutation may itself rest on
+        // degraded evidence — report unreliability, not a model violation.
+        result.outcome = result.symptoms.quarantined_cases.empty()
+                             ? diagnosis_outcome::no_consistent_hypothesis
+                             : diagnosis_outcome::inconclusive_unreliable;
+        finalize_reliability(result, iut);
         return result;
     }
 
     // Step 6: adaptive discrimination.
     hypothesis_tracker tracker(spec, result.initial_diagnoses,
                                options.use_replay_cache);
+    bool unreliable_tests = false;
     while (result.additional_tests.size() < options.max_additional_tests) {
         if (tracker.count() == 0 && options.escalate_if_empty &&
             options.evaluation == evaluation_mode::paper_flag_routing &&
@@ -116,8 +178,10 @@ diagnosis_result diagnose(const system& spec, const test_suite& suite,
                 options.include_addressing_faults, cache_ptr);
             tracker = hypothesis_tracker(spec, result.evaluated.diagnoses(),
                                          options.use_replay_cache);
-            for (const auto& rec : result.additional_tests)
+            for (const auto& rec : result.additional_tests) {
+                if (rec.quarantined) continue;
                 (void)tracker.apply_result(rec.tc.inputs, rec.observed);
+            }
         }
         if (tracker.count() <= 1) break;
         bool progressed = false;
@@ -127,12 +191,16 @@ diagnosis_result diagnose(const system& spec, const test_suite& suite,
             for (const auto& p : proposals) {
                 if (tracker.count() <= 1) break;
                 if (!tracker.splits(p.tc.inputs)) continue;
-                apply_test(spec, iut, tracker, result, p.tc, p.purpose,
-                           /*from_fallback=*/false);
+                if (!apply_test(spec, iut, tracker, result, p.tc, p.purpose,
+                                /*from_fallback=*/false))
+                    unreliable_tests = true;
                 progressed = true;
                 break;  // re-propose against the reduced live set
             }
         }
+        // A quarantined additional test means the lab can no longer settle
+        // discriminating questions; stop burning the test budget.
+        if (unreliable_tests) break;
         if (progressed) continue;
 
         if (!options.fallback_search) break;
@@ -140,28 +208,42 @@ diagnosis_result diagnose(const system& spec, const test_suite& suite,
             tracker.find_splitting_sequence(options.max_joint_states);
         if (!seq) break;  // remaining hypotheses are equivalent
         result.used_fallback_search = true;
-        apply_test(spec, iut, tracker, result,
-                   test_case::from_inputs(
-                       "fb" + std::to_string(result.additional_tests.size() +
-                                             1),
-                       *seq),
-                   "joint-state splitting sequence",
-                   /*from_fallback=*/true);
+        if (!apply_test(spec, iut, tracker, result,
+                        test_case::from_inputs(
+                            "fb" + std::to_string(
+                                       result.additional_tests.size() + 1),
+                            *seq),
+                        "joint-state splitting sequence",
+                        /*from_fallback=*/true)) {
+            unreliable_tests = true;
+            break;
+        }
     }
 
     result.final_diagnoses = tracker.alive();
+    const bool degraded =
+        !result.symptoms.quarantined_cases.empty() || unreliable_tests;
     if (tracker.count() == 0) {
         // Every hypothesis was refuted by an additional test: the fault
-        // model does not hold (or the IUT is nondeterministic).
-        result.outcome = diagnosis_outcome::no_consistent_hypothesis;
+        // model does not hold (or the IUT is nondeterministic) — unless
+        // the evidence itself was degraded, in which case the honest
+        // verdict is "the lab was too unreliable".
+        result.outcome = degraded
+                             ? diagnosis_outcome::inconclusive_unreliable
+                             : diagnosis_outcome::no_consistent_hypothesis;
     } else if (tracker.count() == 1) {
         result.outcome = diagnosis_outcome::localized;
     } else if (!tracker.find_splitting_sequence(options.max_joint_states)) {
         result.outcome = diagnosis_outcome::localized_up_to_equivalence;
+    } else if (unreliable_tests) {
+        // Distinguishable hypotheses remain and the lab stopped answering
+        // discriminating tests reliably — not a budget problem.
+        result.outcome = diagnosis_outcome::inconclusive_unreliable;
     } else {
         result.outcome = diagnosis_outcome::ambiguous;
     }
     result.timings.discrimination = lap(mark);
+    finalize_reliability(result, iut);
     return result;
 }
 
@@ -177,6 +259,18 @@ std::string summarize(const system& spec, const diagnosis_result& result) {
             << ", uso = " << to_string(result.symptoms.uso, sym);
     }
     out << ", flag = " << (result.symptoms.flag ? "true" : "false") << "\n";
+
+    if (result.reliability.degraded() || result.reliability.retries > 0 ||
+        result.reliability.transient_failures > 0) {
+        const reliability_summary& rel = result.reliability;
+        out << "reliability: " << rel.quarantined_cases
+            << " quarantined suite run(s), " << rel.quarantined_tests
+            << " quarantined additional test(s), " << rel.retries
+            << " retrie(s), " << rel.transient_failures
+            << " transient failure(s)\n";
+        for (const std::string& r : rel.reasons)
+            out << "  quarantine reason: " << r << "\n";
+    }
 
     for (std::uint32_t m = 0; m < result.candidates.itc.size(); ++m) {
         if (result.candidates.itc[m].empty()) continue;
@@ -208,6 +302,8 @@ std::string summarize(const system& spec, const diagnosis_result& result) {
         out << "  expected: " << join(exp, ", ") << "\n";
         out << "  observed: " << join(obs, ", ") << "  (eliminated "
             << rec.eliminated << ")\n";
+        if (rec.quarantined)
+            out << "  quarantined: " << rec.quarantine_reason << "\n";
     }
 
     out << "final diagnoses (" << result.final_diagnoses.size() << "):\n";

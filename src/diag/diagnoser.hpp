@@ -36,6 +36,12 @@ enum class diagnosis_outcome : std::uint8_t {
     /// No single-transition fault explains the observations (fault model
     /// violated, or the IUT is nondeterministic).
     no_consistent_hypothesis,
+    /// The lab was too unreliable to commit to a verdict: every usable
+    /// (trusted) run was clean but some runs had to be quarantined, or the
+    /// surviving-hypothesis picture was shaped by quarantined evidence.
+    /// Never counts as a detection — degraded evidence must not turn into
+    /// a misdiagnosis.
+    inconclusive_unreliable,
 };
 
 [[nodiscard]] std::string to_string(diagnosis_outcome outcome);
@@ -48,6 +54,28 @@ struct additional_test_record {
     std::vector<observation> observed;  ///< on the IUT
     std::size_t eliminated = 0;         ///< hypotheses killed by this test
     bool from_fallback = false;
+    /// True when the run was untrusted (no majority / all attempts failed);
+    /// its observations were NOT applied to the live hypothesis set.
+    bool quarantined = false;
+    std::string quarantine_reason;
+};
+
+/// Reliability picture of one diagnose() run over an unreliable lab.  All
+/// zeros (and trusted everywhere) when the oracle never reported trouble.
+struct reliability_summary {
+    std::size_t quarantined_cases = 0;  ///< suite runs excluded as untrusted
+    std::size_t quarantined_tests = 0;  ///< Step-6 tests excluded
+    std::size_t attempts = 0;           ///< total lab attempts (when known)
+    std::size_t retries = 0;            ///< attempts beyond the first
+    std::size_t transient_failures = 0; ///< attempts lost to lab faults
+    std::size_t untrusted_runs = 0;     ///< runs with no usable majority
+    /// Distinct quarantine reasons, in first-seen order (for the report).
+    std::vector<std::string> reasons;
+
+    /// True when any evidence had to be discarded.
+    [[nodiscard]] bool degraded() const noexcept {
+        return quarantined_cases > 0 || quarantined_tests > 0;
+    }
 };
 
 /// Wall-clock spent in each stage of one diagnose() run, in seconds.
@@ -85,6 +113,7 @@ struct diagnosis_result {
     bool used_escalation = false;
     bool used_fallback_search = false;
     stage_timings timings;
+    reliability_summary reliability;
 
     /// Total inputs applied by additional tests (the paper's cost metric).
     [[nodiscard]] std::size_t additional_inputs() const noexcept;

@@ -20,6 +20,9 @@ bool hypothesis_consistent(const system& spec, const test_suite& suite,
     if (cache) return cache->consistent(ov);
     simulator sim(spec, ov);
     for (std::size_t ci = 0; ci < suite.cases.size(); ++ci) {
+        // A quarantined run's observations are untrusted — it must neither
+        // support nor refute any hypothesis.
+        if (report.runs[ci].quarantined) continue;
         const auto& inputs = suite.cases[ci].inputs;
         const auto& observed = report.runs[ci].observed;
         sim.reset();

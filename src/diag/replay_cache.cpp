@@ -243,6 +243,9 @@ bool replay_cache::consistent(const transition_override& ov) const {
     const std::vector<std::uint32_t> targets{dense_id(ov.target)};
     simulator sim(*spec_, ov);
     for (std::size_t ci = 0; ci < cases_.size(); ++ci) {
+        // Quarantined runs carry no trustworthy observations; they neither
+        // support nor refute (mirrors hypothesis_consistent's uncached path).
+        if (report_->runs[ci].quarantined) continue;
         const case_data& c = cases_[ci];
         const std::uint32_t f = c.first_fire[targets[0]];
         if (f == invalid_index) {
@@ -269,6 +272,7 @@ bool replay_cache::consistent(
         targets.push_back(dense_id(ov.target));
     simulator sim(*spec_, ovs);
     for (std::size_t ci = 0; ci < cases_.size(); ++ci) {
+        if (report_->runs[ci].quarantined) continue;
         const case_data& c = cases_[ci];
         // The prefix lemma holds until the *earliest* target fires.
         std::uint32_t f = invalid_index;

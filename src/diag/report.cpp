@@ -30,6 +30,10 @@ json_value additional_tests_to_json(
         t.set("observed", observations_to_json(spec, rec.observed));
         t.set("eliminated", json_value::number(rec.eliminated));
         t.set("fallback", json_value::boolean(rec.from_fallback));
+        t.set("quarantined", json_value::boolean(rec.quarantined));
+        if (rec.quarantined)
+            t.set("quarantine_reason",
+                  json_value::string(rec.quarantine_reason));
         arr.push(std::move(t));
     }
     return arr;
@@ -88,7 +92,28 @@ json_value report_to_json(const system& spec,
                         to_string(result.symptoms.uso, spec.symbols()))
                   : json_value::null());
         s.set("flag", json_value::boolean(result.symptoms.flag));
+        auto quarantined = json_value::array();
+        for (std::size_t ci : result.symptoms.quarantined_cases)
+            quarantined.push(json_value::number(ci));
+        s.set("quarantined_cases", std::move(quarantined));
         root.set("symptoms", std::move(s));
+    }
+
+    {
+        const reliability_summary& rel = result.reliability;
+        auto r = json_value::object();
+        r.set("quarantined_cases", json_value::number(rel.quarantined_cases));
+        r.set("quarantined_tests", json_value::number(rel.quarantined_tests));
+        r.set("attempts", json_value::number(rel.attempts));
+        r.set("retries", json_value::number(rel.retries));
+        r.set("transient_failures",
+              json_value::number(rel.transient_failures));
+        r.set("untrusted_runs", json_value::number(rel.untrusted_runs));
+        auto reasons = json_value::array();
+        for (const std::string& reason : rel.reasons)
+            reasons.push(json_value::string(reason));
+        r.set("reasons", std::move(reasons));
+        root.set("reliability", std::move(r));
     }
 
     {

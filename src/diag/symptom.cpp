@@ -27,12 +27,30 @@ symptom_report collect_symptoms(const system& spec, const test_suite& suite,
         run.case_index = ci;
         run.trace = precomputed ? (*precomputed)[ci]
                                 : explain(spec, tc.inputs);
-        run.observed = iut.execute(tc.inputs);
+        try {
+            run.observed = iut.execute(tc.inputs);
+            if (const run_reliability* rel = iut.last_run_reliability();
+                rel && !rel->trusted) {
+                run.quarantined = true;
+                run.quarantine_reason = rel->reason;
+            }
+        } catch (const transient_error& e) {
+            // The lab never produced a usable run for this case even after
+            // retries.  Quarantine it: no symptoms, no refutation power.
+            run.quarantined = true;
+            run.quarantine_reason = e.what();
+            run.observed.assign(tc.inputs.size(), observation::none());
+        }
         detail::require(run.observed.size() == tc.inputs.size(),
                         "collect_symptoms: oracle returned " +
                             std::to_string(run.observed.size()) +
                             " observations for " +
                             std::to_string(tc.inputs.size()) + " inputs");
+        if (run.quarantined) {
+            report.quarantined_cases.push_back(ci);
+            report.runs.push_back(std::move(run));
+            continue;
+        }
 
         for (std::size_t step = 0; step < run.trace.size(); ++step) {
             if (run.trace[step].expected != run.observed[step])

@@ -37,13 +37,24 @@ struct executed_case {
     /// symptom (the last transition fired in that step); nullopt when the
     /// spec fired nothing there (expected ε).
     std::optional<global_transition_id> symptom_transition;
+    /// True when the run's observations could not be trusted (the oracle
+    /// reported no majority, or every attempt failed with a transient
+    /// error).  Quarantined runs carry no symptoms and are excluded from
+    /// the conflict-set intersection and every hypothesis-consistency
+    /// check; `observed` is then only a placeholder (ε-filled when the
+    /// oracle produced nothing at all).
+    bool quarantined = false;
+    std::string quarantine_reason;
 };
 
 /// Steps 1-3 result.
 struct symptom_report {
     std::vector<executed_case> runs;  ///< one per test case, in suite order
-    /// Indices of test cases with at least one symptom.
+    /// Indices of test cases with at least one symptom.  Quarantined runs
+    /// never appear here — their "symptoms" are not evidence.
     std::vector<std::size_t> symptomatic_cases;
+    /// Indices of quarantined runs (see executed_case::quarantined).
+    std::vector<std::size_t> quarantined_cases;
     /// Step 4's flag (see file comment).
     bool flag = false;
     /// The unique symptom transition, if all symptomatic cases agree.

@@ -15,6 +15,30 @@
 
 namespace cfsmdiag {
 
+/// Reliability verdict for one oracle::execute() call, produced by
+/// executors that run a test case more than once (tester/resilient.hpp).
+/// `trusted` means the returned observations earned a k-of-n majority and
+/// may feed the diagnostic algorithm; untrusted runs are quarantined by
+/// the diagnoser — excluded from symptom generation and from the
+/// conflict-set intersection — with `reason` recorded in the report.
+struct run_reliability {
+    std::size_t attempts = 0;  ///< SUT runs for this test case (>= 1)
+    std::size_t retries = 0;   ///< attempts beyond the first
+    std::size_t transient_failures = 0;  ///< attempts killed by errors
+    /// Weakest per-position vote supporting the returned observations.
+    std::size_t agreeing = 0;
+    bool trusted = true;
+    std::string reason;  ///< set when !trusted
+};
+
+/// Aggregate reliability counters across every execute() call so far.
+struct reliability_stats {
+    std::size_t attempts = 0;
+    std::size_t retries = 0;
+    std::size_t transient_failures = 0;
+    std::size_t untrusted_runs = 0;  ///< execute() calls with no majority
+};
+
 /// Black-box access to an implementation under test.
 ///
 /// Thread-safety contract (what the parallel campaign engine relies on):
@@ -39,6 +63,20 @@ class oracle {
 
     /// Total inputs applied across all executions (test effort).
     [[nodiscard]] virtual std::size_t inputs_applied() const noexcept = 0;
+
+    /// Reliability of the most recent execute() call, or nullptr for
+    /// oracles that do not track reliability (every run is then trusted).
+    /// The pointer is invalidated by the next execute().
+    [[nodiscard]] virtual const run_reliability* last_run_reliability()
+        const noexcept {
+        return nullptr;
+    }
+
+    /// Aggregate reliability counters, or nullptr when not tracked.
+    [[nodiscard]] virtual const reliability_stats* reliability_totals()
+        const noexcept {
+        return nullptr;
+    }
 };
 
 /// Oracle backed by a simulator over spec ⊕ fault.

@@ -18,10 +18,14 @@
 #pragma once
 
 #include <cstdint>
+#include <functional>
 #include <optional>
+#include <string>
 
 #include "diag/diagnoser.hpp"
 #include "fault/enumerate.hpp"
+#include "tester/flaky_sut.hpp"
+#include "tester/resilient.hpp"
 #include "testgen/testcase.hpp"
 
 namespace cfsmdiag {
@@ -39,6 +43,20 @@ struct campaign_options {
     /// expensive faults spread across shards.  Output order is unaffected —
     /// entries always come back in fault-index order.
     std::uint64_t seed = 0;
+    /// When set, every fault's IUT is wrapped in a flaky_sut (fault
+    /// injection at the lab boundary) and driven through a resilient_oracle
+    /// with `retry`.  The profile's seed is mixed with the fault index, so
+    /// each fault sees its own — but thread-count-independent — flakiness
+    /// stream, keeping entries byte-identical for any `jobs`.
+    std::optional<flakiness_profile> flaky;
+    /// Retry/vote/budget policy for the resilient path.  Also honoured
+    /// without `flaky` when `retry.deadline_ms > 0` (per-fault deadlines
+    /// apply to clean campaigns too).
+    retry_policy retry;
+    /// Test seam / crash isolation hook: invoked with the fault index just
+    /// before each diagnosis.  Anything it throws is captured into that
+    /// fault's `errored` entry; the rest of the campaign is unaffected.
+    std::function<void(std::size_t)> fault_hook;
 };
 
 /// One fault's scored run.  Every field is a deterministic function of
@@ -60,11 +78,25 @@ struct campaign_entry {
     std::size_t oracle_inputs = 0;
     bool escalated = false;
     bool used_fallback = false;
+    /// Lab-reliability counters for this fault's run (all zero on the
+    /// clean, non-flaky path).
+    std::size_t retries = 0;
+    std::size_t transient_failures = 0;
+    std::size_t quarantined_cases = 0;
+    std::size_t quarantined_tests = 0;
+    /// The diagnosis itself failed (threw): the entry records the error
+    /// instead of a verdict and is excluded from detected/sound math.
+    /// A campaign never dies with a worker — one fault's crash is isolated
+    /// here.
+    bool errored = false;
+    std::string error_kind;     ///< "timeout" | "budget" | "transient" |
+                                ///< "model" | "error" | "exception"
+    std::string error_message;
 
     /// Field-wise comparison — the determinism tests and benches assert
     /// parallel runs reproduce serial entries exactly.
-    friend constexpr auto operator<=>(const campaign_entry&,
-                                      const campaign_entry&) = default;
+    friend auto operator<=>(const campaign_entry&,
+                            const campaign_entry&) = default;
 };
 
 struct campaign_stats {
@@ -74,9 +106,19 @@ struct campaign_stats {
     std::size_t localized_equiv = 0;    ///< localized up to equivalence
     std::size_t ambiguous = 0;
     std::size_t no_hypothesis = 0;
+    /// Runs that refused a verdict because the lab was too unreliable.
+    /// Not counted as detected — degradation must not look like detection.
+    std::size_t inconclusive_unreliable = 0;
+    /// Runs whose diagnosis threw (see campaign_entry::errored).  Excluded
+    /// from detected/sound math entirely.
+    std::size_t errored = 0;
     std::size_t sound = 0;              ///< truth among final diagnoses
     std::size_t escalations = 0;
     std::size_t fallbacks = 0;
+    /// Lab-reliability totals summed over all entries.
+    std::size_t retries = 0;
+    std::size_t transient_failures = 0;
+    std::size_t quarantined_runs = 0;   ///< suite runs + Step-6 tests
     double mean_initial_diagnoses = 0.0;  ///< over detected faults
     double mean_final_diagnoses = 0.0;
     double mean_additional_tests = 0.0;

@@ -34,6 +34,17 @@ double seconds_since(std::chrono::steady_clock::time_point t0) {
     return d.count();
 }
 
+/// Splitmix64-style mix of the campaign flakiness seed with the fault
+/// index: every fault gets an independent corruption stream that depends
+/// only on (seed, index) — never on which worker runs it.
+std::uint64_t mix_fault_seed(std::uint64_t seed, std::size_t index) noexcept {
+    std::uint64_t z =
+        seed + 0x9e3779b97f4a7c15ull * (static_cast<std::uint64_t>(index) + 1);
+    z = (z ^ (z >> 30)) * 0xbf58476d1ce4e5b9ull;
+    z = (z ^ (z >> 27)) * 0x94d049bb133111ebull;
+    return z ^ (z >> 31);
+}
+
 }  // namespace
 
 campaign_stats aggregate_entries(std::vector<campaign_entry> entries) {
@@ -42,6 +53,23 @@ campaign_stats aggregate_entries(std::vector<campaign_entry> entries) {
 
     for (const campaign_entry& entry : entries) {
         ++stats.total;
+        stats.retries += entry.retries;
+        stats.transient_failures += entry.transient_failures;
+        stats.quarantined_runs +=
+            entry.quarantined_cases + entry.quarantined_tests;
+        if (entry.errored) {
+            // The diagnosis crashed: no verdict to score.  Counting it as
+            // detected or unsound would poison the soundness math.
+            ++stats.errored;
+            continue;
+        }
+        if (entry.outcome == diagnosis_outcome::inconclusive_unreliable) {
+            // A refusal to guess, not a detection — kept out of the
+            // detected/sound buckets so degradation never reads as either
+            // a catch or a misdiagnosis.
+            ++stats.inconclusive_unreliable;
+            continue;
+        }
         if (!entry.detected) continue;
         ++stats.detected;
         if (entry.sound) ++stats.sound;
@@ -59,6 +87,7 @@ campaign_stats aggregate_entries(std::vector<campaign_entry> entries) {
                 ++stats.no_hypothesis;
                 break;
             case diagnosis_outcome::passed: break;
+            case diagnosis_outcome::inconclusive_unreliable: break;
         }
         if (entry.escalated) ++stats.escalations;
         if (entry.used_fallback) ++stats.fallbacks;
@@ -92,7 +121,8 @@ std::size_t campaign_engine::planned_faults() const noexcept {
                     options_.max_faults.value_or(faults_.size()));
 }
 
-campaign_entry campaign_engine::run_one(const single_transition_fault& fault,
+campaign_entry campaign_engine::run_one(std::size_t index,
+                                        const single_transition_fault& fault,
                                         const suite_traces& traces,
                                         stage_timings& stage_acc,
                                         double& scoring_acc,
@@ -101,40 +131,96 @@ campaign_entry campaign_engine::run_one(const single_transition_fault& fault,
     const std::size_t steps_base = simulated_steps();
     const std::size_t skips_base = replay_cache_case_skips();
     const std::size_t suffix_base = replay_cache_suffix_replays();
-    simulated_iut iut(spec_, fault);
-    const diagnosis_result result = diagnose(spec_, suite_, iut,
-                                             options_.diag, &traces);
-    // The simulated IUT stands in for a physical implementation whose
-    // execution costs the tester nothing; its apply calls (one per input
-    // it consumed) are excluded so the metric counts only the diagnostic
-    // algorithm's own simulation work.
-    const std::size_t diag_steps = simulated_steps() - steps_base;
-    cost_acc.simulated_steps +=
-        diag_steps - std::min(diag_steps, iut.inputs_applied());
-    cost_acc.cache_case_skips += replay_cache_case_skips() - skips_base;
-    cost_acc.cache_suffix_replays +=
-        replay_cache_suffix_replays() - suffix_base;
-    stage_acc += result.timings;
 
     campaign_entry entry;
     entry.fault = fault;
-    entry.outcome = result.outcome;
-    entry.detected = result.outcome != diagnosis_outcome::passed;
-    entry.initial_diagnoses = result.initial_diagnoses.size();
-    entry.final_diagnoses = result.final_diagnoses.size();
-    entry.additional_tests = result.additional_tests.size();
-    entry.additional_inputs = result.additional_inputs();
-    entry.replays = hypothesis_replays() - replay_base;
-    entry.oracle_executions = iut.executions();
-    entry.oracle_inputs = iut.inputs_applied();
-    entry.escalated = result.used_escalation;
-    entry.used_fallback = result.used_fallback_search;
+    // Inputs the IUT itself consumed — the simulated IUT stands in for a
+    // physical implementation whose execution costs the tester nothing, so
+    // these apply calls are excluded from the simulated-steps metric below.
+    std::size_t iut_inputs = 0;
+    try {
+        if (options_.fault_hook) options_.fault_hook(index);
 
-    if (entry.detected) {
-        const auto t0 = std::chrono::steady_clock::now();
-        entry.sound = truth_among(spec_, fault, result.final_diagnoses);
-        scoring_acc += seconds_since(t0);
+        const bool flaky_lab = options_.flaky && options_.flaky->active();
+        diagnosis_result result;
+        if (flaky_lab || options_.retry.deadline_ms > 0) {
+            // Unreliable-lab path: fault injection at the SUT boundary,
+            // de-noised by retry + voting before the diagnoser sees it.
+            simulator_sut raw(spec_, fault);
+            std::optional<flaky_sut> flaky;
+            sut_connection* sut = &raw;
+            if (flaky_lab) {
+                flakiness_profile profile = *options_.flaky;
+                profile.seed = mix_fault_seed(profile.seed, index);
+                flaky.emplace(raw, spec_, profile);
+                sut = &*flaky;
+            }
+            resilient_oracle iut(*sut, options_.retry);
+            result = diagnose(spec_, suite_, iut, options_.diag, &traces);
+            entry.oracle_executions = iut.executions();
+            iut_inputs = iut.inputs_applied();
+        } else {
+            simulated_iut iut(spec_, fault);
+            result = diagnose(spec_, suite_, iut, options_.diag, &traces);
+            entry.oracle_executions = iut.executions();
+            iut_inputs = iut.inputs_applied();
+        }
+        entry.oracle_inputs = iut_inputs;
+        stage_acc += result.timings;
+
+        entry.outcome = result.outcome;
+        entry.detected =
+            result.outcome != diagnosis_outcome::passed &&
+            result.outcome != diagnosis_outcome::inconclusive_unreliable;
+        entry.initial_diagnoses = result.initial_diagnoses.size();
+        entry.final_diagnoses = result.final_diagnoses.size();
+        entry.additional_tests = result.additional_tests.size();
+        entry.additional_inputs = result.additional_inputs();
+        entry.escalated = result.used_escalation;
+        entry.used_fallback = result.used_fallback_search;
+        entry.retries = result.reliability.retries;
+        entry.transient_failures = result.reliability.transient_failures;
+        entry.quarantined_cases = result.reliability.quarantined_cases;
+        entry.quarantined_tests = result.reliability.quarantined_tests;
+
+        if (entry.detected) {
+            const auto t0 = std::chrono::steady_clock::now();
+            entry.sound = truth_among(spec_, fault, result.final_diagnoses);
+            scoring_acc += seconds_since(t0);
+        }
+    } catch (const timeout_error& e) {
+        entry.errored = true;
+        entry.error_kind = "timeout";
+        entry.error_message = e.what();
+    } catch (const budget_exceeded& e) {
+        entry.errored = true;
+        entry.error_kind = "budget";
+        entry.error_message = e.what();
+    } catch (const transient_error& e) {
+        entry.errored = true;
+        entry.error_kind = "transient";
+        entry.error_message = e.what();
+    } catch (const model_error& e) {
+        entry.errored = true;
+        entry.error_kind = "model";
+        entry.error_message = e.what();
+    } catch (const error& e) {
+        entry.errored = true;
+        entry.error_kind = "error";
+        entry.error_message = e.what();
+    } catch (const std::exception& e) {
+        entry.errored = true;
+        entry.error_kind = "exception";
+        entry.error_message = e.what();
     }
+
+    const std::size_t diag_steps = simulated_steps() - steps_base;
+    cost_acc.simulated_steps +=
+        diag_steps - std::min(diag_steps, iut_inputs);
+    cost_acc.cache_case_skips += replay_cache_case_skips() - skips_base;
+    cost_acc.cache_suffix_replays +=
+        replay_cache_suffix_replays() - suffix_base;
+    entry.replays = hypothesis_replays() - replay_base;
     return entry;
 }
 
@@ -177,7 +263,7 @@ const campaign_stats& campaign_engine::run() {
         double scoring = 0.0;
         replay_cost cost;
         campaign_entry entry =
-            run_one(faults_[i], traces, stage, scoring, cost);
+            run_one(i, faults_[i], traces, stage, scoring, cost);
 
         const std::lock_guard<std::mutex> lock(merge_mutex);
         entries[i] = std::move(entry);
@@ -220,7 +306,15 @@ json_value campaign_to_json(const system& spec, const campaign_stats& stats,
                json_value::number(stats.localized_equiv));
     totals.set("ambiguous", json_value::number(stats.ambiguous));
     totals.set("no_hypothesis", json_value::number(stats.no_hypothesis));
+    totals.set("inconclusive_unreliable",
+               json_value::number(stats.inconclusive_unreliable));
+    totals.set("errored", json_value::number(stats.errored));
     totals.set("sound", json_value::number(stats.sound));
+    totals.set("retries", json_value::number(stats.retries));
+    totals.set("transient_failures",
+               json_value::number(stats.transient_failures));
+    totals.set("quarantined_runs",
+               json_value::number(stats.quarantined_runs));
     totals.set("escalations", json_value::number(stats.escalations));
     totals.set("fallbacks", json_value::number(stats.fallbacks));
     totals.set("mean_initial_diagnoses",
@@ -279,6 +373,18 @@ json_value campaign_to_json(const system& spec, const campaign_stats& stats,
         row.set("oracle_inputs", json_value::number(e.oracle_inputs));
         row.set("escalated", json_value::boolean(e.escalated));
         row.set("used_fallback", json_value::boolean(e.used_fallback));
+        row.set("retries", json_value::number(e.retries));
+        row.set("transient_failures",
+                json_value::number(e.transient_failures));
+        row.set("quarantined_cases",
+                json_value::number(e.quarantined_cases));
+        row.set("quarantined_tests",
+                json_value::number(e.quarantined_tests));
+        row.set("errored", json_value::boolean(e.errored));
+        if (e.errored) {
+            row.set("error_kind", json_value::string(e.error_kind));
+            row.set("error_message", json_value::string(e.error_message));
+        }
         entries.push(std::move(row));
     }
     root.set("entries", std::move(entries));

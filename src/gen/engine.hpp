@@ -125,7 +125,13 @@ class campaign_engine {
         std::size_t cache_suffix_replays = 0;
     };
 
-    campaign_entry run_one(const single_transition_fault& fault,
+    /// Runs one fault's diagnosis; never throws.  Anything the diagnosis
+    /// (or the options' fault_hook) throws is captured into an `errored`
+    /// entry so a single crashing fault cannot take the campaign down.
+    /// `index` is the fault's position in the universe — it parameterizes
+    /// the fault_hook and the per-fault flakiness seed.
+    campaign_entry run_one(std::size_t index,
+                           const single_transition_fault& fault,
                            const suite_traces& traces,
                            stage_timings& stage_acc, double& scoring_acc,
                            replay_cost& cost_acc) const;

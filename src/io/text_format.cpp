@@ -10,29 +10,46 @@
 namespace cfsmdiag {
 namespace {
 
-[[noreturn]] void fail(std::size_t line_no, const std::string& msg) {
-    throw error("text_format: line " + std::to_string(line_no) + ": " + msg);
+/// Malformed input is a model problem, not an internal failure: parsers
+/// throw model_error with 1-based line/column context so a bad corpus can
+/// never crash the process and the message points at the offending token.
+[[noreturn]] void fail(std::size_t line_no, std::size_t column,
+                       const std::string& msg) {
+    throw model_error("text_format: line " + std::to_string(line_no) +
+                      ", column " + std::to_string(column) + ": " + msg);
 }
 
-/// Strips a trailing comment and surrounding whitespace.
-std::string_view clean(std::string_view line) {
+/// Strips a trailing comment only — leading whitespace is preserved so
+/// token columns refer to the line as the user wrote it.
+std::string_view strip_comment(std::string_view line) {
     const auto hash = line.find('#');
     if (hash != std::string_view::npos) line = line.substr(0, hash);
-    return trim(line);
+    return line;
 }
 
-/// Splits on whitespace runs.
-std::vector<std::string> words(std::string_view text) {
-    std::vector<std::string> out;
+/// One whitespace-delimited token with its 1-based column in the line.
+struct token {
+    std::string text;
+    std::size_t column = 1;
+};
+
+/// Splits on whitespace runs, remembering where each token starts.
+std::vector<token> tokenize(std::string_view text) {
+    std::vector<token> out;
     std::string cur;
-    for (char c : text) {
-        if (std::isspace(static_cast<unsigned char>(c))) {
-            if (!cur.empty()) out.push_back(std::exchange(cur, {}));
+    std::size_t start = 0;
+    for (std::size_t i = 0; i <= text.size(); ++i) {
+        const bool ws =
+            i == text.size() ||
+            std::isspace(static_cast<unsigned char>(text[i]));
+        if (ws) {
+            if (!cur.empty()) out.push_back({std::exchange(cur, {}),
+                                             start + 1});
         } else {
-            cur += c;
+            if (cur.empty()) start = i;
+            cur += text[i];
         }
     }
-    if (!cur.empty()) out.push_back(std::move(cur));
     return out;
 }
 
@@ -63,9 +80,12 @@ std::string write_system(const system& sys) {
 system parse_system(std::string_view text) {
     struct raw_transition {
         std::size_t line_no;
+        std::size_t column;        ///< of the transition name
+        std::size_t dest_column;   ///< of the destination machine token
         std::string name, from, input, output, to, dest_machine;
     };
     struct raw_machine {
+        std::size_t line_no;
         std::string name, initial;
         std::vector<raw_transition> transitions;
     };
@@ -77,56 +97,66 @@ system parse_system(std::string_view text) {
     std::size_t line_no = 0;
     for (const auto& raw_line : split(text, '\n')) {
         ++line_no;
-        const std::string_view line = clean(raw_line);
-        if (line.empty()) continue;
-        const auto w = words(line);
+        const std::string_view line = strip_comment(raw_line);
+        const auto w = tokenize(line);
+        if (w.empty()) continue;
 
-        if (w[0] == "system") {
-            if (w.size() != 2) fail(line_no, "expected: system <name>");
-            system_name = w[1];
-        } else if (w[0] == "machine") {
-            if (in_machine) fail(line_no, "missing 'end' before 'machine'");
-            if (w.size() != 4 || w[2] != "initial")
-                fail(line_no, "expected: machine <name> initial <state>");
-            raw.push_back({w[1], w[3], {}});
+        if (w[0].text == "system") {
+            if (w.size() != 2)
+                fail(line_no, w[0].column, "expected: system <name>");
+            system_name = w[1].text;
+        } else if (w[0].text == "machine") {
+            if (in_machine)
+                fail(line_no, w[0].column,
+                     "missing 'end' before 'machine'");
+            if (w.size() != 4 || w[2].text != "initial")
+                fail(line_no, w[0].column,
+                     "expected: machine <name> initial <state>");
+            raw.push_back({line_no, w[1].text, w[3].text, {}});
             in_machine = true;
-        } else if (w[0] == "end") {
-            if (!in_machine) fail(line_no, "'end' outside a machine block");
+        } else if (w[0].text == "end") {
+            if (!in_machine)
+                fail(line_no, w[0].column, "'end' outside a machine block");
             in_machine = false;
         } else {
             if (!in_machine)
-                fail(line_no, "transition outside a machine block");
+                fail(line_no, w[0].column,
+                     "transition outside a machine block");
             // <name>: <from> <input> / <output> -> <to> [=> <machine>]
             raw_transition t;
             t.line_no = line_no;
-            if (w.size() < 7 || w[0].back() != ':' || w[3] != "/" ||
-                w[5] != "->")
-                fail(line_no,
+            t.column = w[0].column;
+            t.dest_column = w[0].column;
+            if (w.size() < 7 || w[0].text.back() != ':' ||
+                w[3].text != "/" || w[5].text != "->")
+                fail(line_no, w[0].column,
                      "expected: <name>: <from> <input> / <output> -> <to> "
                      "[=> <machine>]");
-            t.name = w[0].substr(0, w[0].size() - 1);
-            t.from = w[1];
-            t.input = w[2];
-            t.output = w[4];
-            t.to = w[6];
-            if (w.size() == 9 && w[7] == "=>") {
-                t.dest_machine = w[8];
+            t.name = w[0].text.substr(0, w[0].text.size() - 1);
+            t.from = w[1].text;
+            t.input = w[2].text;
+            t.output = w[4].text;
+            t.to = w[6].text;
+            if (w.size() == 9 && w[7].text == "=>") {
+                t.dest_machine = w[8].text;
+                t.dest_column = w[8].column;
             } else if (w.size() != 7) {
-                fail(line_no, "trailing tokens after transition");
+                fail(line_no, w[7].column,
+                     "trailing tokens after transition");
             }
             raw.back().transitions.push_back(std::move(t));
         }
     }
-    if (in_machine) fail(line_no, "missing final 'end'");
-    if (raw.empty()) fail(line_no, "no machines defined");
+    if (in_machine) fail(line_no, 1, "missing final 'end'");
+    if (raw.empty()) fail(line_no, 1, "no machines defined");
 
-    auto machine_index = [&](const std::string& name,
-                             std::size_t at_line) -> machine_id {
+    auto machine_index = [&](const std::string& name, std::size_t at_line,
+                             std::size_t at_col) -> machine_id {
         for (std::size_t i = 0; i < raw.size(); ++i) {
             if (raw[i].name == name)
                 return machine_id{static_cast<std::uint32_t>(i)};
         }
-        fail(at_line, "unknown machine '" + name + "'");
+        fail(at_line, at_col, "unknown machine '" + name + "'");
     };
 
     symbol_table symbols;
@@ -134,17 +164,52 @@ system parse_system(std::string_view text) {
     for (const raw_machine& rm : raw) {
         fsm_builder b(rm.name, symbols);
         b.state(rm.initial);
+        std::vector<std::string> seen_names;
         for (const raw_transition& t : rm.transitions) {
-            if (t.dest_machine.empty()) {
-                b.external(t.name, t.from, t.input, t.output, t.to);
-            } else {
-                b.internal(t.name, t.from, t.input, t.output, t.to,
-                           machine_index(t.dest_machine, t.line_no));
+            // Fault specs address transitions by name, so names must be
+            // unique per machine (the builder itself does not care).
+            if (std::find(seen_names.begin(), seen_names.end(), t.name) !=
+                seen_names.end()) {
+                fail(t.line_no, t.column,
+                     "duplicate transition name '" + t.name +
+                         "' in machine " + rm.name);
+            }
+            seen_names.push_back(t.name);
+            // Builder rejections get the transition's source position
+            // attached.
+            try {
+                if (t.dest_machine.empty()) {
+                    b.external(t.name, t.from, t.input, t.output, t.to);
+                } else {
+                    b.internal(t.name, t.from, t.input, t.output, t.to,
+                               machine_index(t.dest_machine, t.line_no,
+                                             t.dest_column));
+                }
+            } catch (const model_error&) {
+                throw;  // a model-restriction violation, not a syntax error
+            } catch (const error& e) {
+                fail(t.line_no, t.column, e.what());
             }
         }
-        machines.push_back(b.build(rm.initial));
+        // Validate here, not in the system constructor, so per-machine
+        // rejections (nondeterminism, ε inputs, ...) carry the machine's
+        // source position.
+        try {
+            machines.push_back(b.build(rm.initial));
+            machines.back().validate();
+        } catch (const model_error&) {
+            throw;
+        } catch (const error& e) {
+            fail(rm.line_no, 1, e.what());
+        }
     }
-    return system(system_name, std::move(symbols), std::move(machines));
+    try {
+        return system(system_name, std::move(symbols), std::move(machines));
+    } catch (const model_error&) {
+        throw;
+    } catch (const error& e) {
+        fail(1, 1, e.what());
+    }
 }
 
 std::string write_suite(const test_suite& suite,
@@ -161,12 +226,13 @@ test_suite parse_suite(std::string_view text, const symbol_table& symbols) {
     std::size_t line_no = 0;
     for (const auto& raw_line : split(text, '\n')) {
         ++line_no;
-        const std::string_view line = clean(raw_line);
-        if (line.empty()) continue;
+        const std::string_view line = strip_comment(raw_line);
+        if (trim(line).empty()) continue;
         const auto colon = line.find(':');
         if (colon == std::string_view::npos)
-            fail(line_no, "expected: <name>: <inputs>");
+            fail(line_no, 1, "expected: <name>: <inputs>");
         const std::string name{trim(line.substr(0, colon))};
+        if (name.empty()) fail(line_no, 1, "empty test case name");
         const std::string body{trim(line.substr(colon + 1))};
 
         // Accept both "a@P1" and the compact "a1".  Normalize @P tokens to
@@ -179,7 +245,13 @@ test_suite parse_suite(std::string_view text, const symbol_table& symbols) {
                 tok = tok.substr(0, at) + tok.substr(at + 2);
             tokens.push_back(std::move(tok));
         }
-        suite.add(parse_compact(name, join(tokens, ", "), symbols));
+        try {
+            suite.add(parse_compact(name, join(tokens, ", "), symbols));
+        } catch (const error& e) {
+            // parse_compact's message names the bad token; pin it to the
+            // input's position (column = first char after the colon).
+            fail(line_no, colon + 2, e.what());
+        }
     }
     return suite;
 }
@@ -200,15 +272,20 @@ std::string write_fault(const system& sys,
 
 single_transition_fault parse_fault(std::string_view text,
                                     const system& sys) {
-    const auto w = words(clean(text));
-    detail::require(!w.empty(), "parse_fault: empty fault spec");
+    const auto w = tokenize(strip_comment(text));
+    const auto fail_at = [](std::size_t column,
+                            const std::string& msg) -> void {
+        throw model_error("parse_fault: column " + std::to_string(column) +
+                          ": " + msg);
+    };
+    if (w.empty()) fail_at(1, "empty fault spec");
 
     // w[0] = Machine.transition
-    const auto dot = w[0].find('.');
-    detail::require(dot != std::string::npos,
-                    "parse_fault: expected <machine>.<transition>");
-    const std::string machine_name = w[0].substr(0, dot);
-    const std::string transition_name = w[0].substr(dot + 1);
+    const auto dot = w[0].text.find('.');
+    if (dot == std::string::npos)
+        fail_at(w[0].column, "expected <machine>.<transition>");
+    const std::string machine_name = w[0].text.substr(0, dot);
+    const std::string transition_name = w[0].text.substr(dot + 1);
 
     single_transition_fault fault;
     bool found = false;
@@ -225,41 +302,47 @@ single_transition_fault parse_fault(std::string_view text,
             }
         }
     }
-    detail::require(found, "parse_fault: no transition '" + w[0] + "'");
+    if (!found)
+        fail_at(w[0].column, "no transition '" + w[0].text + "'");
 
     const fsm& m = sys.machine(fault.target.machine);
     std::size_t i = 1;
     while (i < w.size()) {
-        if (w[i] == "/" && i + 1 < w.size()) {
-            fault.faulty_output = sys.symbols().lookup(w[i + 1]);
+        if (w[i].text == "/" && i + 1 < w.size()) {
+            try {
+                fault.faulty_output = sys.symbols().lookup(w[i + 1].text);
+            } catch (const error& e) {
+                fail_at(w[i + 1].column, e.what());
+            }
             i += 2;
-        } else if (w[i] == "->" && i + 1 < w.size()) {
+        } else if (w[i].text == "->" && i + 1 < w.size()) {
             bool state_found = false;
             for (std::uint32_t s = 0; s < m.state_count(); ++s) {
-                if (m.state_name(state_id{s}) == w[i + 1]) {
+                if (m.state_name(state_id{s}) == w[i + 1].text) {
                     fault.faulty_next = state_id{s};
                     state_found = true;
                     break;
                 }
             }
-            detail::require(state_found, "parse_fault: unknown state '" +
-                                             w[i + 1] + "'");
+            if (!state_found)
+                fail_at(w[i + 1].column,
+                        "unknown state '" + w[i + 1].text + "'");
             i += 2;
-        } else if (w[i] == "=>" && i + 1 < w.size()) {
+        } else if (w[i].text == "=>" && i + 1 < w.size()) {
             bool machine_found = false;
             for (std::uint32_t mi = 0; mi < sys.machine_count(); ++mi) {
-                if (sys.machine(machine_id{mi}).name() == w[i + 1]) {
+                if (sys.machine(machine_id{mi}).name() == w[i + 1].text) {
                     fault.faulty_destination = machine_id{mi};
                     machine_found = true;
                     break;
                 }
             }
-            detail::require(machine_found,
-                            "parse_fault: unknown machine '" + w[i + 1] +
-                                "'");
+            if (!machine_found)
+                fail_at(w[i + 1].column,
+                        "unknown machine '" + w[i + 1].text + "'");
             i += 2;
         } else {
-            throw error("parse_fault: unexpected token '" + w[i] + "'");
+            fail_at(w[i].column, "unexpected token '" + w[i].text + "'");
         }
     }
     validate_fault(sys, fault);

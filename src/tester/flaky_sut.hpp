@@ -1,0 +1,103 @@
+// Deterministic fault injection at the SUT boundary.
+//
+// The paper's test lab is ideal: resets always work, the synchronization
+// assumption holds at every distributed port, observations never go
+// missing.  Hierons' work on distributed observation and Nguena Timo's
+// timeout-as-test-event model say real labs are not — observations are
+// dropped or garbled in transit, resets fail or are silently ignored, and
+// connections hang.  `flaky_sut` decorates any `sut_connection` with
+// exactly those failure modes, seeded so every corruption is a pure
+// function of (seed, interaction sequence): two runs with the same seed
+// misbehave identically, which is what the retry/voting layer
+// (tester/resilient.hpp) and the campaign determinism guarantee need.
+//
+// Injection points per interaction:
+//   - apply(): with hang_rate the call throws timeout_error (the input is
+//     never delivered); with drop_rate a real observation is swallowed
+//     (→ spurious ε, the classic lost distributed observation); with
+//     garble_rate the observation is replaced by a random plausible output
+//     (wrong symbol, or a spurious output where ε was expected),
+//   - reset(): with reset_fail_rate the reset throws transient_error; with
+//     reset_skip_rate it silently does nothing — the dirtiest failure, the
+//     SUT keeps its state and the whole next run is silently shifted.
+#pragma once
+
+#include "tester/sut.hpp"
+
+#include "util/rng.hpp"
+
+namespace cfsmdiag {
+
+/// Per-fault-type injection rates, all in [0, 1].  Defaults are all zero:
+/// a default profile is a perfectly reliable lab.
+struct flakiness_profile {
+    double drop_rate = 0.0;        ///< observation → ε
+    double garble_rate = 0.0;      ///< observation replaced / fabricated
+    double hang_rate = 0.0;        ///< apply() throws timeout_error
+    double reset_fail_rate = 0.0;  ///< reset() throws transient_error
+    double reset_skip_rate = 0.0;  ///< reset() silently skipped
+    std::uint64_t seed = 1;        ///< corruption stream seed
+
+    /// True if any rate is non-zero.
+    [[nodiscard]] bool active() const noexcept {
+        return drop_rate > 0 || garble_rate > 0 || hang_rate > 0 ||
+               reset_fail_rate > 0 || reset_skip_rate > 0;
+    }
+
+    /// Convenience: drop+garble at `rate`, the slower lab faults at a
+    /// tenth of it — the CLI's `--flaky R` spelling.
+    [[nodiscard]] static flakiness_profile uniform(
+        double rate, std::uint64_t seed = 1) noexcept {
+        flakiness_profile p;
+        p.drop_rate = rate;
+        p.garble_rate = rate;
+        p.hang_rate = rate / 10.0;
+        p.reset_fail_rate = rate / 10.0;
+        p.reset_skip_rate = rate / 10.0;
+        p.seed = seed;
+        return p;
+    }
+};
+
+/// Injection counters (how unreliable the lab actually was).
+struct flakiness_counters {
+    std::size_t drops = 0;
+    std::size_t garbles = 0;
+    std::size_t hangs = 0;
+    std::size_t reset_failures = 0;
+    std::size_t reset_skips = 0;
+
+    [[nodiscard]] std::size_t total() const noexcept {
+        return drops + garbles + hangs + reset_failures + reset_skips;
+    }
+};
+
+/// Fault-injecting decorator over any sut_connection.  Holds a reference
+/// to the inner connection (must outlive the decorator).  Deterministic:
+/// the injection stream is consumed in interaction order, so a fixed seed
+/// and interaction sequence reproduce the same faults on any thread.
+class flaky_sut final : public sut_connection {
+  public:
+    /// `spec` supplies the output alphabet garbled observations draw from;
+    /// it must outlive the decorator.
+    flaky_sut(sut_connection& inner, const system& spec,
+              const flakiness_profile& profile);
+
+    void reset() override;
+    [[nodiscard]] observation apply(machine_id port, symbol input) override;
+    [[nodiscard]] std::size_t port_count() const noexcept override;
+
+    [[nodiscard]] const flakiness_counters& counters() const noexcept {
+        return counters_;
+    }
+
+  private:
+    sut_connection* inner_;
+    flakiness_profile profile_;
+    std::vector<symbol> garble_pool_;  ///< external output symbols
+    std::size_t ports_;
+    rng rng_;
+    flakiness_counters counters_;
+};
+
+}  // namespace cfsmdiag

@@ -1,0 +1,213 @@
+#include "tester/resilient.hpp"
+
+#include <algorithm>
+#include <utility>
+
+#include "util/error.hpp"
+
+namespace cfsmdiag {
+
+resilient_oracle::resilient_oracle(sut_connection& sut,
+                                   const retry_policy& policy)
+    : sut_(&sut),
+      policy_(policy),
+      start_(std::chrono::steady_clock::now()) {
+    detail::require(policy.votes >= 1,
+                    "resilient_oracle: votes must be >= 1");
+    detail::require(policy.max_case_inputs >= 1,
+                    "resilient_oracle: max_case_inputs must be >= 1");
+}
+
+void resilient_oracle::check_deadline() const {
+    if (policy_.deadline_ms == 0) return;
+    const auto elapsed =
+        std::chrono::duration_cast<std::chrono::milliseconds>(
+            std::chrono::steady_clock::now() - start_);
+    if (static_cast<std::uint64_t>(elapsed.count()) > policy_.deadline_ms) {
+        throw budget_exceeded("resilient_oracle: per-fault deadline of " +
+                              std::to_string(policy_.deadline_ms) +
+                              "ms exceeded");
+    }
+}
+
+std::vector<observation> resilient_oracle::run_once(
+    const std::vector<global_input>& test, std::size_t& case_inputs) {
+    // A fresh run always starts from reset, even when the case's first
+    // input is not an explicit R — that is the "reset-and-re-execute"
+    // retry the paper's reliable-reset assumption degrades into.
+    sut_->reset();
+    std::vector<observation> out;
+    out.reserve(test.size());
+    for (const auto& in : test) {
+        if (in.action == global_input::kind::reset) {
+            sut_->reset();
+            out.push_back(observation::none());
+            continue;
+        }
+        if (case_inputs >= policy_.max_case_inputs) {
+            throw budget_exceeded(
+                "resilient_oracle: test case exceeded the applied-input "
+                "budget of " +
+                std::to_string(policy_.max_case_inputs));
+        }
+        const observation obs = sut_->apply(in.port, in.input);
+        ++case_inputs;
+        ++inputs_applied_;
+        out.push_back(obs);
+    }
+    return out;
+}
+
+namespace {
+
+struct vote_outcome {
+    std::vector<observation> merged;
+    bool trusted = true;
+    std::size_t agreeing = 0;  ///< weakest per-position winner support
+};
+
+/// Per-position, erasure-aware vote over the successful attempts.  On a
+/// deterministic SUT every position has one true observation and the
+/// corruption channels are known: drops always corrupt *towards* ε, and
+/// garbles scatter across the output alphabet (two identical garbles at
+/// one position are rare).  So an ε ballot is weak evidence — a repeated
+/// non-ε observation outvotes ε ballots — but no winner is trusted on a
+/// bare plurality: a non-ε winner needs a margin of >= 2 over the
+/// runner-up non-ε observation (a lucky pair of identical garbles never
+/// beats a value the retries keep re-observing) and must still hold a
+/// plurality over ε itself (at realistic drop rates a real output is
+/// re-observed far more often than it is dropped, so a non-ε "winner"
+/// trailing ε is a fabricated pair at a genuinely silent position, not a
+/// mostly-dropped real one), and ε wins only when no attempt saw an
+/// output at all, or with a margin of >= 3 (one fabricated garble at a
+/// silent position must not force a quarantine, while a dropped-but-real
+/// output can never sustain that margin once a retry re-observes it).
+vote_outcome vote(const std::vector<std::vector<observation>>& runs,
+                  std::size_t k) {
+    vote_outcome out;
+    const std::size_t length = runs.empty() ? 0 : runs[0].size();
+    out.merged.reserve(length);
+    out.agreeing = runs.size();
+    for (std::size_t p = 0; p < length; ++p) {
+        // Tally of distinct non-ε observations, in first-seen order.
+        std::vector<std::pair<observation, std::size_t>> tally;
+        std::size_t eps = 0;
+        for (const auto& run : runs) {
+            const observation& obs = run[p];
+            if (obs.is_null()) {
+                ++eps;
+                continue;
+            }
+            auto it = std::find_if(
+                tally.begin(), tally.end(),
+                [&](const auto& t) { return t.first == obs; });
+            if (it == tally.end())
+                tally.emplace_back(obs, 1);
+            else
+                ++it->second;
+        }
+        const observation* best = nullptr;  // first-seen max, non-ε
+        std::size_t best_count = 0;
+        std::size_t runner_up = 0;  // second-highest non-ε count
+        for (const auto& [obs, count] : tally) {
+            if (count > best_count) {
+                runner_up = best_count;
+                best = &obs;
+                best_count = count;
+            } else if (count > runner_up) {
+                runner_up = count;
+            }
+        }
+        if (best != nullptr && best_count >= k &&
+            best_count >= runner_up + 2 && best_count > eps) {
+            out.merged.push_back(*best);
+            out.agreeing = std::min(out.agreeing, best_count);
+        } else if (eps >= k &&
+                   (best_count == 0 || eps >= best_count + 3)) {
+            out.merged.push_back(observation::none());
+            out.agreeing = std::min(out.agreeing, eps);
+        } else {
+            // Contested: deterministic plurality, flagged untrusted.
+            out.trusted = false;
+            if (best != nullptr && best_count > eps) {
+                out.merged.push_back(*best);
+                out.agreeing = std::min(out.agreeing, best_count);
+            } else {
+                out.merged.push_back(observation::none());
+                out.agreeing = std::min(out.agreeing, eps);
+            }
+        }
+    }
+    return out;
+}
+
+}  // namespace
+
+std::vector<observation> resilient_oracle::execute(
+    const std::vector<global_input>& test) {
+    ++executions_;
+    last_ = {};
+    const std::size_t k = policy_.votes / 2 + 1;
+    // Separate budgets for useful and crashed attempts: the vote consumes
+    // *successful* runs — votes + max_retries of them, plus one extra
+    // round of `votes` runs that only a still-contested vote can reach
+    // (trusted votes early-stop below) — while transiently-failed runs
+    // are charged to their own budget of votes + max_retries.  A crashed
+    // attempt must not eat a voting sample: at realistic hang rates a
+    // long case loses 1–3 attempts per execute(), and charging those
+    // against the vote would leave contested positions unresolvable.
+    const std::size_t fail_budget = policy_.votes + policy_.max_retries;
+    const std::size_t vote_budget = fail_budget + policy_.votes;
+    std::size_t case_inputs = 0;
+    std::string last_failure = "transient error";
+
+    std::vector<std::vector<observation>> successes;
+    while (successes.size() < vote_budget &&
+           last_.transient_failures < fail_budget) {
+        check_deadline();
+        ++last_.attempts;
+        try {
+            successes.push_back(run_once(test, case_inputs));
+            // votes = 1 disables voting: first surviving attempt wins.
+            if (policy_.votes == 1) break;
+            if (successes.size() >= k && vote(successes, k).trusted) break;
+        } catch (const transient_error& e) {
+            ++last_.transient_failures;
+            last_failure = e.what();
+        }
+    }
+    last_.retries = last_.attempts - 1;
+    totals_.attempts += last_.attempts;
+    totals_.retries += last_.retries;
+    totals_.transient_failures += last_.transient_failures;
+
+    if (successes.empty()) {
+        // Not a single attempt survived; surface the last lab fault so
+        // the diagnoser can quarantine the case with a real reason.
+        ++totals_.untrusted_runs;
+        last_.trusted = false;
+        last_.reason = "all " + std::to_string(last_.attempts) +
+                       " attempts failed: " + last_failure;
+        throw transient_error("resilient_oracle: " + last_.reason);
+    }
+    if (policy_.votes == 1) {
+        last_.trusted = true;
+        last_.agreeing = 1;
+        return std::move(successes.front());
+    }
+    vote_outcome outcome = vote(successes, k);
+    last_.agreeing = outcome.agreeing;
+    if (!outcome.trusted) {
+        last_.trusted = false;
+        last_.reason = "no " + std::to_string(k) + "-of-" +
+                       std::to_string(policy_.votes) +
+                       " per-observation majority in " +
+                       std::to_string(last_.attempts) + " attempts";
+        ++totals_.untrusted_runs;
+        return std::move(outcome.merged);
+    }
+    last_.trusted = true;
+    return std::move(outcome.merged);
+}
+
+}  // namespace cfsmdiag

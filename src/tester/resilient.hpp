@@ -1,0 +1,107 @@
+// Retrying, voting, budgeted test execution over an unreliable SUT.
+//
+// `resilient_oracle` adapts a `sut_connection` (typically a flaky one —
+// tester/flaky_sut.hpp) to the `oracle` interface the diagnoser consumes,
+// and de-noises it:
+//
+//   - transient errors (failed resets, hangs → timeout_error) abort the
+//     current attempt; the case is reset and re-executed.  Failed
+//     attempts are charged to their own budget (votes + max_retries), so
+//     a crashed run never eats a voting sample,
+//   - k-of-n voting, per observation *position*: the case is re-executed
+//     until every position of the observation vector has a winner with
+//     k = votes/2 + 1 supporting ballots and a clear margin ("trusted")
+//     or the voting budget — votes + max_retries successful runs, plus
+//     one extra round of `votes` runs that only a still-contested vote
+//     can reach — runs out ("untrusted"; the diagnoser quarantines the
+//     run; see run_reliability in fault/oracle.hpp).  Voting is
+//     erasure-aware: drops always corrupt towards ε, so a repeated non-ε
+//     observation outvotes any number of ε ballots, but no winner is
+//     trusted on a bare plurality — a non-ε winner needs a margin of
+//     >= 2 over the runner-up non-ε observation, and ε wins only
+//     unopposed or with a margin of >= 3.  Position-wise voting is what
+//     makes long test cases recoverable at all — at a per-observation
+//     corruption rate ρ a whole-vector majority needs identical full runs
+//     (probability (1-ρ)^len per attempt), while each position only needs
+//     k clean looks at *that* step.  votes = 1 disables voting (first
+//     successful attempt wins),
+//   - hard budgets: a per-test-case applied-input budget and an optional
+//     wall-clock deadline over the oracle's lifetime (one oracle per fault
+//     in a campaign, so this is the per-fault deadline).  Both throw
+//     budget_exceeded — fatal by design, a retry would hit the same wall.
+//
+// Determinism: with a deterministic SUT stack (e.g. flaky_sut over
+// simulator_sut) everything here is a pure function of the interaction
+// sequence — no wall-clock dependence — EXCEPT the deadline, which is
+// real time and therefore off by default; when it fires, results for that
+// fault are machine-dependent (they land in an `errored` campaign entry).
+#pragma once
+
+#include <chrono>
+
+#include "fault/oracle.hpp"
+#include "tester/sut.hpp"
+
+namespace cfsmdiag {
+
+/// Bounds for one resilient execution session.
+struct retry_policy {
+    /// Base attempts voted over; the majority threshold is votes/2 + 1.
+    /// 1 = no voting.  A clean SUT needs votes/2 + 1 attempts per case.
+    std::size_t votes = 3;
+    /// Extra attempts beyond `votes`.  Grants two separate budgets per
+    /// execute(): votes + max_retries *successful* runs for the vote to
+    /// consume (a still-contested vote is granted one further round of
+    /// `votes` runs on top), and votes + max_retries transiently-failed
+    /// runs.
+    std::size_t max_retries = 3;
+    /// Wall-clock deadline over the oracle's lifetime in milliseconds;
+    /// 0 = off.  Exceeding it throws budget_exceeded (fatal).
+    std::uint64_t deadline_ms = 0;
+    /// Applied-input budget per execute() call, across all attempts.
+    /// Exceeding it throws budget_exceeded (fatal).
+    std::size_t max_case_inputs = 1'000'000;
+};
+
+/// Oracle adapter that retries, votes, and enforces budgets.  Holds a
+/// reference to the connection (must outlive the oracle).
+class resilient_oracle final : public oracle {
+  public:
+    resilient_oracle(sut_connection& sut, const retry_policy& policy);
+
+    /// Runs the case with retry + voting.  Throws transient_error when
+    /// every attempt failed, budget_exceeded on a blown budget/deadline.
+    [[nodiscard]] std::vector<observation> execute(
+        const std::vector<global_input>& test) override;
+
+    [[nodiscard]] std::size_t executions() const noexcept override {
+        return executions_;
+    }
+    [[nodiscard]] std::size_t inputs_applied() const noexcept override {
+        return inputs_applied_;
+    }
+    [[nodiscard]] const run_reliability* last_run_reliability()
+        const noexcept override {
+        return executions_ == 0 ? nullptr : &last_;
+    }
+    [[nodiscard]] const reliability_stats* reliability_totals()
+        const noexcept override {
+        return &totals_;
+    }
+
+  private:
+    /// One reset-and-run attempt; throws transient_error on lab faults.
+    [[nodiscard]] std::vector<observation> run_once(
+        const std::vector<global_input>& test, std::size_t& case_inputs);
+    void check_deadline() const;
+
+    sut_connection* sut_;
+    retry_policy policy_;
+    std::chrono::steady_clock::time_point start_;
+    std::size_t executions_ = 0;
+    std::size_t inputs_applied_ = 0;
+    run_reliability last_;
+    reliability_stats totals_;
+};
+
+}  // namespace cfsmdiag

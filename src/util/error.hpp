@@ -22,6 +22,32 @@ class model_error : public error {
     explicit model_error(const std::string& what) : error(what) {}
 };
 
+/// Thrown for failures that may succeed on retry: a flaky SUT losing its
+/// reset, a hung connection, a lab glitch.  The resilient execution layer
+/// (tester/resilient.hpp) retries these; everything else derived from
+/// `error` is fatal.
+class transient_error : public error {
+  public:
+    explicit transient_error(const std::string& what) : error(what) {}
+};
+
+/// Thrown when an interaction with the SUT exceeds its deadline (a hung
+/// implementation, a lost observation that never arrives).  Retryable —
+/// a reset usually unwedges the connection — hence a transient_error.
+class timeout_error : public transient_error {
+  public:
+    explicit timeout_error(const std::string& what) : transient_error(what) {}
+};
+
+/// Thrown when a hard resource budget is exhausted: the simulator's
+/// internal-chain hop budget, the async drain delivery budget, or the
+/// resilient executor's per-test-case step budget.  Fatal — retrying the
+/// same work hits the same budget.
+class budget_exceeded : public error {
+  public:
+    explicit budget_exceeded(const std::string& what) : error(what) {}
+};
+
 namespace detail {
 
 /// Throws cfsmdiag::error if `cond` is false.  Used for public-API

@@ -80,13 +80,24 @@ void parallel_for(std::size_t count, std::size_t jobs,
     }
     thread_pool pool(std::min(n, count));
     std::atomic<std::size_t> cursor{0};
+    std::atomic<bool> cancelled{false};
     for (std::size_t w = 0; w < pool.thread_count(); ++w) {
         pool.submit([&] {
             for (;;) {
+                // First failure cancels the loop: workers stop claiming
+                // indices instead of grinding through the remainder while
+                // wait() holds the exception.  Claimed iterations still
+                // finish — cancellation never interrupts a running body.
+                if (cancelled.load(std::memory_order_relaxed)) return;
                 const std::size_t i =
                     cursor.fetch_add(1, std::memory_order_relaxed);
                 if (i >= count) return;
-                body(i);
+                try {
+                    body(i);
+                } catch (...) {
+                    cancelled.store(true, std::memory_order_relaxed);
+                    throw;  // the pool stores it; wait() rethrows
+                }
             }
         });
     }

@@ -77,6 +77,11 @@ class thread_pool {
 /// on the calling thread — no pool is created, so serial callers pay
 /// nothing.  Iterations are claimed from a shared cursor in index order,
 /// which keeps shard loads balanced when per-item cost varies.
+///
+/// A throwing iteration cancels the loop: no *new* indices are claimed
+/// after the failure (in-flight iterations run to completion), matching
+/// the serial path, which stops at the throwing index.  Callers must not
+/// assume every index executed when parallel_for throws.
 void parallel_for(std::size_t count, std::size_t jobs,
                   const std::function<void(std::size_t)>& body);
 

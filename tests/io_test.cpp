@@ -105,6 +105,57 @@ TEST(io_system_test, parse_errors_carry_line_numbers) {
     expect_error("system x\n", "no machines");
 }
 
+TEST(io_system_test, parse_errors_are_model_errors_with_position) {
+    // Malformed input is a model problem, not a generic failure: the parser
+    // promises model_error carrying "line L, column C".
+    auto expect_position = [](const std::string& text,
+                              const std::string& line_needle,
+                              const std::string& column_needle) {
+        try {
+            (void)parse_system(text);
+            FAIL() << "expected model_error for: " << text;
+        } catch (const model_error& e) {
+            const std::string msg = e.what();
+            EXPECT_NE(msg.find(line_needle), std::string::npos) << msg;
+            EXPECT_NE(msg.find(column_needle), std::string::npos) << msg;
+        }
+    };
+    expect_position("system demo\nmachine A initial s0\n  broken\nend\n",
+                    "line 3", "column 3");
+    expect_position("t1: s0 a / x -> s0\n", "line 1", "column 1");
+    expect_position("system demo\nmachine A initial s0\n"
+                    "  t1: s0 a / x -> s0 => Nope\nend\n",
+                    "line 3", "column");
+    // Builder-level errors (duplicate transition name) are wrapped with
+    // the offending line's position too.
+    expect_position("system demo\nmachine A initial s0\n"
+                    "  t1: s0 a / x -> s0\n  t1: s0 b / x -> s0\nend\n",
+                    "line 4", "column 3");
+}
+
+TEST(io_system_test, malformed_corpus_always_throws_model_error) {
+    const std::vector<std::string> corpus{
+        "",
+        "\n\n\n",
+        "garbage tokens everywhere\n",
+        "system\n",
+        "machine\n",
+        "machine A\n",
+        "system demo\nmachine A initial s0\n"
+        "  t1: s0 a / x -> s0 extra junk\nend\n",
+        "system demo\nmachine A initial s0\n  t1: s0 a / x\nend\n",
+        "system demo\nmachine A initial s0\n  t1: s0 a x -> s0\nend\n",
+        "system demo\nmachine A initial s0\n  t1: s0 a / x -> s0 =>\nend\n",
+        "system demo\nmachine A initial s0\n"
+        "  t1: s0 a / x -> s0\n  t2: s0 a / y -> s1\nend\n",
+        "system demo\nend\n",
+        "\x01\x02 binary junk\n",
+    };
+    for (const auto& text : corpus) {
+        EXPECT_THROW((void)parse_system(text), model_error) << text;
+    }
+}
+
 TEST(io_suite_test, parses_both_notations) {
     const system sys = make_pair_system();
     const auto suite = parse_suite(
@@ -128,6 +179,43 @@ TEST(io_suite_test, write_then_parse_round_trips) {
         EXPECT_EQ(parsed.cases[i].inputs, original.cases[i].inputs);
         EXPECT_EQ(parsed.cases[i].name, original.cases[i].name);
     }
+}
+
+TEST(io_suite_test, malformed_suite_reports_line_and_column) {
+    const system sys = make_pair_system();
+    auto expect_position = [&](const std::string& text,
+                               const std::string& needle) {
+        try {
+            (void)parse_suite(text, sys.symbols());
+            FAIL() << "expected model_error for: " << text;
+        } catch (const model_error& e) {
+            const std::string msg = e.what();
+            EXPECT_NE(msg.find(needle), std::string::npos) << msg;
+        }
+    };
+    expect_position("tc1 R, x1\n", "line 1");            // missing colon
+    expect_position(": R, x1\n", "empty test case name");
+    expect_position("tc1: R, x1\ntc2: R, zz9\n", "line 2");  // bad symbol
+}
+
+TEST(io_fault_test, malformed_fault_reports_column) {
+    const system sys = make_pair_system();
+    auto expect_position = [&](const std::string& text) {
+        try {
+            (void)parse_fault(text, sys);
+            FAIL() << "expected model_error for: " << text;
+        } catch (const model_error& e) {
+            EXPECT_NE(std::string(e.what()).find("column"),
+                      std::string::npos)
+                << e.what();
+        }
+    };
+    expect_position("");
+    expect_position("A.a1 ?? p0");
+    expect_position("X.a1 -> p0");
+    expect_position("A.a1 -> nowhere");
+    expect_position("A.a1 / nosuchsymbol");
+    expect_position("A.a1 !out p0");
 }
 
 TEST(io_fault_test, round_trips_all_kinds) {

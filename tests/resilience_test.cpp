@@ -1,0 +1,389 @@
+// The unreliable-lab stack: seeded fault injection (flaky_sut), retrying
+// and voting execution (resilient_oracle), quarantine-aware diagnosis
+// degradation, the crash-isolated campaign engine, and the simulator /
+// async livelock budgets.
+//
+// The load-bearing properties:
+//   - determinism: a flaky stack with a fixed seed misbehaves identically
+//     on every run and every thread count (campaign entries byte-identical
+//     for any --jobs),
+//   - recovery: at realistic flakiness, retry + voting reaches the same
+//     verdict the clean lab reaches,
+//   - honesty: when the lab is too unreliable to trust, the diagnoser says
+//     `inconclusive_unreliable` instead of guessing — degradation never
+//     shows up as a detection or a misdiagnosis,
+//   - isolation: one fault's crash (or blown budget) becomes one `errored`
+//     entry; every other entry is unaffected.
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <string>
+#include <vector>
+
+#include "cfsmdiag.hpp"
+#include "helpers.hpp"
+
+namespace cfsmdiag {
+namespace {
+
+using paperex::make_paper_example;
+
+/// Runs every suite case through `sut` and renders the interaction log —
+/// observations and thrown lab faults alike — as one comparable string.
+std::string interaction_log(const system& spec, const test_suite& suite,
+                            sut_connection& sut) {
+    std::string log;
+    for (const auto& tc : suite.cases) {
+        for (const auto& in : tc.inputs) {
+            if (in.action == global_input::kind::reset) {
+                try {
+                    sut.reset();
+                    log += "R;";
+                } catch (const transient_error&) {
+                    log += "R!;";
+                }
+                continue;
+            }
+            try {
+                log += to_string(sut.apply(in.port, in.input),
+                                 spec.symbols()) +
+                       ";";
+            } catch (const timeout_error&) {
+                log += "hang;";
+            } catch (const transient_error&) {
+                log += "fail;";
+            }
+        }
+    }
+    return log;
+}
+
+TEST(flaky_sut_test, same_seed_reproduces_the_same_corruptions) {
+    const auto ex = make_paper_example();
+    const auto profile = flakiness_profile::uniform(0.3, 42);
+
+    simulator_sut raw_a(ex.spec, ex.fault);
+    flaky_sut flaky_a(raw_a, ex.spec, profile);
+    simulator_sut raw_b(ex.spec, ex.fault);
+    flaky_sut flaky_b(raw_b, ex.spec, profile);
+
+    const std::string log_a = interaction_log(ex.spec, ex.suite, flaky_a);
+    EXPECT_EQ(log_a, interaction_log(ex.spec, ex.suite, flaky_b));
+    EXPECT_EQ(flaky_a.counters().total(), flaky_b.counters().total());
+    EXPECT_GT(flaky_a.counters().total(), 0u);
+
+    auto other = profile;
+    other.seed = 43;
+    simulator_sut raw_c(ex.spec, ex.fault);
+    flaky_sut flaky_c(raw_c, ex.spec, other);
+    EXPECT_NE(log_a, interaction_log(ex.spec, ex.suite, flaky_c));
+}
+
+TEST(flaky_sut_test, inactive_profile_is_transparent) {
+    const auto ex = make_paper_example();
+    simulator_sut raw(ex.spec, ex.fault);
+    flaky_sut flaky(raw, ex.spec, flakiness_profile{});
+    ASSERT_FALSE(flakiness_profile{}.active());
+
+    simulator_sut reference(ex.spec, ex.fault);
+    EXPECT_EQ(interaction_log(ex.spec, ex.suite, flaky),
+              interaction_log(ex.spec, ex.suite, reference));
+    EXPECT_EQ(flaky.counters().total(), 0u);
+}
+
+TEST(resilient_oracle_test, recovers_the_clean_verdict_at_low_flakiness) {
+    const auto ex = make_paper_example();
+    const test_suite suite = transition_tour(ex.spec).suite;
+
+    simulated_iut clean_iut(ex.spec, ex.fault);
+    const diagnosis_result clean = diagnose(ex.spec, suite, clean_iut);
+    ASSERT_TRUE(clean.is_localized());
+
+    simulator_sut raw(ex.spec, ex.fault);
+    flaky_sut flaky(raw, ex.spec, flakiness_profile::uniform(0.05, 11));
+    resilient_oracle oracle(flaky, retry_policy{});
+    const diagnosis_result noisy = diagnose(ex.spec, suite, oracle);
+
+    EXPECT_EQ(noisy.outcome, clean.outcome);
+    EXPECT_EQ(noisy.final_diagnoses, clean.final_diagnoses);
+    // The lab did misbehave; the retry layer absorbed it.
+    EXPECT_GT(flaky.counters().total(), 0u);
+}
+
+TEST(resilient_oracle_test, every_attempt_failing_raises_transient_error) {
+    const auto ex = make_paper_example();
+    simulator_sut raw(ex.spec, ex.fault);
+    flakiness_profile profile;
+    profile.hang_rate = 1.0;  // every apply() times out
+    flaky_sut flaky(raw, ex.spec, profile);
+    resilient_oracle oracle(flaky, retry_policy{});
+
+    EXPECT_THROW((void)oracle.execute(ex.suite.cases[0].inputs),
+                 transient_error);
+    ASSERT_NE(oracle.reliability_totals(), nullptr);
+    EXPECT_GT(oracle.reliability_totals()->transient_failures, 0u);
+}
+
+TEST(resilient_oracle_test, blown_input_budget_is_fatal) {
+    const auto ex = make_paper_example();
+    simulator_sut raw(ex.spec, ex.fault);
+    retry_policy policy;
+    policy.max_case_inputs = 1;
+    resilient_oracle oracle(raw, policy);
+
+    EXPECT_THROW((void)oracle.execute(ex.suite.cases[0].inputs),
+                 budget_exceeded);
+}
+
+TEST(degradation_test, clean_spec_under_heavy_flakiness_never_misdiagnoses) {
+    const auto ex = make_paper_example();
+    const test_suite suite = transition_tour(ex.spec).suite;
+
+    for (std::uint64_t seed = 1; seed <= 5; ++seed) {
+        simulator_sut raw(ex.spec);  // fault-free IUT
+        flaky_sut flaky(raw, ex.spec, flakiness_profile::uniform(0.5, seed));
+        resilient_oracle oracle(flaky, retry_policy{});
+        const diagnosis_result r = diagnose(ex.spec, suite, oracle);
+
+        // Whatever the noise produced, the diagnoser must not claim to have
+        // localized a fault in a correct implementation.  Refusing
+        // (inconclusive_unreliable) and rejecting the fault model
+        // (no_consistent_hypothesis — heavy drops can vote fake ε symptoms
+        // into a trusted run) are both honest; localizing is not.
+        EXPECT_FALSE(r.is_localized()) << "seed " << seed;
+        if (r.outcome != diagnosis_outcome::passed &&
+            !r.reliability.degraded()) {
+            EXPECT_EQ(r.outcome,
+                      diagnosis_outcome::no_consistent_hypothesis)
+                << "seed " << seed;
+        }
+    }
+}
+
+TEST(degradation_test, quarantined_runs_are_reported) {
+    const auto ex = make_paper_example();
+    const test_suite suite = transition_tour(ex.spec).suite;
+
+    // Garble-only noise: garbled values scatter across the alphabet, so no
+    // position can collect a k-majority and the run stays untrusted.
+    simulator_sut raw(ex.spec, ex.fault);
+    flakiness_profile profile;
+    profile.garble_rate = 0.6;
+    profile.seed = 3;
+    flaky_sut flaky(raw, ex.spec, profile);
+    retry_policy policy;
+    policy.votes = 3;
+    policy.max_retries = 0;
+    resilient_oracle oracle(flaky, policy);
+    const diagnosis_result r = diagnose(ex.spec, suite, oracle);
+
+    EXPECT_TRUE(r.reliability.degraded());
+    EXPECT_GT(r.reliability.untrusted_runs, 0u);
+    EXPECT_FALSE(r.reliability.reasons.empty());
+    EXPECT_FALSE(r.is_localized());
+}
+
+/// Two machines whose internal outputs form a message cycle: `go` at A
+/// starts an m1/m2 ping-pong that never quiesces.  Invalid per the paper's
+/// restrictions (validate_structure rejects it) but exactly what a mutated
+/// or adversarial system can look like — the budgets exist for it.
+system make_livelock_system() {
+    symbol_table symbols;
+    fsm_builder a("A", symbols);
+    a.internal("a1", "s0", "go", "m1", "s0", machine_id{1});
+    a.internal("a2", "s0", "m2", "m1", "s0", machine_id{1});
+    fsm_builder b("B", symbols);
+    b.internal("b1", "q0", "m1", "m2", "q0", machine_id{0});
+    std::vector<fsm> machines;
+    machines.push_back(a.build("s0"));
+    machines.push_back(b.build("q0"));
+    return system("livelock", std::move(symbols), std::move(machines));
+}
+
+TEST(budget_test, simulator_hop_budget_stops_internal_livelock) {
+    const system sys = make_livelock_system();
+    const auto go =
+        global_input::at(machine_id{0}, sys.symbols().lookup("go"));
+
+    simulator sim(sys);
+    sim.reset();
+    EXPECT_THROW((void)sim.apply(go), budget_exceeded);
+
+    sim.set_internal_hop_budget(4);
+    EXPECT_EQ(sim.internal_hop_budget(), 4u);
+    sim.reset();
+    EXPECT_THROW((void)sim.apply(go), budget_exceeded);
+    EXPECT_THROW(sim.set_internal_hop_budget(0), error);
+}
+
+TEST(budget_test, async_drain_budget_stops_internal_livelock) {
+    const system sys = make_livelock_system();
+    const auto go =
+        global_input::at(machine_id{0}, sys.symbols().lookup("go"));
+
+    async_simulator sim(sys);
+    sim.reset();
+    sim.set_drain_budget(16);
+    EXPECT_EQ(sim.drain_budget(), 16u);
+    (void)sim.apply(go);
+    EXPECT_THROW((void)sim.drain(), budget_exceeded);
+    EXPECT_THROW(sim.set_drain_budget(0), error);
+}
+
+/// Figure-1 campaign fixture: the paper system, its transition tour, and a
+/// capped slice of the fault universe (kept small — every test here runs
+/// several campaigns).
+struct figure1_campaign {
+    system spec;
+    test_suite suite;
+    std::vector<single_transition_fault> faults;
+
+    static figure1_campaign make(std::size_t max_faults) {
+        auto ex = make_paper_example();
+        test_suite suite = transition_tour(ex.spec).suite;
+        auto faults = enumerate_all_faults(ex.spec);
+        if (faults.size() > max_faults) faults.resize(max_faults);
+        return {std::move(ex.spec), std::move(suite), std::move(faults)};
+    }
+};
+
+TEST(resilient_campaign_test, flaky_entries_identical_across_thread_counts) {
+    const auto fx = figure1_campaign::make(24);
+
+    campaign_options serial;
+    serial.max_faults = fx.faults.size();
+    serial.flaky = flakiness_profile::uniform(0.05, 9);
+    serial.retry.max_retries = 3;
+    campaign_options parallel = serial;
+    parallel.jobs = 4;
+    parallel.seed = 123;  // shuffled execution order, identical output
+
+    const auto a = run_campaign(fx.spec, fx.suite, fx.faults, serial);
+    const auto b = run_campaign(fx.spec, fx.suite, fx.faults, parallel);
+    ASSERT_EQ(a.entries.size(), b.entries.size());
+    for (std::size_t i = 0; i < a.entries.size(); ++i) {
+        EXPECT_EQ(a.entries[i], b.entries[i]) << "entry " << i;
+    }
+}
+
+TEST(resilient_campaign_test, flaky_campaign_agrees_with_clean_campaign) {
+    const auto fx = figure1_campaign::make(40);
+
+    campaign_options clean;
+    clean.max_faults = fx.faults.size();
+    const auto cs = run_campaign(fx.spec, fx.suite, fx.faults, clean);
+
+    campaign_options flk = clean;
+    flk.flaky = flakiness_profile::uniform(0.05, 7);
+    flk.retry.max_retries = 3;
+    const auto fs = run_campaign(fx.spec, fx.suite, fx.faults, flk);
+
+    ASSERT_EQ(cs.entries.size(), fs.entries.size());
+    std::size_t agree = 0;
+    for (std::size_t i = 0; i < cs.entries.size(); ++i) {
+        const auto& c = cs.entries[i];
+        const auto& f = fs.entries[i];
+        EXPECT_FALSE(f.errored) << "entry " << i;
+        if (f.outcome == c.outcome && f.sound == c.sound) {
+            ++agree;
+        } else {
+            // Every disagreement must be an explicit refusal (or carry
+            // quarantine evidence), never a silently different verdict.
+            EXPECT_TRUE(
+                f.outcome == diagnosis_outcome::inconclusive_unreliable ||
+                f.quarantined_cases + f.quarantined_tests > 0)
+                << "entry " << i;
+        }
+        // Never misdiagnose: a verdict offered under noise must be as
+        // sound as the clean one.
+        if (c.sound && f.detected) {
+            EXPECT_TRUE(f.sound) << "entry " << i;
+        }
+    }
+    // The acceptance bar: >= 95% of faults reach the clean verdict.
+    EXPECT_GE(agree * 100, cs.entries.size() * 95);
+}
+
+TEST(resilient_campaign_test, worker_crash_is_isolated_to_one_entry) {
+    const auto fx = figure1_campaign::make(12);
+
+    campaign_options clean;
+    clean.max_faults = fx.faults.size();
+    const auto cs = run_campaign(fx.spec, fx.suite, fx.faults, clean);
+
+    campaign_options crashing = clean;
+    crashing.jobs = 2;
+    crashing.fault_hook = [](std::size_t index) {
+        if (index == 3) throw error("injected diagnose crash");
+    };
+    const auto fs = run_campaign(fx.spec, fx.suite, fx.faults, crashing);
+
+    ASSERT_EQ(fs.entries.size(), cs.entries.size());
+    EXPECT_EQ(fs.errored, 1u);
+    EXPECT_TRUE(fs.entries[3].errored);
+    EXPECT_EQ(fs.entries[3].error_kind, "error");
+    EXPECT_NE(fs.entries[3].error_message.find("injected diagnose crash"),
+              std::string::npos);
+    EXPECT_FALSE(fs.entries[3].detected);
+    EXPECT_FALSE(fs.entries[3].sound);
+    for (std::size_t i = 0; i < fs.entries.size(); ++i) {
+        if (i == 3) continue;
+        EXPECT_EQ(fs.entries[i], cs.entries[i]) << "entry " << i;
+    }
+}
+
+TEST(resilient_campaign_test, blown_budget_becomes_an_errored_entry) {
+    const auto fx = figure1_campaign::make(3);
+
+    campaign_options opt;
+    opt.max_faults = fx.faults.size();
+    // Activate the resilient path without any actual injections...
+    flakiness_profile profile;
+    profile.drop_rate = 1e-12;
+    opt.flaky = profile;
+    // ...and make the very first case blow the per-case input budget.
+    opt.retry.max_case_inputs = 1;
+    const auto stats = run_campaign(fx.spec, fx.suite, fx.faults, opt);
+
+    ASSERT_EQ(stats.entries.size(), fx.faults.size());
+    EXPECT_EQ(stats.errored, stats.entries.size());
+    for (const auto& entry : stats.entries) {
+        EXPECT_TRUE(entry.errored);
+        EXPECT_EQ(entry.error_kind, "budget");
+    }
+}
+
+TEST(resilient_campaign_test, aggregates_count_reliability_buckets) {
+    const auto fx = figure1_campaign::make(16);
+
+    campaign_options opt;
+    opt.max_faults = fx.faults.size();
+    opt.flaky = flakiness_profile::uniform(0.05, 5);
+    opt.retry.max_retries = 3;
+    const auto stats = run_campaign(fx.spec, fx.suite, fx.faults, opt);
+
+    EXPECT_EQ(stats.total, fx.faults.size());
+    EXPECT_EQ(stats.errored, 0u);
+    // Detected / inconclusive / errored partition what passed didn't take;
+    // nothing is double-counted.
+    std::size_t detected = 0, inconclusive = 0;
+    std::size_t retries = 0, transients = 0, quarantined = 0;
+    for (const auto& e : stats.entries) {
+        if (e.detected) ++detected;
+        if (e.outcome == diagnosis_outcome::inconclusive_unreliable)
+            ++inconclusive;
+        retries += e.retries;
+        transients += e.transient_failures;
+        quarantined += e.quarantined_cases + e.quarantined_tests;
+    }
+    EXPECT_EQ(stats.detected, detected);
+    EXPECT_EQ(stats.inconclusive_unreliable, inconclusive);
+    EXPECT_EQ(stats.retries, retries);
+    EXPECT_EQ(stats.transient_failures, transients);
+    EXPECT_EQ(stats.quarantined_runs, quarantined);
+    // The flaky lab actually exercised the retry machinery somewhere.
+    EXPECT_GT(retries + transients + quarantined, 0u);
+}
+
+}  // namespace
+}  // namespace cfsmdiag

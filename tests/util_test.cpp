@@ -1,11 +1,15 @@
-// Unit tests for util: rng, table rendering, string helpers.
+// Unit tests for util: rng, table rendering, string helpers, thread pool
+// exception propagation.
 #include <gtest/gtest.h>
 
+#include <atomic>
 #include <sstream>
 
+#include "util/error.hpp"
 #include "util/rng.hpp"
 #include "util/strings.hpp"
 #include "util/table.hpp"
+#include "util/thread_pool.hpp"
 
 namespace cfsmdiag {
 namespace {
@@ -94,6 +98,59 @@ TEST(csv_test, quotes_when_needed) {
     csv_writer w(os);
     w.row({"plain", "with,comma", "with\"quote"});
     EXPECT_EQ(os.str(), "plain,\"with,comma\",\"with\"\"quote\"\n");
+}
+
+TEST(thread_pool_test, wait_rethrows_first_task_exception) {
+    thread_pool pool(2);
+    pool.submit([] { throw error("task failed"); });
+    try {
+        pool.wait();
+        FAIL() << "wait() should rethrow the task's exception";
+    } catch (const error& e) {
+        EXPECT_NE(std::string(e.what()).find("task failed"),
+                  std::string::npos);
+    }
+}
+
+TEST(thread_pool_test, pool_is_reusable_after_a_failed_round) {
+    thread_pool pool(2);
+    pool.submit([] { throw error("round one fails"); });
+    EXPECT_THROW(pool.wait(), error);
+
+    std::atomic<int> ran{0};
+    for (int i = 0; i < 16; ++i) pool.submit([&ran] { ++ran; });
+    EXPECT_NO_THROW(pool.wait());
+    EXPECT_EQ(ran.load(), 16);
+}
+
+TEST(parallel_for_test, serial_path_stops_at_the_throwing_index) {
+    std::atomic<std::size_t> executed{0};
+    EXPECT_THROW(parallel_for(100, 1,
+                              [&executed](std::size_t i) {
+                                  if (i == 3) throw error("stop");
+                                  ++executed;
+                              }),
+                 error);
+    EXPECT_EQ(executed.load(), 3u);
+}
+
+TEST(parallel_for_test, parallel_path_rethrows_and_cancels) {
+    std::atomic<std::size_t> executed{0};
+    EXPECT_THROW(parallel_for(100'000, 4,
+                              [&executed](std::size_t i) {
+                                  if (i == 0) throw error("stop");
+                                  ++executed;
+                              }),
+                 error);
+    // Index 0 threw instead of executing, and cancellation stops workers
+    // from claiming new indices — the loop cannot have run everything.
+    EXPECT_LT(executed.load(), 100'000u);
+}
+
+TEST(parallel_for_test, completes_all_indices_when_nothing_throws) {
+    std::atomic<std::size_t> sum{0};
+    parallel_for(1000, 4, [&sum](std::size_t i) { sum += i; });
+    EXPECT_EQ(sum.load(), 1000u * 999u / 2);
 }
 
 TEST(strings_test, join_split_trim) {

@@ -220,11 +220,16 @@ struct campaign_cli_args {
 };
 
 /// campaign <system-file> [max] [--jobs N] [--max-faults N] [--seed S]
-/// [--json <path>] [--progress] [--no-replay-cache] — the bare positional
-/// [max] is the pre-engine spelling and keeps old invocations working.
+/// [--json <path>] [--progress] [--no-replay-cache] [--flaky R]
+/// [--flaky-seed S] [--retries N] [--votes N] [--deadline-ms N] — the bare
+/// positional [max] is the pre-engine spelling and keeps old invocations
+/// working.
 campaign_cli_args parse_campaign_args(const std::vector<std::string>& args) {
     campaign_cli_args out;
     out.system_path = args[1];
+    std::uint64_t flaky_seed = 1;
+    double flaky_rate = 0.0;
+    bool flaky_set = false;
     auto value_of = [&](std::size_t& i, const std::string& flag) {
         detail::require(i + 1 < args.size(), flag + " needs a value");
         return args[++i];
@@ -244,12 +249,28 @@ campaign_cli_args parse_campaign_args(const std::vector<std::string>& args) {
         } else if (a == "--no-replay-cache") {
             // A/B switch: results are identical, only cost differs.
             out.options.diag.use_replay_cache = false;
+        } else if (a == "--flaky") {
+            // Drop+garble at R, hangs and reset faults at R/10 (see
+            // flakiness_profile::uniform).
+            flaky_rate = std::stod(value_of(i, a));
+            flaky_set = true;
+        } else if (a == "--flaky-seed") {
+            flaky_seed = std::stoull(value_of(i, a));
+        } else if (a == "--retries") {
+            out.options.retry.max_retries = std::stoul(value_of(i, a));
+        } else if (a == "--votes") {
+            out.options.retry.votes = std::stoul(value_of(i, a));
+        } else if (a == "--deadline-ms") {
+            out.options.retry.deadline_ms = std::stoull(value_of(i, a));
         } else if (!a.empty() && a[0] != '-' && !out.options.max_faults) {
             out.options.max_faults = std::stoul(a);
         } else {
             throw error("campaign: unknown argument '" + a + "'");
         }
     }
+    if (flaky_set)
+        out.options.flaky = flakiness_profile::uniform(flaky_rate,
+                                                       flaky_seed);
     return out;
 }
 
@@ -275,6 +296,15 @@ int cmd_campaign(const campaign_cli_args& cli) {
               << stats.detected << ", localized: " << stats.localized
               << " (+" << stats.localized_equiv << " up to equivalence)"
               << ", sound: " << stats.sound << "\n";
+    if (stats.errored > 0 || stats.inconclusive_unreliable > 0 ||
+        stats.retries > 0 || stats.quarantined_runs > 0) {
+        std::cout << "reliability: " << stats.inconclusive_unreliable
+                  << " inconclusive (unreliable), " << stats.errored
+                  << " errored, " << stats.quarantined_runs
+                  << " quarantined run(s), " << stats.retries
+                  << " retrie(s), " << stats.transient_failures
+                  << " transient failure(s)\n";
+    }
     std::cout << "mean additional tests: "
               << fmt_double(stats.mean_additional_tests, 2)
               << ", mean additional inputs: "
@@ -354,6 +384,8 @@ int main(int argc, char** argv) {
            "  cfsmdiag campaign <system-file> [max-faults] [--jobs N]\n"
            "                    [--max-faults N] [--seed S] [--json <path>]\n"
            "                    [--progress] [--no-replay-cache]\n"
+           "                    [--flaky R] [--flaky-seed S] [--retries N]\n"
+           "                    [--votes N] [--deadline-ms N]\n"
            "  cfsmdiag random <seed> [machines] [states]\n";
     return 2;
 }

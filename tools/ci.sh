@@ -4,6 +4,9 @@
 #   Release        — what users run; also the perf baseline.
 #   ThreadSanitizer — shakes data races out of the parallel campaign engine
 #                    (thread_pool, ordered observer emission, shared spec).
+#   ASan+UBSan     — memory/UB pass over the unreliable-lab stack (flaky
+#                    SUT, retrying oracle, crash-isolated engine), whose
+#                    exception paths are easy to corrupt silently.
 #
 # Usage: tools/ci.sh [jobs]      (default: nproc)
 set -euo pipefail
@@ -45,5 +48,21 @@ echo "=== [tsan] run ==="
 "${tsan_dir}/tests/campaign_engine_test"
 "${tsan_dir}/tools/cfsmdiag" campaign examples/data/figure1.cfsm \
       --max-faults 40 --jobs 4 --seed 7 >/dev/null
+
+# ASan+UBSan config: the resilience suite plus a short flaky campaign —
+# the injection/retry/quarantine paths throw and unwind constantly, which
+# is exactly where lifetime bugs hide.
+asan_dir=build-ci-asan
+echo "=== [asan+ubsan] configure ==="
+cmake -B "${asan_dir}" -S . -DCMAKE_BUILD_TYPE=RelWithDebInfo \
+      -DCFSMDIAG_SANITIZE=address,undefined >/dev/null
+echo "=== [asan+ubsan] build resilience tests ==="
+cmake --build "${asan_dir}" -j "${JOBS}" \
+      --target resilience_test cfsmdiag_cli
+echo "=== [asan+ubsan] run ==="
+"${asan_dir}/tests/resilience_test"
+"${asan_dir}/tools/cfsmdiag" campaign examples/data/figure1.cfsm \
+      --max-faults 20 --jobs 2 --seed 7 \
+      --flaky 0.05 --retries 3 >/dev/null
 
 echo "=== CI OK ==="
