@@ -154,6 +154,104 @@ bool replay_cache_block(const cfsmdiag::system& spec,
     return identical;
 }
 
+/// Compiled flat core vs the reference pipeline on the Figure-1 campaign:
+/// entries must be byte-identical in every configuration — {compiled,
+/// reference} × {replay cache on, off} × {--jobs 1, --jobs N} — and the
+/// payoff is wall-clock (best of 3 runs per side, one shared spec_context
+/// per engine exactly as a service deployment would hold it).  Writes the
+/// measurements (including the per-stage wall split) to
+/// BENCH_flatcore.json.  Returns false on any identity mismatch.
+bool flat_core_block(const cfsmdiag::system& spec, const test_suite& suite,
+                     std::vector<single_transition_fault> faults,
+                     const campaign_options& base) {
+    auto opts_of = [&](bool compiled, bool cache, std::size_t jobs) {
+        campaign_options o = base;
+        o.diag.use_compiled_core = compiled;
+        o.diag.use_replay_cache = cache;
+        o.jobs = jobs;
+        return o;
+    };
+    const std::size_t par = base.jobs > 1 ? base.jobs : 4;
+
+    // One compiled context shared by every engine below.
+    const spec_context ctx(spec, suite);
+
+    campaign_engine flat_engine(ctx, faults, opts_of(true, true, 1));
+    campaign_engine ref_engine(ctx, faults, opts_of(false, true, 1));
+    double flat_s = 1e100;
+    double ref_s = 1e100;
+    for (int k = 0; k < 3; ++k) {
+        flat_s = std::min(flat_s, time_campaign(flat_engine));
+        ref_s = std::min(ref_s, time_campaign(ref_engine));
+    }
+    const auto& baseline = flat_engine.stats().entries;
+
+    bool identical = baseline == ref_engine.stats().entries;
+    for (const bool compiled : {true, false}) {
+        for (const bool cache : {true, false}) {
+            for (const std::size_t jobs : {std::size_t{1}, par}) {
+                if (cache && jobs == 1) continue;  // timed above
+                campaign_engine e(ctx, faults,
+                                  opts_of(compiled, cache, jobs));
+                (void)e.run();
+                if (!(e.stats().entries == baseline)) {
+                    identical = false;
+                    std::cout << "MISMATCH: compiled=" << compiled
+                              << " cache=" << cache << " jobs=" << jobs
+                              << "\n";
+                }
+            }
+        }
+    }
+
+    const double speedup = flat_s <= 0 ? 0.0 : ref_s / flat_s;
+    const auto& stage = flat_engine.metrics().stage;
+    text_table t({"config", "faults", "replays", "simulated steps",
+                  "wall (s)", "speedup"});
+    auto row = [&](const char* name, const campaign_engine& e, double secs,
+                   double ref) {
+        t.add_row({name, std::to_string(e.stats().total),
+                   std::to_string(e.metrics().replays),
+                   std::to_string(e.metrics().simulated_steps),
+                   fmt_double(secs, 3),
+                   fmt_double(ref / std::max(secs, 1e-9), 2) + "x"});
+    };
+    row("reference (sets + simulator)", ref_engine, ref_s, ref_s);
+    row("compiled flat core (default)", flat_engine, flat_s, ref_s);
+    std::cout << t << "entries byte-identical across compiled/reference x "
+                 "cache on/off x jobs 1/N: "
+              << (identical ? "yes" : "NO — SOUNDNESS BUG") << "\n"
+              << "stage wall split (compiled, s): symptoms "
+              << fmt_double(stage.symptoms, 4) << ", conflicts "
+              << fmt_double(stage.conflicts, 4) << ", candidates "
+              << fmt_double(stage.candidates, 4) << ", evaluation "
+              << fmt_double(stage.evaluation, 4) << ", discrimination "
+              << fmt_double(stage.discrimination, 4) << "\n";
+
+    json_value root = json_value::object();
+    root.set("system", json_value::string(spec.name()));
+    root.set("faults", json_value::number(faults.size()));
+    root.set("replays", json_value::number(flat_engine.metrics().replays));
+    root.set("simulated_steps_flat",
+             json_value::number(flat_engine.metrics().simulated_steps));
+    root.set("simulated_steps_reference",
+             json_value::number(ref_engine.metrics().simulated_steps));
+    root.set("wall_flat_s", json_value::number(flat_s));
+    root.set("wall_reference_s", json_value::number(ref_s));
+    root.set("speedup_vs_reference", json_value::number(speedup));
+    root.set("wall_symptoms_s", json_value::number(stage.symptoms));
+    root.set("wall_conflicts_s", json_value::number(stage.conflicts));
+    root.set("wall_candidates_s", json_value::number(stage.candidates));
+    root.set("wall_evaluation_s", json_value::number(stage.evaluation));
+    root.set("wall_discrimination_s",
+             json_value::number(stage.discrimination));
+    root.set("entries_identical", json_value::boolean(identical));
+    std::ofstream jout("BENCH_flatcore.json");
+    jout << root.dump(true) << "\n";
+
+    return identical;
+}
+
 /// Unreliable-lab block: the same Figure-1 campaign clean vs flaky
 /// (5% injection, 3 retries).  Reports verdict agreement, the reliability
 /// counters, and checks the three hardening guarantees — noisy verdicts
@@ -258,6 +356,9 @@ int main(int argc, char** argv) {
         auto faults = enumerate_all_faults(ex.spec);
         if (faults.size() > 60) faults.resize(60);
         bool ok = replay_cache_block(ex.spec, ex_suite, faults, base);
+        std::cout << "\n=== engine: compiled flat core vs reference "
+                     "(Figure-1 system, capped faults) ===\n";
+        ok = flat_core_block(ex.spec, ex_suite, faults, base) && ok;
         std::cout << "\n=== engine: unreliable lab, clean vs flaky "
                      "(Figure-1 system, capped faults) ===\n";
         auto few = std::move(faults);
@@ -452,6 +553,12 @@ int main(int argc, char** argv) {
                  "full single+double fault universe) ===\n";
     if (!replay_cache_block(ex.spec, ex_suite,
                             enumerate_all_faults(ex.spec), base))
+        return 1;
+
+    std::cout << "\n=== engine: compiled flat core vs reference (Figure-1 "
+                 "system, full single+double fault universe) ===\n";
+    if (!flat_core_block(ex.spec, ex_suite, enumerate_all_faults(ex.spec),
+                         base))
         return 1;
 
     std::cout << "\n=== engine: unreliable lab, clean vs flaky (Figure-1 "

@@ -74,7 +74,8 @@ void bm_replay_cache(benchmark::State& state) {
     const auto fault = pick_fault(spec, suite);
     simulated_iut iut(spec, fault);
     const auto report = collect_symptoms(spec, suite, iut);
-    const replay_cache cache(spec, suite, report);
+    const spec_context ctx(spec, suite);
+    const replay_cache cache = ctx.make_replay_cache(report);
     for (auto _ : state) {
         benchmark::DoNotOptimize(
             hypothesis_consistent(spec, suite, report, fault.to_override(),
@@ -84,6 +85,29 @@ void bm_replay_cache(benchmark::State& state) {
         static_cast<double>(replay_cache_case_skips());
 }
 BENCHMARK(bm_replay_cache)->Arg(3)->Arg(5)->Arg(8);
+
+/// The same consistency check through the compiled flat core: dense tables,
+/// packed u64 states, epoch-tagged scratch.  Compare against
+/// bm_hypothesis_replay and bm_replay_cache at equal Arg — the gap over the
+/// cache is pure interpretation overhead the lowering removes.  Table build
+/// cost sits outside the timed loop, as in a campaign where one
+/// spec_context amortizes over every fault.
+void bm_flat_core(benchmark::State& state) {
+    const auto spec =
+        make_system(3, static_cast<std::size_t>(state.range(0)), 7);
+    const test_suite suite = transition_tour(spec).suite;
+    const auto fault = pick_fault(spec, suite);
+    simulated_iut iut(spec, fault);
+    const spec_context ctx(spec, suite);
+    const auto report = collect_symptoms(spec, suite, iut, &ctx.traces());
+    flat_replayer replayer(ctx.compiled(), spec, report,
+                           /*prefix_skip=*/true);
+    const transition_override ov = fault.to_override();
+    for (auto _ : state) {
+        benchmark::DoNotOptimize(replayer.consistent(ov));
+    }
+}
+BENCHMARK(bm_flat_core)->Arg(3)->Arg(5)->Arg(8);
 
 void bm_diagnose_states(benchmark::State& state) {
     const auto spec =

@@ -109,14 +109,17 @@ observation simulator::apply(const global_input& in,
         // Internal output: hand the message to the destination machine.
         detail::require(e.destination.value < sys_->machine_count() &&
                             e.destination != current,
-                        "simulator::apply: invalid internal destination in " +
-                            sys_->transition_label(gid));
+                        [&] {
+                            return "simulator::apply: invalid internal "
+                                   "destination in " +
+                                   sys_->transition_label(gid);
+                        });
         current = e.destination;
         message = e.output;
-        detail::require(!message.is_epsilon(),
-                        "simulator::apply: internal transition " +
-                            sys_->transition_label(gid) +
-                            " sends an ε message");
+        detail::require(!message.is_epsilon(), [&] {
+            return "simulator::apply: internal transition " +
+                   sys_->transition_label(gid) + " sends an ε message";
+        });
     }
     throw budget_exceeded(
         "simulator::apply: internal-message chain exceeded " +

@@ -29,6 +29,7 @@
 #include "cfsm/validate.hpp"
 #include "diag/additional_tests.hpp"
 #include "diag/candidates.hpp"
+#include "diag/compiled.hpp"
 #include "diag/composite.hpp"
 #include "diag/conflict.hpp"
 #include "diag/diagnoser.hpp"
@@ -39,6 +40,7 @@
 #include "diag/replay_cache.hpp"
 #include "diag/report.hpp"
 #include "diag/single_fsm.hpp"
+#include "diag/spec_context.hpp"
 #include "diag/symptom.hpp"
 #include "diag/witness.hpp"
 #include "fault/enumerate.hpp"

@@ -1,0 +1,473 @@
+#include "diag/compiled.hpp"
+
+#include <algorithm>
+#include <bit>
+#include <limits>
+#include <map>
+#include <string>
+
+#include "cfsm/alphabet.hpp"
+#include "diag/hypotheses.hpp"
+#include "diag/replay_cache.hpp"
+#include "fault/enumerate.hpp"
+#include "util/error.hpp"
+
+namespace cfsmdiag {
+namespace {
+
+/// Must match simulator.cpp's default: the flat stepper reproduces the
+/// simulator's budget_exceeded behaviour (and message) exactly.
+constexpr std::size_t default_hop_budget = 1024;
+
+/// Packed observation: 0 for ε, else ((port + 1) << 32) | symbol id.
+std::uint64_t pack_observation(const observation& o) noexcept {
+    if (o.is_null()) return 0;
+    const std::uint64_t port = o.port ? o.port->value + 1 : 0;
+    return (port << 32) | o.output.id;
+}
+
+bool symptom_in(const std::vector<std::size_t>& symptom_steps,
+                std::size_t from, std::size_t to) {
+    const auto it =
+        std::lower_bound(symptom_steps.begin(), symptom_steps.end(), from);
+    return it != symptom_steps.end() && *it < to;
+}
+
+/// First firing step >= `from` of dense id `t` in case `ct`, or
+/// invalid_index.
+std::uint32_t next_fire(const compiled_spec::case_tables& ct,
+                        std::uint32_t t, std::size_t from) {
+    const auto begin = ct.fire_steps.begin() + ct.fire_off[t];
+    const auto end = ct.fire_steps.begin() + ct.fire_off[t + 1];
+    const auto it =
+        std::lower_bound(begin, end, static_cast<std::uint32_t>(from));
+    return it == end ? invalid_index : *it;
+}
+
+}  // namespace
+
+compiled_spec compile_spec(const system& spec, const test_suite& suite,
+                           const suite_traces& traces) {
+    detail::require(traces.size() == suite.cases.size(),
+                    "compile_spec: traces do not match suite");
+    compiled_spec cs;
+    const std::size_t machines = spec.machine_count();
+
+    // Dense universe + effect tables.
+    cs.machine_offset.reserve(machines + 1);
+    for (const fsm& m : spec.machines()) {
+        cs.machine_offset.push_back(cs.total);
+        cs.total += static_cast<std::uint32_t>(m.transitions().size());
+    }
+    cs.machine_offset.push_back(cs.total);
+    cs.owner.reserve(cs.total);
+    cs.out_sym.reserve(cs.total);
+    cs.next_state.reserve(cs.total);
+    cs.is_internal.reserve(cs.total);
+    cs.dest.reserve(cs.total);
+    cs.internal_mask = dyn_bitset(cs.total);
+    for (std::uint32_t mi = 0; mi < machines; ++mi) {
+        for (const transition& t :
+             spec.machine(machine_id{mi}).transitions()) {
+            const std::uint32_t d =
+                static_cast<std::uint32_t>(cs.owner.size());
+            cs.owner.push_back(mi);
+            cs.out_sym.push_back(t.output.id);
+            cs.next_state.push_back(t.to.value);
+            const bool internal = t.kind == output_kind::internal;
+            cs.is_internal.push_back(internal ? 1 : 0);
+            cs.dest.push_back(internal ? t.destination.value
+                                       : invalid_index);
+            if (internal) cs.internal_mask.set(d);
+        }
+    }
+
+    // Admissible faulty-output pools (Step 5B's per-candidate
+    // admissible_faulty_outputs, hoisted out of the per-fault path).
+    const auto alphabets = compute_alphabets(spec);
+    cs.pool_offset.reserve(cs.total + 1);
+    for (std::uint32_t d = 0; d < cs.total; ++d) {
+        cs.pool_offset.push_back(
+            static_cast<std::uint32_t>(cs.pool_syms.size()));
+        const auto pool =
+            admissible_faulty_outputs(spec, alphabets, cs.global_id(d));
+        cs.pool_syms.insert(cs.pool_syms.end(), pool.begin(), pool.end());
+    }
+    cs.pool_offset.push_back(static_cast<std::uint32_t>(cs.pool_syms.size()));
+
+    // Dispatch tables + state packing.
+    cs.disp_offset.reserve(machines);
+    cs.disp_stride.reserve(machines);
+    cs.state_shift.reserve(machines);
+    cs.state_mask.reserve(machines);
+    cs.state_count.reserve(machines);
+    std::uint32_t bit = 0;
+    bool packable = true;
+    for (std::uint32_t mi = 0; mi < machines; ++mi) {
+        const fsm& m = spec.machine(machine_id{mi});
+        const std::size_t states = m.state_count();
+        std::uint32_t stride = 0;
+        for (const transition& t : m.transitions())
+            stride = std::max(stride, t.input.id + 1);
+        cs.disp_offset.push_back(static_cast<std::uint32_t>(cs.dispatch.size()));
+        cs.disp_stride.push_back(stride);
+        for (std::uint32_t s = 0; s < states; ++s) {
+            for (std::uint32_t i = 0; i < stride; ++i) {
+                const auto found = m.find(state_id{s}, symbol{i});
+                cs.dispatch.push_back(
+                    found ? cs.machine_offset[mi] + found->value
+                          : invalid_index);
+            }
+        }
+        const std::uint32_t width = states <= 1
+                                        ? 1
+                                        : std::bit_width(states - 1);
+        cs.state_shift.push_back(bit);
+        cs.state_mask.push_back((std::uint64_t{1} << width) - 1);
+        cs.state_count.push_back(static_cast<std::uint32_t>(states));
+        bit += width;
+        if (bit > 64) packable = false;
+    }
+    cs.packable = packable && machines > 0;
+    if (!cs.packable) return cs;  // reference path handles this system
+
+    system_state initial;
+    initial.states.reserve(machines);
+    for (const fsm& m : spec.machines())
+        initial.states.push_back(m.initial_state());
+    cs.initial_packed = cs.pack(initial);
+
+    // Per-case spec-run tables from the Step-1 traces (no simulation).
+    cs.cases.reserve(suite.cases.size());
+    for (std::size_t ci = 0; ci < suite.cases.size(); ++ci) {
+        const auto& inputs = suite.cases[ci].inputs;
+        const auto& trace = traces[ci];
+        detail::require(trace.size() == inputs.size(),
+                        "compile_spec: trace does not match case inputs");
+        compiled_spec::case_tables ct;
+        const std::size_t n = inputs.size();
+        ct.in_port.reserve(n);
+        ct.in_sym.reserve(n);
+        ct.state_before.reserve(n);
+        ct.rep.reserve(n);
+        ct.first_fire.assign(cs.total, invalid_index);
+        ct.step_off.reserve(n + 1);
+        std::vector<std::vector<std::uint32_t>> fires(cs.total);
+        std::map<std::pair<std::uint64_t, std::uint64_t>, std::uint32_t>
+            classes;
+        for (std::size_t k = 0; k < n; ++k) {
+            const global_input& in = inputs[k];
+            const bool reset = in.action == global_input::kind::reset;
+            ct.in_port.push_back(reset ? invalid_index : in.port.value);
+            ct.in_sym.push_back(reset ? 0 : in.input.id);
+            const std::uint64_t before = cs.pack(trace[k].before);
+            ct.state_before.push_back(before);
+            const std::uint64_t in_key =
+                (static_cast<std::uint64_t>(ct.in_port.back()) << 32) |
+                ct.in_sym.back();
+            ct.rep.push_back(
+                classes
+                    .try_emplace(std::make_pair(before, in_key),
+                                 static_cast<std::uint32_t>(k))
+                    .first->second);
+            ct.step_off.push_back(
+                static_cast<std::uint32_t>(ct.step_fired.size()));
+            for (global_transition_id gid : trace[k].fired) {
+                const std::uint32_t d = cs.dense_id(gid);
+                ct.step_fired.push_back(d);
+                auto& steps = fires[d];
+                // A chain step may fire the same transition more than
+                // once; record the step once.
+                if (!steps.empty() &&
+                    steps.back() == static_cast<std::uint32_t>(k))
+                    continue;
+                steps.push_back(static_cast<std::uint32_t>(k));
+                if (ct.first_fire[d] == invalid_index)
+                    ct.first_fire[d] = static_cast<std::uint32_t>(k);
+            }
+        }
+        ct.step_off.push_back(
+            static_cast<std::uint32_t>(ct.step_fired.size()));
+        ct.fire_off.reserve(cs.total + 1);
+        for (std::uint32_t d = 0; d < cs.total; ++d) {
+            ct.fire_off.push_back(
+                static_cast<std::uint32_t>(ct.fire_steps.size()));
+            ct.fire_steps.insert(ct.fire_steps.end(), fires[d].begin(),
+                                 fires[d].end());
+        }
+        ct.fire_off.push_back(
+            static_cast<std::uint32_t>(ct.fire_steps.size()));
+        cs.cases.push_back(std::move(ct));
+    }
+    return cs;
+}
+
+compiled_conflicts compile_conflicts(const compiled_spec& cs,
+                                     const symptom_report& report,
+                                     bit_arena& arena) {
+    compiled_conflicts cc;
+    cc.per_case.reserve(report.symptomatic_cases.size());
+    cc.itc = dyn_bitset(cs.total, arena);
+    cc.itc.set_all();
+    for (std::size_t ci : report.symptomatic_cases) {
+        const compiled_spec::case_tables& ct = cs.cases[ci];
+        const std::size_t last = *report.runs[ci].first_symptom;
+        dyn_bitset fired(cs.total, arena);
+        for (std::uint32_t i = ct.step_off[0]; i < ct.step_off[last + 1];
+             ++i)
+            fired.set(ct.step_fired[i]);
+        cc.itc &= fired;
+        cc.per_case.push_back(std::move(fired));
+    }
+    return cc;
+}
+
+conflict_sets materialize_conflict_sets(const compiled_spec& cs,
+                                        const compiled_conflicts& cc) {
+    conflict_sets out;
+    const std::size_t machines = cs.machine_offset.size() - 1;
+    out.per_machine.resize(machines);
+    for (const dyn_bitset& fired : cc.per_case) {
+        std::vector<std::set<transition_id>> sets(machines);
+        fired.for_each_set([&](std::size_t d) {
+            const std::uint32_t m = cs.owner[d];
+            sets[m].insert(sets[m].end(),
+                           transition_id{static_cast<std::uint32_t>(d) -
+                                         cs.machine_offset[m]});
+        });
+        for (std::size_t m = 0; m < machines; ++m)
+            out.per_machine[m].push_back(std::move(sets[m]));
+    }
+    return out;
+}
+
+candidate_sets materialize_candidate_sets(const compiled_spec& cs,
+                                          const symptom_report& report,
+                                          const compiled_conflicts& cc) {
+    candidate_sets out;
+    const std::size_t machines = cs.machine_offset.size() - 1;
+    out.itc.resize(machines);
+    out.ftc_tr.resize(machines);
+    out.ftc_co.resize(machines);
+    // No symptomatic case → the all-ones seed never intersected anything;
+    // the reference path leaves every ITC empty in that situation.
+    if (!cc.per_case.empty()) {
+        cc.itc.for_each_set([&](std::size_t d) {
+            const std::uint32_t m = cs.owner[d];
+            out.itc[m].push_back(transition_id{
+                static_cast<std::uint32_t>(d) - cs.machine_offset[m]});
+        });
+    }
+    if (report.ust && cc.itc.test(cs.dense_id(*report.ust)) &&
+        !cc.per_case.empty()) {
+        out.ust = report.ust;
+    }
+    for (std::uint32_t m = 0; m < machines; ++m) {
+        for (transition_id t : out.itc[m]) {
+            const std::uint32_t d = cs.machine_offset[m] + t.value;
+            const bool is_ust = out.ust && out.ust->machine.value == m &&
+                                out.ust->transition == t;
+            if (!is_ust) out.ftc_tr[m].push_back(t);
+            if (cs.is_internal[d]) out.ftc_co[m].push_back(t);
+        }
+    }
+    return out;
+}
+
+flat_replayer::flat_replayer(const compiled_spec& cs, const system& spec,
+                             const symptom_report& report, bool prefix_skip)
+    : cs_(&cs),
+      spec_(&spec),
+      report_(&report),
+      prefix_skip_(prefix_skip) {
+    detail::require(cs.packable,
+                    "flat_replayer: system states exceed 64 packed bits");
+    detail::require(report.runs.size() == cs.cases.size(),
+                    "flat_replayer: report does not match compiled suite");
+    cases_.reserve(report.runs.size());
+    std::size_t max_len = 0;
+    for (std::size_t ci = 0; ci < report.runs.size(); ++ci) {
+        const executed_case& run = report.runs[ci];
+        case_obs co;
+        co.quarantined = run.quarantined;
+        co.symptom_steps = &run.symptom_steps;
+        if (run.first_symptom)
+            co.first_symptom = static_cast<std::uint32_t>(*run.first_symptom);
+        co.observed.reserve(run.observed.size());
+        for (const observation& o : run.observed)
+            co.observed.push_back(pack_observation(o));
+        max_len = std::max(max_len, run.observed.size());
+        cases_.push_back(std::move(co));
+    }
+    memo_epoch_.assign(max_len, 0);
+    memo_obs_.resize(max_len);
+    memo_after_.resize(max_len);
+}
+
+flat_replayer::flat_override flat_replayer::lower(
+    const transition_override& ov) const {
+    detail::require(ov.target.machine.value <
+                        cs_->machine_offset.size() - 1,
+                    "flat_replayer: override machine out of range");
+    flat_override f;
+    f.target = cs_->dense_id(ov.target);
+    detail::require(f.target < cs_->machine_offset[ov.target.machine.value + 1],
+                    "flat_replayer: override transition out of range");
+    if (ov.output) f.out = ov.output->id;
+    if (ov.next_state) {
+        detail::require(
+            ov.next_state->value <
+                cs_->state_count[ov.target.machine.value],
+            "flat_replayer: override next state out of range");
+        f.next = ov.next_state->value;
+    }
+    if (ov.destination) {
+        detail::require(ov.destination->value <
+                                cs_->machine_offset.size() - 1 &&
+                            *ov.destination != ov.target.machine,
+                        "flat_replayer: override destination out of range");
+        f.dest = ov.destination->value;
+    }
+    return f;
+}
+
+std::uint64_t flat_replayer::step(std::uint64_t& state, std::uint32_t port,
+                                  std::uint32_t sym,
+                                  const flat_override& ov) const {
+    ++detail::simulated_step_count;
+    if (port == invalid_index) {  // reset
+        state = cs_->initial_packed;
+        return 0;
+    }
+    std::uint32_t current = port;
+    std::uint32_t msg = sym;
+    for (std::size_t hop = 0; hop <= default_hop_budget; ++hop) {
+        const std::uint32_t s = static_cast<std::uint32_t>(
+            (state >> cs_->state_shift[current]) & cs_->state_mask[current]);
+        std::uint32_t d = invalid_index;
+        if (msg < cs_->disp_stride[current] && s < cs_->state_count[current])
+            d = cs_->dispatch[cs_->disp_offset[current] +
+                              s * cs_->disp_stride[current] + msg];
+        if (d == invalid_index) return 0;  // unspecified: ε, no change
+        const bool hit = d == ov.target;
+        const std::uint32_t next = hit && ov.next != invalid_index
+                                       ? ov.next
+                                       : cs_->next_state[d];
+        const std::uint32_t out =
+            hit && ov.out != invalid_index ? ov.out : cs_->out_sym[d];
+        state = (state & ~(cs_->state_mask[current]
+                           << cs_->state_shift[current])) |
+                (static_cast<std::uint64_t>(next)
+                 << cs_->state_shift[current]);
+        if (!cs_->is_internal[d]) {
+            if (out == 0) return 0;
+            return (static_cast<std::uint64_t>(current + 1) << 32) | out;
+        }
+        detail::require(out != 0, [&] {
+            return "simulator::apply: internal transition " +
+                   spec_->transition_label(cs_->global_id(d)) +
+                   " sends an ε message";
+        });
+        current = hit && ov.dest != invalid_index ? ov.dest : cs_->dest[d];
+        msg = out;
+    }
+    throw budget_exceeded(
+        "simulator::apply: internal-message chain exceeded " +
+        std::to_string(default_hop_budget) +
+        " hops (message cycle?) in system '" + spec_->name() + "'");
+}
+
+bool flat_replayer::full_replay(std::size_t ci,
+                                const flat_override& ov) const {
+    const compiled_spec::case_tables& ct = cs_->cases[ci];
+    const case_obs& co = cases_[ci];
+    std::uint64_t state = cs_->initial_packed;
+    for (std::size_t k = 0; k < ct.in_port.size(); ++k) {
+        if (step(state, ct.in_port[k], ct.in_sym[k], ov) != co.observed[k])
+            return false;
+    }
+    return true;
+}
+
+bool flat_replayer::suffix_consistent(std::size_t ci, std::uint32_t f,
+                                      const flat_override& ov) {
+    const compiled_spec::case_tables& ct = cs_->cases[ci];
+    const case_obs& co = cases_[ci];
+    const std::size_t n = ct.in_port.size();
+
+    detail::note_replay_suffix();
+    if (epoch_ == std::numeric_limits<std::uint32_t>::max()) {
+        std::fill(memo_epoch_.begin(), memo_epoch_.end(), 0);
+        epoch_ = 0;
+    }
+    ++epoch_;
+
+    std::uint64_t state = 0;
+    std::size_t step_i = f;
+    bool synced = true;  // mutated state == spec state entering `step_i`
+    while (true) {
+        if (synced) {
+            const std::uint32_t r = ct.rep[step_i];
+            if (memo_epoch_[r] != epoch_) {
+                std::uint64_t s = ct.state_before[step_i];
+                memo_obs_[r] =
+                    step(s, ct.in_port[step_i], ct.in_sym[step_i], ov);
+                memo_after_[r] = s;
+                memo_epoch_[r] = epoch_;
+            }
+            if (memo_obs_[r] != co.observed[step_i]) return false;
+            const std::uint64_t after = memo_after_[r];
+            ++step_i;
+            if (step_i == n) return true;
+            if (after != ct.state_before[step_i]) {
+                state = after;
+                synced = false;
+                continue;
+            }
+        } else {
+            if (step(state, ct.in_port[step_i], ct.in_sym[step_i], ov) !=
+                co.observed[step_i])
+                return false;
+            ++step_i;
+            if (step_i == n) return true;
+            if (state != ct.state_before[step_i]) continue;
+            synced = true;
+        }
+        // Re-synchronized: mutated == spec until the target next fires, so
+        // the segment is consistent iff it shows no symptom.
+        const std::uint32_t nf = next_fire(ct, ov.target, step_i);
+        if (nf == invalid_index)
+            return !symptom_in(*co.symptom_steps, step_i, n);
+        if (symptom_in(*co.symptom_steps, step_i, nf)) return false;
+        step_i = nf;
+    }
+}
+
+bool flat_replayer::consistent(const transition_override& ov) {
+    // Same counter as hypothesis_consistent(): campaign_entry::replays is
+    // part of the entry's identity, so both paths must count identically.
+    detail::note_hypothesis_replay();
+    const flat_override f = lower(ov);
+    for (std::size_t ci = 0; ci < cases_.size(); ++ci) {
+        // Quarantined runs neither support nor refute (mirrors
+        // hypothesis_consistent's paths).
+        if (cases_[ci].quarantined) continue;
+        if (!prefix_skip_) {
+            if (!full_replay(ci, f)) return false;
+            continue;
+        }
+        const compiled_spec::case_tables& ct = cs_->cases[ci];
+        const std::uint32_t ff = ct.first_fire[f.target];
+        if (ff == invalid_index) {
+            // Mutated == spec on all of this case.
+            if (cases_[ci].first_symptom != invalid_index) return false;
+            detail::note_replay_case_skip();
+            continue;
+        }
+        if (cases_[ci].first_symptom < ff) return false;
+        if (!suffix_consistent(ci, ff, f)) return false;
+    }
+    return true;
+}
+
+}  // namespace cfsmdiag

@@ -6,12 +6,17 @@ namespace cfsmdiag {
 namespace {
 
 /// Translates between the CFSM world and the product machine's port-tagged
-/// alphabet, forwarding to the real (CFSM-level) oracle.
+/// alphabet, forwarding to the real (CFSM-level) oracle.  Observation
+/// mapping is a dense (symbol id, port) -> product-symbol table built once
+/// at construction — the oracle path never touches symbol spellings.
 class product_oracle final : public oracle {
   public:
     product_oracle(oracle& inner, const composition& comp,
-                   symbol_table table)
-        : inner_(inner), comp_(&comp), table_(std::move(table)) {}
+                   std::vector<symbol> tag_of, std::size_t ports)
+        : inner_(inner),
+          comp_(&comp),
+          tag_of_(std::move(tag_of)),
+          ports_(ports) {}
 
     std::vector<observation> execute(
         const std::vector<global_input>& test) override {
@@ -32,11 +37,12 @@ class product_oracle final : public oracle {
                 out.push_back(observation::none());
                 continue;
             }
-            const std::string tagged =
-                orig_name(obs.output) + "@P" +
-                std::to_string(obs.port->value + 1);
-            out.push_back(observation::at(machine_id{0},
-                                          table_.lookup(tagged)));
+            const std::size_t slot =
+                obs.output.id * ports_ + obs.port->value;
+            detail::require(slot < tag_of_.size(),
+                            "diagnose_via_composition: IUT output outside "
+                            "the specification alphabet");
+            out.push_back(observation::at(machine_id{0}, tag_of_[slot]));
         }
         return out;
     }
@@ -48,17 +54,12 @@ class product_oracle final : public oracle {
         return inner_.inputs_applied();
     }
 
-    void set_original_names(const symbol_table& orig) { orig_ = &orig; }
-
   private:
-    [[nodiscard]] std::string orig_name(symbol s) const {
-        return orig_->name(s);
-    }
-
     oracle& inner_;
     const composition* comp_;
-    symbol_table table_;
-    const symbol_table* orig_ = nullptr;
+    /// Row-major [symbol id][port] -> tagged product symbol.
+    std::vector<symbol> tag_of_;
+    std::size_t ports_;
 };
 
 }  // namespace
@@ -73,12 +74,16 @@ composite_diagnosis_result diagnose_via_composition(
     result.product_transitions = comp.machine.transitions().size();
 
     // Pre-intern every (symbol, port) tag so faulty outputs the spec never
-    // produces still have stable ids in the product alphabet.
+    // produces still have stable ids in the product alphabet, recording the
+    // dense (symbol, port) -> tag map the oracle adapter indexes by id.
     symbol_table table = comp.symbols;
+    const std::size_t ports = spec.machine_count();
+    std::vector<symbol> tag_of(spec.symbols().size() * ports);
     for (std::uint32_t sid = 1; sid < spec.symbols().size(); ++sid) {
-        for (std::uint32_t p = 0; p < spec.machine_count(); ++p) {
-            (void)table.intern(spec.symbols().name(symbol{sid}) + "@P" +
-                               std::to_string(p + 1));
+        for (std::uint32_t p = 0; p < ports; ++p) {
+            tag_of[sid * ports + p] =
+                table.intern(spec.symbols().name(symbol{sid}) + "@P" +
+                             std::to_string(p + 1));
         }
     }
 
@@ -108,8 +113,7 @@ composite_diagnosis_result diagnose_via_composition(
         product_suite.add(std::move(mapped));
     }
 
-    product_oracle adapter(iut, comp, table);
-    adapter.set_original_names(spec.symbols());
+    product_oracle adapter(iut, comp, std::move(tag_of), ports);
     result.product_result =
         diagnose(wrapped, product_suite, adapter, options);
 

@@ -102,14 +102,20 @@ void finalize_reliability(diagnosis_result& result, const oracle& iut) {
 
 }  // namespace
 
-diagnosis_result diagnose(const system& spec, const test_suite& suite,
-                          oracle& iut, const diagnoser_options& options,
-                          const suite_traces* precomputed) {
+diagnosis_result diagnose(const spec_context& ctx, oracle& iut,
+                          const diagnoser_options& options) {
+    const system& spec = ctx.spec();
+    const test_suite& suite = ctx.suite();
+    const compiled_spec& cs = ctx.compiled();
+    // The compiled core requires the packed-state representation; wider
+    // systems transparently run the reference path.
+    const bool flat = options.use_compiled_core && cs.packable;
+
     diagnosis_result result;
     auto mark = std::chrono::steady_clock::now();
 
     // Steps 1-3.
-    result.symptoms = collect_symptoms(spec, suite, iut, precomputed);
+    result.symptoms = collect_symptoms(spec, suite, iut, &ctx.traces());
     result.timings.symptoms = lap(mark);
     if (!result.symptoms.has_symptoms()) {
         // Clean on every trusted run.  If runs had to be quarantined the
@@ -122,32 +128,67 @@ diagnosis_result diagnose(const system& spec, const test_suite& suite,
         return result;
     }
 
-    // Step 4.
-    result.conflicts = generate_conflict_sets(spec, result.symptoms);
+    // Step 4.  Compiled: fired-prefix bitmaps over the dense universe;
+    // the public conflict_sets are rebuilt at the reporting boundary.
+    bit_arena arena;
+    std::optional<compiled_conflicts> cc;
+    if (flat) {
+        cc = compile_conflicts(cs, result.symptoms, arena);
+        result.conflicts = materialize_conflict_sets(cs, *cc);
+    } else {
+        result.conflicts = generate_conflict_sets(spec, result.symptoms);
+    }
+    result.timings.conflicts = lap(mark);
 
-    // Steps 5A-5C.  The replay cache (one spec replay per suite case) is
-    // amortized over every hypothesis check below.
-    result.candidates =
-        generate_candidates(spec, result.symptoms, result.conflicts);
+    // Step 5A.  Compiled: the ITC is the AND the bitmaps already carry.
+    if (flat) {
+        result.candidates =
+            materialize_candidate_sets(cs, result.symptoms, *cc);
+    } else {
+        result.candidates =
+            generate_candidates(spec, result.symptoms, result.conflicts);
+    }
+    result.timings.candidates = lap(mark);
+
+    // Steps 5B-5C.  One replay accelerator per diagnosis, amortized over
+    // every hypothesis check below (including Step 6 escalation).
+    std::optional<flat_replayer> flat_rep;
     std::optional<replay_cache> cache;
-    if (options.use_replay_cache)
-        cache.emplace(spec, suite, result.symptoms);
+    if (flat) {
+        flat_rep.emplace(cs, spec, result.symptoms,
+                         options.use_replay_cache);
+    } else if (options.use_replay_cache) {
+        cache.emplace(ctx.make_replay_cache(result.symptoms));
+    }
     const replay_cache* cache_ptr = cache ? &*cache : nullptr;
-    if (options.evaluation == evaluation_mode::complete) {
-        result.evaluated = evaluate_candidates_escalated(
+    const auto evaluate_routed = [&] {
+        if (flat) {
+            return evaluate_candidates(cs, *flat_rep, result.symptoms,
+                                       result.candidates);
+        }
+        return evaluate_candidates(spec, suite, result.symptoms,
+                                   result.candidates, cache_ptr);
+    };
+    const auto evaluate_full = [&] {
+        if (flat) {
+            return evaluate_candidates_escalated(
+                cs, *flat_rep, result.symptoms, result.candidates,
+                options.include_addressing_faults);
+        }
+        return evaluate_candidates_escalated(
             spec, suite, result.symptoms, result.candidates,
             options.include_addressing_faults, cache_ptr);
+    };
+    if (options.evaluation == evaluation_mode::complete) {
+        result.evaluated = evaluate_full();
     } else {
-        result.evaluated = evaluate_candidates(
-            spec, suite, result.symptoms, result.candidates, cache_ptr);
+        result.evaluated = evaluate_routed();
     }
     result.initial_diagnoses = result.evaluated.diagnoses();
     if (result.initial_diagnoses.empty() && options.escalate_if_empty &&
         options.evaluation == evaluation_mode::paper_flag_routing) {
         result.used_escalation = true;
-        result.evaluated = evaluate_candidates_escalated(
-            spec, suite, result.symptoms, result.candidates,
-            options.include_addressing_faults, cache_ptr);
+        result.evaluated = evaluate_full();
         result.initial_diagnoses = result.evaluated.diagnoses();
     }
     result.timings.evaluation = lap(mark);
@@ -173,9 +214,7 @@ diagnosis_result diagnose(const system& spec, const test_suite& suite,
             // the truth (see evaluation_mode).  Widen to the full space and
             // replay the evidence gathered so far.
             result.used_escalation = true;
-            result.evaluated = evaluate_candidates_escalated(
-                spec, suite, result.symptoms, result.candidates,
-                options.include_addressing_faults, cache_ptr);
+            result.evaluated = evaluate_full();
             tracker = hypothesis_tracker(spec, result.evaluated.diagnoses(),
                                          options.use_replay_cache);
             for (const auto& rec : result.additional_tests) {
@@ -245,6 +284,13 @@ diagnosis_result diagnose(const system& spec, const test_suite& suite,
     result.timings.discrimination = lap(mark);
     finalize_reliability(result, iut);
     return result;
+}
+
+diagnosis_result diagnose(const system& spec, const test_suite& suite,
+                          oracle& iut, const diagnoser_options& options,
+                          const suite_traces* precomputed) {
+    const spec_context ctx(spec, suite, precomputed);
+    return diagnose(ctx, iut, options);
 }
 
 std::string summarize(const system& spec, const diagnosis_result& result) {

@@ -21,6 +21,7 @@
 #pragma once
 
 #include "diag/additional_tests.hpp"
+#include "diag/spec_context.hpp"
 
 namespace cfsmdiag {
 
@@ -83,16 +84,23 @@ struct reliability_summary {
 /// results stay deterministic across machines and thread counts.
 struct stage_timings {
     double symptoms = 0.0;        ///< Steps 1-3 (suite execution + compare)
-    double evaluation = 0.0;      ///< Steps 4-5 (initial hypothesis search)
+    double conflicts = 0.0;       ///< Step 4 (conflict sets)
+    double candidates = 0.0;      ///< Step 5A (ITC/FTCtr/FTCco/ustset)
+    double evaluation = 0.0;      ///< Steps 5B-5C (hypothesis replay +
+                                  ///< survivors, incl. replay-accelerator
+                                  ///< construction)
     double discrimination = 0.0;  ///< Step 6 (additional tests + verdict,
                                   ///< incl. any mid-loop escalation)
 
     [[nodiscard]] double total() const noexcept {
-        return symptoms + evaluation + discrimination;
+        return symptoms + conflicts + candidates + evaluation +
+               discrimination;
     }
 
     stage_timings& operator+=(const stage_timings& o) noexcept {
         symptoms += o.symptoms;
+        conflicts += o.conflicts;
+        candidates += o.candidates;
         evaluation += o.evaluation;
         discrimination += o.discrimination;
         return *this;
@@ -160,16 +168,34 @@ struct diagnoser_options {
     /// (diag/replay_cache.hpp): firing-index prefix skipping + snapshot
     /// suffix simulation.  Results are byte-identical with the cache on or
     /// off; off exists for A/B measurement (`campaign --no-replay-cache`).
+    /// With the compiled core this picks between the flat replayer's
+    /// prefix-skipping and full-replay modes — the same A/B axis.
     bool use_replay_cache = true;
+    /// Run Steps 4-5C on the flat compiled core (diag/compiled.hpp):
+    /// bitset conflict/candidate algebra and the flat hypothesis replayer
+    /// over the spec_context's precompiled tables.  Results are
+    /// byte-identical to the reference structures; off exists for A/B
+    /// measurement (`campaign --no-compiled-core`) and as the automatic
+    /// fallback for systems whose packed state exceeds 64 bits.
+    bool use_compiled_core = true;
     std::size_t max_additional_tests = 200;
     std::size_t max_joint_states = 100'000;
     step6_options step6;
 };
 
-/// Runs the full algorithm.  The oracle is consulted once per suite case
-/// plus once per applied additional test.  `precomputed`, when given, must
-/// be explain_suite(spec, suite); it spares Step 1's spec replay (the
-/// campaign engine shares one across all faults).
+/// Runs the full algorithm against a prepared spec_context.  The oracle is
+/// consulted once per suite case plus once per applied additional test.
+/// This is the primary entry point: the context's compiled tables and
+/// Step-1 traces are shared across every diagnosis (a campaign builds one
+/// context for all faults).
+[[nodiscard]] diagnosis_result diagnose(const spec_context& ctx, oracle& iut,
+                                        const diagnoser_options& options = {});
+
+/// Convenience overload for one-shot calls: builds a spec_context from
+/// (spec, suite) inline — replaying the suite and compiling the tables per
+/// call — then diagnoses.  `precomputed`, when given, must be the spec
+/// replay of `suite` and spares the Step-1 simulation.  Repeated callers
+/// should hold a spec_context instead.
 [[nodiscard]] diagnosis_result diagnose(
     const system& spec, const test_suite& suite, oracle& iut,
     const diagnoser_options& options = {},

@@ -144,6 +144,169 @@ step6_case classify_step6(const diagnostic_candidates& dc) {
     return step6_case::case4;
 }
 
+namespace {
+
+// --- compiled-core hypothesis loops ------------------------------------
+// Mirrors of end_states / consistent_outputs / consistent_statout /
+// consistent_destinations with identical enumeration order (ascending
+// states, pool order, ascending machines); only the replay mechanism
+// differs, so the surviving hypothesis lists are byte-identical.
+
+std::vector<state_id> flat_end_states(const compiled_spec& cs,
+                                      flat_replayer& rep,
+                                      global_transition_id t) {
+    std::vector<state_id> out;
+    const std::uint32_t d = cs.dense_id(t);
+    for (std::uint32_t s = 0; s < cs.state_count[t.machine.value]; ++s) {
+        if (s == cs.next_state[d]) continue;
+        const transition_override ov{t, std::nullopt, state_id{s}};
+        if (rep.consistent(ov)) out.push_back(state_id{s});
+    }
+    return out;
+}
+
+std::vector<symbol> flat_outputs(const compiled_spec& cs, flat_replayer& rep,
+                                 global_transition_id t, const symbol* pool,
+                                 const symbol* pool_end) {
+    std::vector<symbol> out;
+    const std::uint32_t d = cs.dense_id(t);
+    for (; pool != pool_end; ++pool) {
+        if (pool->id == cs.out_sym[d]) continue;
+        const transition_override ov{t, *pool, std::nullopt};
+        if (rep.consistent(ov)) out.push_back(*pool);
+    }
+    return out;
+}
+
+std::vector<std::pair<state_id, symbol>> flat_statout(
+    const compiled_spec& cs, flat_replayer& rep, global_transition_id t,
+    const symbol* pool, const symbol* pool_end) {
+    std::vector<std::pair<state_id, symbol>> out;
+    const std::uint32_t d = cs.dense_id(t);
+    for (std::uint32_t s = 0; s < cs.state_count[t.machine.value]; ++s) {
+        if (s == cs.next_state[d]) continue;
+        for (const symbol* o = pool; o != pool_end; ++o) {
+            if (o->id == cs.out_sym[d]) continue;
+            const transition_override ov{t, *o, state_id{s}};
+            if (rep.consistent(ov)) out.emplace_back(state_id{s}, *o);
+        }
+    }
+    return out;
+}
+
+std::vector<machine_id> flat_destinations(const compiled_spec& cs,
+                                          flat_replayer& rep,
+                                          global_transition_id t) {
+    std::vector<machine_id> out;
+    const std::uint32_t d = cs.dense_id(t);
+    if (!cs.is_internal[d]) return out;
+    const std::uint32_t machines =
+        static_cast<std::uint32_t>(cs.machine_offset.size()) - 1;
+    for (std::uint32_t j = 0; j < machines; ++j) {
+        if (j == t.machine.value || j == cs.dest[d]) continue;
+        transition_override ov;
+        ov.target = t;
+        ov.destination = machine_id{j};
+        if (rep.consistent(ov)) out.push_back(machine_id{j});
+    }
+    return out;
+}
+
+}  // namespace
+
+diagnostic_candidates evaluate_candidates(const compiled_spec& cs,
+                                          flat_replayer& replayer,
+                                          const symptom_report& report,
+                                          const candidate_sets& cands) {
+    diagnostic_candidates dc;
+    const std::uint32_t machines =
+        static_cast<std::uint32_t>(cs.machine_offset.size()) - 1;
+    for (std::uint32_t m = 0; m < machines; ++m) {
+        for (transition_id t : cands.itc[m]) {
+            const global_transition_id gid{machine_id{m}, t};
+            evaluated_candidate c;
+            c.id = gid;
+            c.is_ust = cands.ust && *cands.ust == gid;
+
+            if (c.is_ust) {
+                const symbol uso = report.uso.output;
+                if (report.flag) {
+                    c.statout = flat_statout(cs, replayer, gid, &uso,
+                                             &uso + 1);
+                } else {
+                    c.outputs = flat_outputs(cs, replayer, gid, &uso,
+                                             &uso + 1);
+                }
+            } else {
+                const bool in_ftctr = std::binary_search(
+                    cands.ftc_tr[m].begin(), cands.ftc_tr[m].end(), t);
+                const bool in_ftcco = std::binary_search(
+                    cands.ftc_co[m].begin(), cands.ftc_co[m].end(), t);
+                if (in_ftctr) {
+                    c.end_states = flat_end_states(cs, replayer, gid);
+                }
+                if (in_ftcco) {
+                    const std::uint32_t d = cs.dense_id(gid);
+                    const symbol* pool =
+                        cs.pool_syms.data() + cs.pool_offset[d];
+                    const symbol* pool_end =
+                        cs.pool_syms.data() + cs.pool_offset[d + 1];
+                    if (report.flag) {
+                        c.statout = flat_statout(cs, replayer, gid, pool,
+                                                 pool_end);
+                    } else {
+                        c.outputs = flat_outputs(cs, replayer, gid, pool,
+                                                 pool_end);
+                    }
+                }
+            }
+            dc.evaluated.push_back(std::move(c));
+        }
+    }
+    select_survivors(dc);
+    return dc;
+}
+
+diagnostic_candidates evaluate_candidates_escalated(
+    const compiled_spec& cs, flat_replayer& replayer,
+    const symptom_report& report, const candidate_sets& cands,
+    bool include_addressing) {
+    diagnostic_candidates dc;
+    const std::uint32_t machines =
+        static_cast<std::uint32_t>(cs.machine_offset.size()) - 1;
+    for (std::uint32_t m = 0; m < machines; ++m) {
+        for (transition_id t : cands.itc[m]) {
+            const global_transition_id gid{machine_id{m}, t};
+            const std::uint32_t d = cs.dense_id(gid);
+            evaluated_candidate c;
+            c.id = gid;
+            c.is_ust = cands.ust && *cands.ust == gid;
+
+            std::vector<symbol> pool(
+                cs.pool_syms.begin() + cs.pool_offset[d],
+                cs.pool_syms.begin() + cs.pool_offset[d + 1]);
+            if (c.is_ust && !report.uso.output.is_epsilon() &&
+                std::find(pool.begin(), pool.end(), report.uso.output) ==
+                    pool.end() &&
+                report.uso.output.id != cs.out_sym[d]) {
+                pool.push_back(report.uso.output);
+            }
+
+            c.end_states = flat_end_states(cs, replayer, gid);
+            c.outputs = flat_outputs(cs, replayer, gid, pool.data(),
+                                     pool.data() + pool.size());
+            c.statout = flat_statout(cs, replayer, gid, pool.data(),
+                                     pool.data() + pool.size());
+            if (include_addressing) {
+                c.destinations = flat_destinations(cs, replayer, gid);
+            }
+            dc.evaluated.push_back(std::move(c));
+        }
+    }
+    select_survivors(dc);
+    return dc;
+}
+
 diagnostic_candidates evaluate_candidates_escalated(
     const system& spec, const test_suite& suite, const symptom_report& report,
     const candidate_sets& cands, bool include_addressing,

@@ -21,6 +21,7 @@
 #pragma once
 
 #include "diag/candidates.hpp"
+#include "diag/compiled.hpp"
 #include "diag/hypotheses.hpp"
 #include "fault/fault.hpp"
 
@@ -77,6 +78,21 @@ struct diagnostic_candidates {
     const system& spec, const test_suite& suite, const symptom_report& report,
     const candidate_sets& cands, bool include_addressing = false,
     const replay_cache* cache = nullptr);
+
+/// Compiled-core variants: same routing, same candidate/hypothesis
+/// enumeration order, same verdicts — every replay goes through
+/// `replayer` (built over the same report) instead of a simulator.  The
+/// admissible pools come precomputed from `cs`, so the per-fault path does
+/// no alphabet computation at all.  Results are byte-identical to the
+/// reference overloads above.
+[[nodiscard]] diagnostic_candidates evaluate_candidates(
+    const compiled_spec& cs, flat_replayer& replayer,
+    const symptom_report& report, const candidate_sets& cands);
+
+[[nodiscard]] diagnostic_candidates evaluate_candidates_escalated(
+    const compiled_spec& cs, flat_replayer& replayer,
+    const symptom_report& report, const candidate_sets& cands,
+    bool include_addressing = false);
 
 /// The paper's Step 6 case analysis (Cases 1-5), over the Step 5C result:
 ///   1 — ust with a singleton outputs set, everything else empty: the ust

@@ -2,7 +2,8 @@
 
 #include <algorithm>
 #include <deque>
-#include <map>
+#include <unordered_map>
+#include <unordered_set>
 
 namespace cfsmdiag {
 namespace {
@@ -15,6 +16,41 @@ std::vector<global_input> all_port_inputs(const system& spec) {
     }
     return inputs;
 }
+
+// The joint search memoizes by (system_state, global_input) and tracks
+// visited joint states.  These are lookup-only containers — never
+// iterated — so hashing replaces the old ordered maps (whose
+// lexicographic system_state comparisons dominated the fallback search's
+// profile) without touching BFS order or results.
+
+constexpr std::size_t hash_mix(std::size_t h, std::size_t v) noexcept {
+    return h ^ (v + 0x9e3779b97f4a7c15ull + (h << 6) + (h >> 2));
+}
+
+std::size_t hash_state(std::size_t h, const system_state& s) noexcept {
+    for (state_id id : s.states) h = hash_mix(h, id.value);
+    return h;
+}
+
+struct state_input_hash {
+    std::size_t operator()(
+        const std::pair<system_state, global_input>& k) const noexcept {
+        std::size_t h = hash_state(0x811c9dc5u, k.first);
+        h = hash_mix(h, k.second.action == global_input::kind::reset
+                            ? ~std::size_t{0}
+                            : k.second.port.value);
+        return hash_mix(h, k.second.input.id);
+    }
+};
+
+struct joint_hash {
+    std::size_t operator()(
+        const std::vector<system_state>& j) const noexcept {
+        std::size_t h = 0x811c9dc5u;
+        for (const system_state& s : j) h = hash_state(h, s);
+        return h;
+    }
+};
 
 }  // namespace
 
@@ -110,7 +146,9 @@ std::optional<std::vector<global_input>> splitting_sequence(
         std::vector<global_transition_id> fired;  ///< spec steps only
     };
     simulator spec_sim(spec);
-    std::map<std::pair<system_state, global_input>, effect> spec_memo;
+    std::unordered_map<std::pair<system_state, global_input>, effect,
+                       state_input_hash>
+        spec_memo;
     auto step_spec = [&](const system_state& from,
                          const global_input& in) -> const effect& {
         auto key = std::make_pair(from, in);
@@ -127,7 +165,8 @@ std::optional<std::vector<global_input>> splitting_sequence(
         }
         return it->second;
     };
-    std::vector<std::map<std::pair<system_state, global_input>, effect>>
+    std::vector<std::unordered_map<std::pair<system_state, global_input>,
+                                   effect, state_input_hash>>
         memo(k);
     auto step_hypothesis = [&](std::size_t i, const system_state& from,
                                const global_input& in) -> const effect& {
@@ -172,7 +211,7 @@ std::optional<std::vector<global_input>> splitting_sequence(
     };
     std::vector<node> nodes{{reset_joint(), invalid_index,
                              global_input::reset()}};
-    std::map<joint, bool> visited{{nodes[0].state, true}};
+    std::unordered_set<joint, joint_hash> visited{nodes[0].state};
     std::deque<std::uint32_t> frontier{0};
 
     while (!frontier.empty()) {
@@ -208,7 +247,7 @@ std::optional<std::vector<global_input>> splitting_sequence(
             }
             if (!progressed) continue;  // ε step in every hypothesis
             if (visited.size() >= max_joint_states) continue;
-            if (visited.emplace(next, true).second) {
+            if (visited.insert(next).second) {
                 nodes.push_back({std::move(next), idx, in});
                 frontier.push_back(
                     static_cast<std::uint32_t>(nodes.size() - 1));

@@ -8,6 +8,10 @@ thread_local std::size_t replay_count = 0;
 
 std::size_t hypothesis_replays() noexcept { return replay_count; }
 
+namespace detail {
+void note_hypothesis_replay() noexcept { ++replay_count; }
+}  // namespace detail
+
 std::size_t simulated_steps() noexcept {
     return detail::simulated_step_count;
 }

@@ -49,6 +49,14 @@ namespace cfsmdiag {
 /// observable (replays stay constant, steps drop).
 [[nodiscard]] std::size_t simulated_steps() noexcept;
 
+namespace detail {
+/// Bumps the hypothesis_replays() counter.  The compiled core
+/// (flat_replayer) checks hypotheses without going through
+/// hypothesis_consistent(); it calls this so the per-fault replay counts —
+/// part of a campaign entry's identity — stay equal across paths.
+void note_hypothesis_replay() noexcept;
+}  // namespace detail
+
 /// findendingstates for one transition.
 [[nodiscard]] std::vector<state_id> end_states(const system& spec,
                                                const test_suite& suite,

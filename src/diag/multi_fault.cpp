@@ -89,7 +89,11 @@ multi_fault_result diagnose_multi(const system& spec,
                                   const multi_fault_options& options) {
     multi_fault_result result;
 
-    const symptom_report report = collect_symptoms(spec, suite, iut);
+    // One context per call: Step-1 traces shared between symptom
+    // collection and the replay cache below.
+    const spec_context ctx(spec, suite);
+    const symptom_report report =
+        collect_symptoms(spec, suite, iut, &ctx.traces());
     if (!report.has_symptoms()) {
         result.outcome = diagnosis_outcome::passed;
         return result;
@@ -118,7 +122,8 @@ multi_fault_result diagnose_multi(const system& spec,
     // The O(pairs) loop below replays every hypothesis set against the
     // suite; the cache turns most of those replays into prefix checks.
     std::optional<replay_cache> cache;
-    if (options.use_replay_cache) cache.emplace(spec, suite, report);
+    if (options.use_replay_cache)
+        cache.emplace(ctx.make_replay_cache(report));
     const replay_cache* cache_ptr = cache ? &*cache : nullptr;
 
     std::vector<fault_set> alive;

@@ -108,6 +108,11 @@ std::size_t replay_cache_suffix_replays() noexcept {
     return suffix_replay_count;
 }
 
+namespace detail {
+void note_replay_case_skip() noexcept { ++case_skip_count; }
+void note_replay_suffix() noexcept { ++suffix_replay_count; }
+}  // namespace detail
+
 replay_cache::replay_cache(const system& spec, const test_suite& suite,
                            const symptom_report& report)
     : spec_(&spec), suite_(&suite), report_(&report) {

@@ -51,6 +51,15 @@ namespace cfsmdiag {
 [[nodiscard]] std::size_t replay_cache_case_skips() noexcept;
 [[nodiscard]] std::size_t replay_cache_suffix_replays() noexcept;
 
+namespace detail {
+/// Counter hooks for the compiled core (diag/compiled.hpp): flat_replayer
+/// resolves cases by the same prefix lemma without going through
+/// replay_cache, and bumps the same thread-local counters so campaign
+/// metrics agree across paths.
+void note_replay_case_skip() noexcept;
+void note_replay_suffix() noexcept;
+}  // namespace detail
+
 /// Replay accelerator for one (spec, suite, symptom report) triple.
 ///
 /// Holds references only — spec, suite and report must outlive the cache.
@@ -59,9 +68,6 @@ namespace cfsmdiag {
 /// workers each build their own (the report is per-IUT anyway).
 class replay_cache {
   public:
-    replay_cache(const system& spec, const test_suite& suite,
-                 const symptom_report& report);
-
     [[nodiscard]] const system& spec() const noexcept { return *spec_; }
     [[nodiscard]] std::size_t case_count() const noexcept {
         return cases_.size();
@@ -87,6 +93,13 @@ class replay_cache {
                                                global_transition_id t) const;
 
   private:
+    /// Construction goes through spec_context::make_replay_cache(): the
+    /// context guarantees the report was collected against its suite, which
+    /// is the precondition every accessor relies on.
+    replay_cache(const system& spec, const test_suite& suite,
+                 const symptom_report& report);
+    friend class spec_context;
+
     struct case_data {
         /// Dense per-transition first firing step; invalid_index = never.
         std::vector<std::uint32_t> first_fire;

@@ -1,0 +1,28 @@
+#include "diag/spec_context.hpp"
+
+#include "util/error.hpp"
+
+namespace cfsmdiag {
+
+spec_context::spec_context(const system& spec, test_suite suite,
+                           const suite_traces* precomputed)
+    : spec_(&spec), suite_(std::move(suite)) {
+    if (precomputed) {
+        detail::require(precomputed->size() == suite_.cases.size(),
+                        "spec_context: precomputed traces do not match suite");
+        traces_ = *precomputed;
+    } else {
+        traces_.reserve(suite_.cases.size());
+        for (const test_case& tc : suite_.cases)
+            traces_.push_back(explain(*spec_, tc.inputs));
+    }
+    for (const auto& trace : traces_) trace_steps_ += trace.size();
+    compiled_ = compile_spec(*spec_, suite_, traces_);
+}
+
+replay_cache spec_context::make_replay_cache(
+    const symptom_report& report) const {
+    return replay_cache(*spec_, suite_, report);
+}
+
+}  // namespace cfsmdiag

@@ -4,14 +4,6 @@
 
 namespace cfsmdiag {
 
-suite_traces explain_suite(const system& spec, const test_suite& suite) {
-    suite_traces traces;
-    traces.reserve(suite.cases.size());
-    for (const test_case& tc : suite.cases)
-        traces.push_back(explain(spec, tc.inputs));
-    return traces;
-}
-
 symptom_report collect_symptoms(const system& spec, const test_suite& suite,
                                 oracle& iut,
                                 const suite_traces* precomputed) {
@@ -41,11 +33,12 @@ symptom_report collect_symptoms(const system& spec, const test_suite& suite,
             run.quarantine_reason = e.what();
             run.observed.assign(tc.inputs.size(), observation::none());
         }
-        detail::require(run.observed.size() == tc.inputs.size(),
-                        "collect_symptoms: oracle returned " +
-                            std::to_string(run.observed.size()) +
-                            " observations for " +
-                            std::to_string(tc.inputs.size()) + " inputs");
+        detail::require(run.observed.size() == tc.inputs.size(), [&] {
+            return "collect_symptoms: oracle returned " +
+                   std::to_string(run.observed.size()) +
+                   " observations for " + std::to_string(tc.inputs.size()) +
+                   " inputs";
+        });
         if (run.quarantined) {
             report.quarantined_cases.push_back(ci);
             report.runs.push_back(std::move(run));

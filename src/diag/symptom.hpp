@@ -69,15 +69,10 @@ struct symptom_report {
     }
 };
 
-/// Step 1's spec run of every case, indexed like `suite.cases`.
+/// Step 1's spec run of every case, indexed like `suite.cases`.  Built by
+/// spec_context (diag/spec_context.hpp), which owns the one spec replay a
+/// campaign needs; there is no free function to build these ad hoc.
 using suite_traces = std::vector<std::vector<trace_step>>;
-
-/// Replays the whole suite on the spec once (Step 1 in isolation).  The
-/// traces depend only on (spec, suite), so a campaign that diagnoses many
-/// IUTs against the same suite computes them once and passes them to
-/// collect_symptoms()/diagnose() instead of re-simulating per IUT.
-[[nodiscard]] suite_traces explain_suite(const system& spec,
-                                         const test_suite& suite);
 
 /// Runs the suite on the spec (Step 1) and the IUT (Step 2) and compares
 /// (Step 3).  `precomputed`, when given, must be explain_suite(spec, suite)

@@ -104,11 +104,18 @@ campaign_stats aggregate_entries(std::vector<campaign_entry> entries) {
     return stats;
 }
 
+campaign_engine::campaign_engine(const spec_context& ctx,
+                                 std::vector<single_transition_fault> faults,
+                                 campaign_options options)
+    : ctx_(&ctx),
+      faults_(std::move(faults)),
+      options_(std::move(options)) {}
+
 campaign_engine::campaign_engine(const system& spec, test_suite suite,
                                  std::vector<single_transition_fault> faults,
                                  campaign_options options)
-    : spec_(spec),
-      suite_(std::move(suite)),
+    : owned_ctx_(std::in_place, spec, std::move(suite)),
+      ctx_(&*owned_ctx_),
       faults_(std::move(faults)),
       options_(std::move(options)) {}
 
@@ -123,10 +130,10 @@ std::size_t campaign_engine::planned_faults() const noexcept {
 
 campaign_entry campaign_engine::run_one(std::size_t index,
                                         const single_transition_fault& fault,
-                                        const suite_traces& traces,
                                         stage_timings& stage_acc,
                                         double& scoring_acc,
                                         replay_cost& cost_acc) const {
+    const system& spec_ = ctx_->spec();
     const std::size_t replay_base = hypothesis_replays();
     const std::size_t steps_base = simulated_steps();
     const std::size_t skips_base = replay_cache_case_skips();
@@ -156,12 +163,12 @@ campaign_entry campaign_engine::run_one(std::size_t index,
                 sut = &*flaky;
             }
             resilient_oracle iut(*sut, options_.retry);
-            result = diagnose(spec_, suite_, iut, options_.diag, &traces);
+            result = diagnose(*ctx_, iut, options_.diag);
             entry.oracle_executions = iut.executions();
             iut_inputs = iut.inputs_applied();
         } else {
             simulated_iut iut(spec_, fault);
-            result = diagnose(spec_, suite_, iut, options_.diag, &traces);
+            result = diagnose(*ctx_, iut, options_.diag);
             entry.oracle_executions = iut.executions();
             iut_inputs = iut.inputs_applied();
         }
@@ -251,11 +258,10 @@ const campaign_stats& campaign_engine::run() {
     std::size_t next_emit = 0;
     std::mutex merge_mutex;
 
-    // Step 1's spec run depends only on (spec, suite): replay it once and
-    // share the traces across every fault instead of once per diagnose().
-    const std::size_t trace_steps_base = simulated_steps();
-    const suite_traces traces = explain_suite(spec_, suite_);
-    metrics_.simulated_steps += simulated_steps() - trace_steps_base;
+    // Step 1's spec run depends only on (spec, suite); the spec_context
+    // replayed it exactly once, at construction.  Account its simulation
+    // cost here so the metric still covers the whole algorithm.
+    metrics_.simulated_steps += ctx_->trace_steps();
 
     parallel_for(n, metrics_.jobs, [&](std::size_t k) {
         const std::size_t i = order[k];
@@ -263,7 +269,7 @@ const campaign_stats& campaign_engine::run() {
         double scoring = 0.0;
         replay_cost cost;
         campaign_entry entry =
-            run_one(i, faults_[i], traces, stage, scoring, cost);
+            run_one(i, faults_[i], stage, scoring, cost);
 
         const std::lock_guard<std::mutex> lock(merge_mutex);
         entries[i] = std::move(entry);
@@ -345,6 +351,9 @@ json_value campaign_to_json(const system& spec, const campaign_stats& stats,
     cost.set("cache_suffix_replays",
              json_value::number(metrics.cache_suffix_replays));
     cost.set("wall_symptoms_s", json_value::number(metrics.stage.symptoms));
+    cost.set("wall_conflicts_s", json_value::number(metrics.stage.conflicts));
+    cost.set("wall_candidates_s",
+             json_value::number(metrics.stage.candidates));
     cost.set("wall_evaluation_s",
              json_value::number(metrics.stage.evaluation));
     cost.set("wall_discrimination_s",

@@ -87,17 +87,30 @@ class campaign_observer {
 
 /// One campaign as a session object.
 ///
-/// The engine copies the suite and fault list (the session is
-/// self-contained) but only references the specification — the spec must
-/// outlive the engine.  run() may be called repeatedly; each call re-runs
-/// the campaign and replaces the collected results.  The engine itself is
-/// not thread-safe: configure, attach, and run from one thread; the
-/// parallelism is internal.
+/// The engine runs against a spec_context — the compiled tables and Step-1
+/// traces are shared read-only across all workers and all run() calls.
+/// The primary constructor borrows a caller-owned context (it must outlive
+/// the engine); the (spec, suite) convenience constructor builds and owns
+/// one.  The fault list is copied (the session is self-contained).  run()
+/// may be called repeatedly; each call re-runs the campaign and replaces
+/// the collected results.  The engine itself is not thread-safe: configure,
+/// attach, and run from one thread; the parallelism is internal.
 class campaign_engine {
   public:
+    campaign_engine(const spec_context& ctx,
+                    std::vector<single_transition_fault> faults,
+                    campaign_options options = {});
+
+    /// Convenience: compiles a context from (spec, suite) and owns it.
+    /// `spec` must outlive the engine.
     campaign_engine(const system& spec, test_suite suite,
                     std::vector<single_transition_fault> faults,
                     campaign_options options = {});
+
+    /// The context this engine diagnoses against.
+    [[nodiscard]] const spec_context& context() const noexcept {
+        return *ctx_;
+    }
 
     /// Registers a progress observer (not owned; must outlive run()).
     void attach(campaign_observer& observer);
@@ -132,12 +145,12 @@ class campaign_engine {
     /// the fault_hook and the per-fault flakiness seed.
     campaign_entry run_one(std::size_t index,
                            const single_transition_fault& fault,
-                           const suite_traces& traces,
                            stage_timings& stage_acc, double& scoring_acc,
                            replay_cost& cost_acc) const;
 
-    const system& spec_;
-    test_suite suite_;
+    /// Engaged only by the (spec, suite) convenience constructor.
+    std::optional<spec_context> owned_ctx_;
+    const spec_context* ctx_;
     std::vector<single_transition_fault> faults_;
     campaign_options options_;
     std::vector<campaign_observer*> observers_;

@@ -1,0 +1,221 @@
+// Fixed-width dynamic bitset + bump arena: the set algebra of the compiled
+// diagnosis core.
+//
+// The paper's Steps 4-5C are intersections, differences and filters over
+// small dense integer domains (transitions indexed 0..total).  `dyn_bitset`
+// encodes such a set as packed 64-bit words with the handful of operations
+// the pipeline needs — and/or/andnot, equality, population count, ascending
+// set-bit iteration (which matches std::set iteration order, the property
+// the reporting boundary relies on).  `bit_arena` is a bump allocator for
+// the per-diagnosis scratch sets: a campaign resets it between faults
+// instead of churning the heap.
+#pragma once
+
+#include <bit>
+#include <cstddef>
+#include <cstdint>
+#include <vector>
+
+#include "util/error.hpp"
+
+namespace cfsmdiag {
+
+/// Bump allocator handing out zeroed word blocks.  reset() rewinds to the
+/// start without releasing capacity, so steady-state allocation is pointer
+/// arithmetic.  Blocks never move once handed out (growth appends new
+/// blocks), so bitsets built from one arena stay valid across later
+/// allocations; they die with the arena (or its reset).
+class bit_arena {
+  public:
+    /// Returns `words` zeroed std::uint64_t slots.
+    std::uint64_t* alloc(std::size_t words) {
+        if (words == 0) return nullptr;
+        while (block_ < blocks_.size()) {
+            auto& b = blocks_[block_];
+            if (b.size() - used_ >= words) {
+                std::uint64_t* p = b.data() + used_;
+                used_ += words;
+                for (std::size_t i = 0; i < words; ++i) p[i] = 0;
+                return p;
+            }
+            ++block_;
+            used_ = 0;
+        }
+        const std::size_t cap = words > default_block_words
+                                    ? words
+                                    : default_block_words;
+        blocks_.emplace_back(cap, 0);
+        block_ = blocks_.size() - 1;
+        used_ = words;
+        return blocks_.back().data();
+    }
+
+    /// Rewinds to the first block; capacity is kept for reuse.
+    void reset() noexcept {
+        block_ = 0;
+        used_ = 0;
+    }
+
+  private:
+    static constexpr std::size_t default_block_words = 1024;
+    std::vector<std::vector<std::uint64_t>> blocks_;
+    std::size_t block_ = 0;
+    std::size_t used_ = 0;
+};
+
+/// Fixed-width bitset over [0, size()).  Width is set at construction and
+/// never changes; binary operations require equal widths.  Storage is either
+/// owned (default constructor path) or arena-backed (scratch sets on the
+/// per-fault path).  Copies always own their words.
+class dyn_bitset {
+  public:
+    dyn_bitset() = default;
+
+    /// Owned storage, all bits clear.
+    explicit dyn_bitset(std::size_t bits)
+        : bits_(bits), storage_(word_count(bits), 0) {
+        words_ = storage_.data();
+    }
+
+    /// Arena-backed storage, all bits clear.  The bitset must not outlive
+    /// the arena (or its next reset()).
+    dyn_bitset(std::size_t bits, bit_arena& arena)
+        : bits_(bits), words_(arena.alloc(word_count(bits))) {}
+
+    dyn_bitset(const dyn_bitset& o)
+        : bits_(o.bits_), storage_(o.words_, o.words_ + word_count(o.bits_)) {
+        words_ = storage_.data();
+    }
+    dyn_bitset(dyn_bitset&& o) noexcept
+        : bits_(o.bits_), storage_(std::move(o.storage_)) {
+        words_ = storage_.empty() ? o.words_ : storage_.data();
+        o.bits_ = 0;
+        o.words_ = nullptr;
+    }
+    dyn_bitset& operator=(const dyn_bitset& o) {
+        if (this == &o) return *this;
+        bits_ = o.bits_;
+        storage_.assign(o.words_, o.words_ + word_count(o.bits_));
+        words_ = storage_.data();
+        return *this;
+    }
+    dyn_bitset& operator=(dyn_bitset&& o) noexcept {
+        bits_ = o.bits_;
+        storage_ = std::move(o.storage_);
+        words_ = storage_.empty() ? o.words_ : storage_.data();
+        o.bits_ = 0;
+        o.words_ = nullptr;
+        return *this;
+    }
+
+    [[nodiscard]] std::size_t size() const noexcept { return bits_; }
+
+    void set(std::size_t i) noexcept {
+        words_[i >> 6] |= std::uint64_t{1} << (i & 63);
+    }
+    void clear(std::size_t i) noexcept {
+        words_[i >> 6] &= ~(std::uint64_t{1} << (i & 63));
+    }
+    [[nodiscard]] bool test(std::size_t i) const noexcept {
+        return (words_[i >> 6] >> (i & 63)) & 1;
+    }
+
+    /// Sets every bit in [0, size()) — the "full universe" start of an
+    /// intersection chain.
+    void set_all() noexcept {
+        const std::size_t n = word_count(bits_);
+        for (std::size_t w = 0; w < n; ++w) words_[w] = ~std::uint64_t{0};
+        trim();
+    }
+    void clear_all() noexcept {
+        const std::size_t n = word_count(bits_);
+        for (std::size_t w = 0; w < n; ++w) words_[w] = 0;
+    }
+
+    dyn_bitset& operator&=(const dyn_bitset& o) noexcept {
+        const std::size_t n = word_count(bits_);
+        for (std::size_t w = 0; w < n; ++w) words_[w] &= o.words_[w];
+        return *this;
+    }
+    dyn_bitset& operator|=(const dyn_bitset& o) noexcept {
+        const std::size_t n = word_count(bits_);
+        for (std::size_t w = 0; w < n; ++w) words_[w] |= o.words_[w];
+        return *this;
+    }
+    /// this \ o.
+    dyn_bitset& andnot(const dyn_bitset& o) noexcept {
+        const std::size_t n = word_count(bits_);
+        for (std::size_t w = 0; w < n; ++w) words_[w] &= ~o.words_[w];
+        return *this;
+    }
+
+    [[nodiscard]] bool operator==(const dyn_bitset& o) const noexcept {
+        if (bits_ != o.bits_) return false;
+        const std::size_t n = word_count(bits_);
+        for (std::size_t w = 0; w < n; ++w) {
+            if (words_[w] != o.words_[w]) return false;
+        }
+        return true;
+    }
+
+    [[nodiscard]] std::size_t count() const noexcept {
+        std::size_t c = 0;
+        const std::size_t n = word_count(bits_);
+        for (std::size_t w = 0; w < n; ++w)
+            c += static_cast<std::size_t>(std::popcount(words_[w]));
+        return c;
+    }
+    [[nodiscard]] bool any() const noexcept {
+        const std::size_t n = word_count(bits_);
+        for (std::size_t w = 0; w < n; ++w) {
+            if (words_[w] != 0) return true;
+        }
+        return false;
+    }
+    [[nodiscard]] bool none() const noexcept { return !any(); }
+
+    /// Calls `f(i)` for every set bit, ascending — the iteration order that
+    /// makes bitset-built vectors equal their sorted-std::set counterparts.
+    template <class F>
+    void for_each_set(F&& f) const {
+        const std::size_t n = word_count(bits_);
+        for (std::size_t w = 0; w < n; ++w) {
+            std::uint64_t word = words_[w];
+            while (word != 0) {
+                const int b = std::countr_zero(word);
+                f((w << 6) + static_cast<std::size_t>(b));
+                word &= word - 1;
+            }
+        }
+    }
+
+    /// Set bits as an ascending index vector.
+    [[nodiscard]] std::vector<std::uint32_t> to_indices() const {
+        std::vector<std::uint32_t> out;
+        out.reserve(count());
+        for_each_set([&](std::size_t i) {
+            out.push_back(static_cast<std::uint32_t>(i));
+        });
+        return out;
+    }
+
+  private:
+    [[nodiscard]] static constexpr std::size_t word_count(
+        std::size_t bits) noexcept {
+        return (bits + 63) / 64;
+    }
+    /// Clears the unused high bits of the last word (set_all would
+    /// otherwise break count()/equality).
+    void trim() noexcept {
+        const std::size_t tail = bits_ & 63;
+        if (bits_ != 0 && tail != 0)
+            words_[word_count(bits_) - 1] &=
+                (std::uint64_t{1} << tail) - 1;
+    }
+
+    std::size_t bits_ = 0;
+    std::uint64_t* words_ = nullptr;
+    std::vector<std::uint64_t> storage_;
+};
+
+}  // namespace cfsmdiag

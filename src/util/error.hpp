@@ -3,6 +3,7 @@
 
 #include <stdexcept>
 #include <string>
+#include <type_traits>
 #include <utility>
 
 namespace cfsmdiag {
@@ -54,6 +55,21 @@ namespace detail {
 /// precondition checks; internal invariants use assert().
 inline void require(bool cond, const std::string& msg) {
     if (!cond) throw error(msg);
+}
+
+/// Literal-message overload: no std::string is constructed when the check
+/// passes (the std::string overload above pays an allocation per call even
+/// on success — measurably hot inside simulator::apply).
+inline void require(bool cond, const char* msg) {
+    if (!cond) throw error(msg);
+}
+
+/// Lazy-message overload for checks whose message needs concatenation:
+/// the callable runs only on failure, so the success path costs one branch.
+template <class MsgFn,
+          std::enable_if_t<std::is_invocable_v<MsgFn&>, int> = 0>
+inline void require(bool cond, MsgFn&& msg) {
+    if (!cond) throw error(std::forward<MsgFn>(msg)());
 }
 
 inline void require_model(bool cond, const std::string& msg) {

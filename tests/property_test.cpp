@@ -132,6 +132,136 @@ TEST(paper_exhaustive, table1_suite_diagnoses_its_detectable_faults) {
     EXPECT_EQ(stats.sound, stats.detected);
 }
 
+// --- compiled-core set algebra vs the std::set reference --------------------
+//
+// The flat core lowers Steps 4-5A onto bitsets over dense transition ids;
+// the reporting boundary rebuilds conflict_sets/candidate_sets.  Those
+// rebuilt structs must equal the reference implementations exactly — on the
+// Figure-1 system and across random systems, for detected faults (populated
+// sets) and undetected ones (the empty-report edge, where every set stays
+// empty).
+
+/// Runs one fault through both pipelines and compares Steps 4-5A.
+void expect_compiled_sets_match(const system& spec, const spec_context& ctx,
+                                const single_transition_fault& fault) {
+    simulated_iut iut(spec, fault);
+    const symptom_report report =
+        collect_symptoms(spec, ctx.suite(), iut, &ctx.traces());
+
+    const conflict_sets ref_confl = generate_conflict_sets(spec, report);
+    const candidate_sets ref_cands =
+        generate_candidates(spec, report, ref_confl);
+
+    bit_arena arena;
+    const compiled_conflicts cc =
+        compile_conflicts(ctx.compiled(), report, arena);
+    const conflict_sets flat_confl =
+        materialize_conflict_sets(ctx.compiled(), cc);
+    const candidate_sets flat_cands =
+        materialize_candidate_sets(ctx.compiled(), report, cc);
+
+    EXPECT_EQ(flat_confl.per_machine, ref_confl.per_machine);
+    EXPECT_EQ(flat_cands.itc, ref_cands.itc);
+    EXPECT_EQ(flat_cands.ftc_tr, ref_cands.ftc_tr);
+    EXPECT_EQ(flat_cands.ftc_co, ref_cands.ftc_co);
+    EXPECT_EQ(flat_cands.ust, ref_cands.ust);
+}
+
+TEST(compiled_core, set_algebra_matches_reference_on_figure1) {
+    const auto ex = paperex::make_paper_example();
+    const test_suite suite = transition_tour(ex.spec).suite;
+    const spec_context ctx(ex.spec, suite);
+    ASSERT_TRUE(ctx.compiled().packable);
+    for (const auto& fault : enumerate_all_faults(ex.spec)) {
+        SCOPED_TRACE(describe(ex.spec, fault));
+        expect_compiled_sets_match(ex.spec, ctx, fault);
+    }
+}
+
+TEST(compiled_core, set_algebra_matches_reference_on_random_systems) {
+    // 20 random systems, including tiny 2x2 ones whose conflict sets often
+    // cover a whole machine (the full-universe edge) and whose undetected
+    // faults exercise the empty edge.
+    for (std::uint64_t seed = 1; seed <= 20; ++seed) {
+        rng random(seed);
+        random_system_options opts;
+        opts.machines = seed % 3 == 0 ? 3 : 2;
+        opts.states_per_machine = seed % 2 == 0 ? 2 : 3;
+        opts.extra_transitions = 3 + seed % 4;
+        const system sys = random_system(opts, random);
+        const spec_context ctx(sys, transition_tour(sys).suite);
+        ASSERT_TRUE(ctx.compiled().packable) << "seed " << seed;
+
+        const auto faults = enumerate_all_faults(sys);
+        for (std::size_t i = 0; i < faults.size(); i += 4) {
+            SCOPED_TRACE("seed " + std::to_string(seed) + ", " +
+                         describe(sys, faults[i]));
+            expect_compiled_sets_match(sys, ctx, faults[i]);
+        }
+    }
+}
+
+TEST(compiled_core, diagnose_identical_with_core_on_and_off) {
+    // Full-pipeline byte identity: the compiled Steps 4-6 hot path must
+    // produce the same diagnosis as the reference std::set/simulator path,
+    // with the replay cache both on and off.
+    const auto ex = paperex::make_paper_example();
+    const test_suite suite = transition_tour(ex.spec).suite;
+    for (const bool cache : {true, false}) {
+        diagnoser_options flat;
+        flat.use_replay_cache = cache;
+        diagnoser_options reference = flat;
+        reference.use_compiled_core = false;
+        std::size_t checked = 0;
+        const auto faults = enumerate_all_faults(ex.spec);
+        for (std::size_t i = 0; i < faults.size(); i += 3) {
+            SCOPED_TRACE(describe(ex.spec, faults[i]));
+            simulated_iut iut_a(ex.spec, faults[i]);
+            simulated_iut iut_b(ex.spec, faults[i]);
+            const auto a = diagnose(ex.spec, suite, iut_a, flat);
+            const auto b = diagnose(ex.spec, suite, iut_b, reference);
+            EXPECT_EQ(a.outcome, b.outcome);
+            EXPECT_EQ(a.initial_diagnoses, b.initial_diagnoses);
+            EXPECT_EQ(a.final_diagnoses, b.final_diagnoses);
+            EXPECT_EQ(a.used_escalation, b.used_escalation);
+            EXPECT_EQ(a.used_fallback_search, b.used_fallback_search);
+            EXPECT_EQ(a.additional_tests.size(), b.additional_tests.size());
+            ++checked;
+        }
+        EXPECT_GT(checked, 0u);
+    }
+}
+
+TEST(compiled_core, campaign_entries_identical_with_core_on_and_off) {
+    rng random(4242);
+    random_system_options opts;
+    opts.machines = 2;
+    opts.states_per_machine = 3;
+    opts.extra_transitions = 5;
+    const system sys = random_system(opts, random);
+    const test_suite suite = transition_tour(sys).suite;
+    auto faults = enumerate_all_faults(sys);
+    if (faults.size() > 60) faults.resize(60);
+
+    campaign_options flat;
+    campaign_options reference;
+    reference.diag.use_compiled_core = false;
+
+    campaign_engine flat_engine(sys, suite, faults, flat);
+    campaign_engine ref_engine(sys, suite, faults, reference);
+    const campaign_stats& a = flat_engine.run();
+    const campaign_stats& b = ref_engine.run();
+    ASSERT_EQ(a.entries.size(), b.entries.size());
+    for (std::size_t i = 0; i < a.entries.size(); ++i) {
+        SCOPED_TRACE("fault #" + std::to_string(i) + ": " +
+                     describe(sys, a.entries[i].fault));
+        EXPECT_EQ(a.entries[i], b.entries[i]);
+    }
+    // Same hypothesis work, radically less simulation overhead is the whole
+    // point — but identity is the contract.
+    EXPECT_EQ(flat_engine.metrics().replays, ref_engine.metrics().replays);
+}
+
 TEST(random_system_test, generator_produces_valid_connected_systems) {
     for (std::uint64_t seed : {1ull, 2ull, 3ull, 17ull, 99ull}) {
         rng random(seed);

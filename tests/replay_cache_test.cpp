@@ -36,7 +36,8 @@ std::optional<std::size_t> first_fired_step(
 
 TEST(replay_cache, firing_index_matches_spec_trace) {
     const auto fx = paper_fixture::make();
-    const replay_cache cache(fx.ex.spec, fx.ex.suite, fx.report);
+    const spec_context ctx(fx.ex.spec, fx.ex.suite);
+    const replay_cache cache = ctx.make_replay_cache(fx.report);
     ASSERT_EQ(cache.case_count(), fx.ex.suite.cases.size());
 
     for (std::size_t ci = 0; ci < fx.ex.suite.cases.size(); ++ci) {
@@ -52,7 +53,8 @@ TEST(replay_cache, firing_index_matches_spec_trace) {
 
 TEST(replay_cache, snapshot_restore_reproduces_spec_suffix) {
     const auto fx = paper_fixture::make();
-    const replay_cache cache(fx.ex.spec, fx.ex.suite, fx.report);
+    const spec_context ctx(fx.ex.spec, fx.ex.suite);
+    const replay_cache cache = ctx.make_replay_cache(fx.report);
 
     simulator sim(fx.ex.spec);
     for (std::size_t ci = 0; ci < fx.ex.suite.cases.size(); ++ci) {
@@ -74,7 +76,8 @@ TEST(replay_cache, snapshot_restore_reproduces_spec_suffix) {
 
 TEST(replay_cache, verdict_equals_legacy_for_every_enumerated_fault) {
     const auto fx = paper_fixture::make();
-    const replay_cache cache(fx.ex.spec, fx.ex.suite, fx.report);
+    const spec_context ctx(fx.ex.spec, fx.ex.suite);
+    const replay_cache cache = ctx.make_replay_cache(fx.report);
 
     for (const auto& fault : enumerate_all_faults(fx.ex.spec)) {
         const transition_override ov = fault.to_override();
@@ -87,7 +90,8 @@ TEST(replay_cache, verdict_equals_legacy_for_every_enumerated_fault) {
 
 TEST(replay_cache, multi_override_verdict_equals_full_replay) {
     const auto fx = paper_fixture::make();
-    const replay_cache cache(fx.ex.spec, fx.ex.suite, fx.report);
+    const spec_context ctx(fx.ex.spec, fx.ex.suite);
+    const replay_cache cache = ctx.make_replay_cache(fx.report);
     const auto faults = enumerate_all_faults(fx.ex.spec);
 
     // Pair faults on distinct transitions; compare against a plain
@@ -319,7 +323,8 @@ TEST(replay_cache, step_counter_is_monotone_and_counted_per_apply) {
 
 TEST(replay_cache, rejects_out_of_range_override) {
     const auto fx = paper_fixture::make();
-    const replay_cache cache(fx.ex.spec, fx.ex.suite, fx.report);
+    const spec_context ctx(fx.ex.spec, fx.ex.suite);
+    const replay_cache cache = ctx.make_replay_cache(fx.report);
     transition_override bad;
     bad.target = {machine_id{99}, transition_id{0}};
     bad.output = symbol{};

@@ -220,7 +220,8 @@ struct campaign_cli_args {
 };
 
 /// campaign <system-file> [max] [--jobs N] [--max-faults N] [--seed S]
-/// [--json <path>] [--progress] [--no-replay-cache] [--flaky R]
+/// [--json <path>] [--progress] [--no-replay-cache] [--no-compiled-core]
+/// [--flaky R]
 /// [--flaky-seed S] [--retries N] [--votes N] [--deadline-ms N] — the bare
 /// positional [max] is the pre-engine spelling and keeps old invocations
 /// working.
@@ -249,6 +250,10 @@ campaign_cli_args parse_campaign_args(const std::vector<std::string>& args) {
         } else if (a == "--no-replay-cache") {
             // A/B switch: results are identical, only cost differs.
             out.options.diag.use_replay_cache = false;
+        } else if (a == "--no-compiled-core") {
+            // A/B switch: reference std::set/std::map pipeline instead of
+            // the compiled bitset core; entries are byte-identical.
+            out.options.diag.use_compiled_core = false;
         } else if (a == "--flaky") {
             // Drop+garble at R, hangs and reset faults at R/10 (see
             // flakiness_profile::uniform).
@@ -384,6 +389,7 @@ int main(int argc, char** argv) {
            "  cfsmdiag campaign <system-file> [max-faults] [--jobs N]\n"
            "                    [--max-faults N] [--seed S] [--json <path>]\n"
            "                    [--progress] [--no-replay-cache]\n"
+           "                    [--no-compiled-core]\n"
            "                    [--flaky R] [--flaky-seed S] [--retries N]\n"
            "                    [--votes N] [--deadline-ms N]\n"
            "  cfsmdiag random <seed> [machines] [states]\n";

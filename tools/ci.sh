@@ -43,9 +43,15 @@ cmake -B "${tsan_dir}" -S . -DCMAKE_BUILD_TYPE=RelWithDebInfo \
       -DCFSMDIAG_SANITIZE=thread >/dev/null
 echo "=== [tsan] build engine tests ==="
 cmake --build "${tsan_dir}" -j "${JOBS}" \
-      --target campaign_engine_test cfsmdiag_cli
+      --target campaign_engine_test bitset_test property_test cfsmdiag_cli
 echo "=== [tsan] run ==="
 "${tsan_dir}/tests/campaign_engine_test"
+# The compiled core is shared read-only across workers (one spec_context per
+# engine); the bitset/property tests run here to catch races in the arena
+# and table sharing.
+"${tsan_dir}/tests/bitset_test"
+"${tsan_dir}/tests/property_test" \
+      --gtest_filter='compiled_core.*'
 "${tsan_dir}/tools/cfsmdiag" campaign examples/data/figure1.cfsm \
       --max-faults 40 --jobs 4 --seed 7 >/dev/null
 
@@ -58,9 +64,15 @@ cmake -B "${asan_dir}" -S . -DCMAKE_BUILD_TYPE=RelWithDebInfo \
       -DCFSMDIAG_SANITIZE=address,undefined >/dev/null
 echo "=== [asan+ubsan] build resilience tests ==="
 cmake --build "${asan_dir}" -j "${JOBS}" \
-      --target resilience_test cfsmdiag_cli
+      --target resilience_test bitset_test property_test cfsmdiag_cli
 echo "=== [asan+ubsan] run ==="
 "${asan_dir}/tests/resilience_test"
+# Arena lifetimes and the packed-state bit arithmetic are exactly what
+# ASan/UBSan are for: the bitset algebra and the compiled-vs-reference
+# property sweep run under both.
+"${asan_dir}/tests/bitset_test"
+"${asan_dir}/tests/property_test" \
+      --gtest_filter='compiled_core.*'
 "${asan_dir}/tools/cfsmdiag" campaign examples/data/figure1.cfsm \
       --max-faults 20 --jobs 2 --seed 7 \
       --flaky 0.05 --retries 3 >/dev/null
