@@ -168,6 +168,10 @@ bool flat_core_block(const cfsmdiag::system& spec, const test_suite& suite,
         campaign_options o = base;
         o.diag.use_compiled_core = compiled;
         o.diag.use_replay_cache = cache;
+        // Pin Step 6 to the reference joint search: this block benchmarks
+        // the Steps 4-5C flat core, and its wall_discrimination_s is the
+        // baseline the discrimination block measures itself against.
+        o.diag.use_flat_discrimination = false;
         o.jobs = jobs;
         return o;
     };
@@ -250,6 +254,183 @@ bool flat_core_block(const cfsmdiag::system& spec, const test_suite& suite,
     jout << root.dump(true) << "\n";
 
     return identical;
+}
+
+/// Flat discrimination engine vs the reference joint search, on the
+/// Figure-1 campaign and a small random-system corpus: entries must be
+/// byte-identical in every configuration — {flat, reference} × {memo on,
+/// off} × {--jobs 1, N} — and the payoff is the discrimination-stage wall
+/// clock (best of 3 runs per side over one shared spec_context, so the
+/// engine's tables and memo amortize as they would in a long-lived
+/// service).  Two timing pairs: default options (comparable to the
+/// committed BENCH_flatcore.json wall_discrimination_s baseline) and
+/// fallback-search-only (`structured_step6 = false`), which routes every
+/// discrimination through `splitting_sequence` and isolates the joint
+/// search itself.  Writes the measurements and the engine counters to
+/// BENCH_discrim.json.  Returns false on any identity mismatch or if the
+/// engine fails to reduce aggregate corpus discrimination wall time.
+bool discrimination_block(const cfsmdiag::system& spec,
+                          const test_suite& suite,
+                          std::vector<single_transition_fault> faults,
+                          const campaign_options& base) {
+    auto opts_of = [&](bool flat, bool memo, std::size_t jobs) {
+        campaign_options o = base;
+        o.diag.use_flat_discrimination = flat;
+        o.diag.use_discrim_memo = memo;
+        o.jobs = jobs;
+        return o;
+    };
+    // Second timing pair: force every discrimination through the joint
+    // search (structured Step 6 answers most Figure-1 cases without one,
+    // which leaves the compiled path nearly idle at default options).
+    auto search_opts = [&](bool flat, bool memo, std::size_t jobs) {
+        campaign_options o = opts_of(flat, memo, jobs);
+        o.diag.structured_step6 = false;
+        return o;
+    };
+    const std::size_t par = base.jobs > 1 ? base.jobs : 4;
+
+    // One shared context — the engine's pairwise tables and memo amortize
+    // across every run, exactly as a long-lived service would hold them.
+    const spec_context ctx(spec, suite);
+
+    // Best-of-3 discrimination-stage wall for one A/B pair of campaigns.
+    auto time_pair = [&](campaign_engine& a, campaign_engine& b) {
+        std::pair<double, double> best{1e100, 1e100};
+        for (int k = 0; k < 3; ++k) {
+            (void)a.run();
+            best.first =
+                std::min(best.first, a.metrics().stage.discrimination);
+            (void)b.run();
+            best.second =
+                std::min(best.second, b.metrics().stage.discrimination);
+        }
+        return best;
+    };
+
+    campaign_engine flat_engine(ctx, faults, opts_of(true, true, 1));
+    campaign_engine ref_engine(ctx, faults, opts_of(false, false, 1));
+    const auto [flat_s, ref_s] = time_pair(flat_engine, ref_engine);
+
+    campaign_engine sflat_engine(ctx, faults, search_opts(true, true, 1));
+    campaign_engine sref_engine(ctx, faults, search_opts(false, false, 1));
+    const auto [sflat_s, sref_s] = time_pair(sflat_engine, sref_engine);
+
+    bool identical =
+        flat_engine.stats().entries == ref_engine.stats().entries &&
+        sflat_engine.stats().entries == sref_engine.stats().entries;
+
+    // Default-options sweep across every engine configuration.
+    std::vector<campaign_entry> baseline;
+    for (const bool flat : {true, false}) {
+        for (const bool memo : {true, false}) {
+            for (const std::size_t jobs : {std::size_t{1}, par}) {
+                campaign_engine e(ctx, faults, opts_of(flat, memo, jobs));
+                (void)e.run();
+                if (baseline.empty()) baseline = e.stats().entries;
+                if (!(e.stats().entries == baseline)) {
+                    identical = false;
+                    std::cout << "MISMATCH: flat=" << flat
+                              << " memo=" << memo << " jobs=" << jobs
+                              << "\n";
+                }
+            }
+        }
+    }
+
+    const auto& m = sflat_engine.metrics();
+    const double speedup = flat_s <= 0 ? 0.0 : ref_s / flat_s;
+    const double search_speedup = sflat_s <= 0 ? 0.0 : sref_s / sflat_s;
+    text_table t({"config", "faults", "discrimination wall (s)",
+                  "speedup"});
+    t.add_row({"reference joint search", std::to_string(faults.size()),
+               fmt_double(ref_s, 5), "1.00x"});
+    t.add_row({"flat engine (default)", std::to_string(faults.size()),
+               fmt_double(flat_s, 5), fmt_double(speedup, 2) + "x"});
+    t.add_row({"reference, fallback search only",
+               std::to_string(faults.size()), fmt_double(sref_s, 5),
+               "1.00x"});
+    t.add_row({"flat engine, fallback search only",
+               std::to_string(faults.size()), fmt_double(sflat_s, 5),
+               fmt_double(search_speedup, 2) + "x"});
+    std::cout << t << "entries byte-identical across flat/reference x memo "
+                 "on/off x jobs 1/N: "
+              << (identical ? "yes" : "NO — SOUNDNESS BUG") << "\n"
+              << "engine counters (flat search-only, last run): "
+              << m.discrim_joint_states << " joint states, "
+              << m.discrim_bfs_searches << " BFS runs, "
+              << m.discrim_table_answers << " table answers, "
+              << m.discrim_memo_hits << " memo hits / "
+              << m.discrim_memo_misses << " misses\n";
+
+    // Random-system corpus: the engine must help beyond the paper example.
+    // Aggregate wall across seeds is the criterion (per-seed walls on these
+    // small systems sit in noise territory on a loaded machine).
+    json_value corpus = json_value::array();
+    double corpus_flat_s = 0.0;
+    double corpus_ref_s = 0.0;
+    for (std::uint64_t seed = 101; seed <= 103; ++seed) {
+        rng r(seed);
+        random_system_options gen;
+        gen.machines = 3;
+        gen.states_per_machine = 3;
+        gen.extra_transitions = 6;
+        const cfsmdiag::system rnd = random_system(gen, r);
+        const test_suite rnd_suite = transition_tour(rnd).suite;
+        auto rnd_faults = enumerate_all_faults(rnd);
+        if (rnd_faults.size() > 80) rnd_faults.resize(80);
+        const spec_context rnd_ctx(rnd, rnd_suite);
+        campaign_engine f(rnd_ctx, rnd_faults, search_opts(true, true, 1));
+        campaign_engine rf(rnd_ctx, rnd_faults, search_opts(false, false, 1));
+        const auto [fs, rs] = time_pair(f, rf);
+        const bool same = f.stats().entries == rf.stats().entries;
+        identical = identical && same;
+        corpus_flat_s += fs;
+        corpus_ref_s += rs;
+        std::cout << "random seed " << seed << ": reference "
+                  << fmt_double(rs, 5) << "s, flat " << fmt_double(fs, 5)
+                  << "s (" << fmt_double(rs / std::max(fs, 1e-9), 2)
+                  << "x), identical: " << (same ? "yes" : "NO") << "\n";
+        json_value row = json_value::object();
+        row.set("seed", json_value::number(seed));
+        row.set("wall_discrimination_s", json_value::number(fs));
+        row.set("wall_discrimination_reference_s", json_value::number(rs));
+        row.set("entries_identical", json_value::boolean(same));
+        corpus.push(std::move(row));
+    }
+    const bool corpus_reduced = corpus_flat_s < corpus_ref_s;
+    std::cout << "random corpus aggregate: reference "
+              << fmt_double(corpus_ref_s, 5) << "s, flat "
+              << fmt_double(corpus_flat_s, 5) << "s ("
+              << fmt_double(corpus_ref_s / std::max(corpus_flat_s, 1e-9), 2)
+              << "x)\n";
+
+    json_value root = json_value::object();
+    root.set("system", json_value::string(spec.name()));
+    root.set("faults", json_value::number(faults.size()));
+    root.set("wall_discrimination_s", json_value::number(flat_s));
+    root.set("wall_discrimination_reference_s", json_value::number(ref_s));
+    root.set("discrimination_speedup", json_value::number(speedup));
+    root.set("wall_search_only_s", json_value::number(sflat_s));
+    root.set("wall_search_only_reference_s", json_value::number(sref_s));
+    root.set("search_only_speedup", json_value::number(search_speedup));
+    root.set("discrim_joint_states",
+             json_value::number(m.discrim_joint_states));
+    root.set("discrim_bfs_searches",
+             json_value::number(m.discrim_bfs_searches));
+    root.set("discrim_table_answers",
+             json_value::number(m.discrim_table_answers));
+    root.set("discrim_memo_hits", json_value::number(m.discrim_memo_hits));
+    root.set("discrim_memo_misses",
+             json_value::number(m.discrim_memo_misses));
+    root.set("random_corpus", std::move(corpus));
+    root.set("corpus_discrimination_reduced",
+             json_value::boolean(corpus_reduced));
+    root.set("entries_identical", json_value::boolean(identical));
+    std::ofstream jout("BENCH_discrim.json");
+    jout << root.dump(true) << "\n";
+
+    return identical && corpus_reduced;
 }
 
 /// Unreliable-lab block: the same Figure-1 campaign clean vs flaky
@@ -359,6 +540,9 @@ int main(int argc, char** argv) {
         std::cout << "\n=== engine: compiled flat core vs reference "
                      "(Figure-1 system, capped faults) ===\n";
         ok = flat_core_block(ex.spec, ex_suite, faults, base) && ok;
+        std::cout << "\n=== engine: flat discrimination vs reference "
+                     "joint search (Figure-1 + random corpus) ===\n";
+        ok = discrimination_block(ex.spec, ex_suite, faults, base) && ok;
         std::cout << "\n=== engine: unreliable lab, clean vs flaky "
                      "(Figure-1 system, capped faults) ===\n";
         auto few = std::move(faults);
@@ -559,6 +743,12 @@ int main(int argc, char** argv) {
                  "system, full single+double fault universe) ===\n";
     if (!flat_core_block(ex.spec, ex_suite, enumerate_all_faults(ex.spec),
                          base))
+        return 1;
+
+    std::cout << "\n=== engine: flat discrimination vs reference joint "
+                 "search (Figure-1 full universe + random corpus) ===\n";
+    if (!discrimination_block(ex.spec, ex_suite, enumerate_all_faults(ex.spec),
+                              base))
         return 1;
 
     std::cout << "\n=== engine: unreliable lab, clean vs flaky (Figure-1 "

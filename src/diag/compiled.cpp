@@ -19,13 +19,6 @@ namespace {
 /// simulator's budget_exceeded behaviour (and message) exactly.
 constexpr std::size_t default_hop_budget = 1024;
 
-/// Packed observation: 0 for ε, else ((port + 1) << 32) | symbol id.
-std::uint64_t pack_observation(const observation& o) noexcept {
-    if (o.is_null()) return 0;
-    const std::uint64_t port = o.port ? o.port->value + 1 : 0;
-    return (port << 32) | o.output.id;
-}
-
 bool symptom_in(const std::vector<std::size_t>& symptom_steps,
                 std::size_t from, std::size_t to) {
     const auto it =
@@ -45,6 +38,92 @@ std::uint32_t next_fire(const compiled_spec::case_tables& ct,
 }
 
 }  // namespace
+
+std::uint64_t pack_observation(const observation& o) noexcept {
+    if (o.is_null()) return 0;
+    const std::uint64_t port = o.port ? o.port->value + 1 : 0;
+    return (port << 32) | o.output.id;
+}
+
+flat_override lower_override(const compiled_spec& cs,
+                             const transition_override& ov) {
+    detail::require(ov.target.machine.value < cs.machine_offset.size() - 1,
+                    "flat_replayer: override machine out of range");
+    flat_override f;
+    f.target = cs.dense_id(ov.target);
+    detail::require(f.target < cs.machine_offset[ov.target.machine.value + 1],
+                    "flat_replayer: override transition out of range");
+    if (ov.output) f.out = ov.output->id;
+    if (ov.next_state) {
+        detail::require(
+            ov.next_state->value < cs.state_count[ov.target.machine.value],
+            "flat_replayer: override next state out of range");
+        f.next = ov.next_state->value;
+    }
+    if (ov.destination) {
+        detail::require(ov.destination->value < cs.machine_offset.size() - 1 &&
+                            *ov.destination != ov.target.machine,
+                        "flat_replayer: override destination out of range");
+        f.dest = ov.destination->value;
+    }
+    return f;
+}
+
+std::uint64_t flat_step(const compiled_spec& cs, const system& spec,
+                        std::uint64_t& state, std::uint32_t port,
+                        std::uint32_t sym, const flat_override* ovs,
+                        std::size_t ov_count, bool* fired, bool* target_hit) {
+    ++detail::simulated_step_count;
+    if (fired) *fired = false;
+    if (target_hit) *target_hit = false;
+    if (port == invalid_index) {  // reset
+        state = cs.initial_packed;
+        return 0;
+    }
+    std::uint32_t current = port;
+    std::uint32_t msg = sym;
+    for (std::size_t hop = 0; hop <= default_hop_budget; ++hop) {
+        const std::uint32_t s = static_cast<std::uint32_t>(
+            (state >> cs.state_shift[current]) & cs.state_mask[current]);
+        std::uint32_t d = invalid_index;
+        if (msg < cs.disp_stride[current] && s < cs.state_count[current])
+            d = cs.dispatch[cs.disp_offset[current] +
+                            s * cs.disp_stride[current] + msg];
+        if (d == invalid_index) return 0;  // unspecified: ε, no change
+        if (fired) *fired = true;
+        const flat_override* hit = nullptr;
+        for (std::size_t j = 0; j < ov_count; ++j) {
+            if (ovs[j].target == d) {
+                hit = &ovs[j];
+                break;
+            }
+        }
+        if (hit && target_hit) *target_hit = true;
+        const std::uint32_t next = hit && hit->next != invalid_index
+                                       ? hit->next
+                                       : cs.next_state[d];
+        const std::uint32_t out =
+            hit && hit->out != invalid_index ? hit->out : cs.out_sym[d];
+        state =
+            (state & ~(cs.state_mask[current] << cs.state_shift[current])) |
+            (static_cast<std::uint64_t>(next) << cs.state_shift[current]);
+        if (!cs.is_internal[d]) {
+            if (out == 0) return 0;
+            return (static_cast<std::uint64_t>(current + 1) << 32) | out;
+        }
+        detail::require(out != 0, [&] {
+            return "simulator::apply: internal transition " +
+                   spec.transition_label(cs.global_id(d)) +
+                   " sends an ε message";
+        });
+        current = hit && hit->dest != invalid_index ? hit->dest : cs.dest[d];
+        msg = out;
+    }
+    throw budget_exceeded(
+        "simulator::apply: internal-message chain exceeded " +
+        std::to_string(default_hop_budget) +
+        " hops (message cycle?) in system '" + spec.name() + "'");
+}
 
 compiled_spec compile_spec(const system& spec, const test_suite& suite,
                            const suite_traces& traces) {
@@ -304,77 +383,14 @@ flat_replayer::flat_replayer(const compiled_spec& cs, const system& spec,
     memo_after_.resize(max_len);
 }
 
-flat_replayer::flat_override flat_replayer::lower(
-    const transition_override& ov) const {
-    detail::require(ov.target.machine.value <
-                        cs_->machine_offset.size() - 1,
-                    "flat_replayer: override machine out of range");
-    flat_override f;
-    f.target = cs_->dense_id(ov.target);
-    detail::require(f.target < cs_->machine_offset[ov.target.machine.value + 1],
-                    "flat_replayer: override transition out of range");
-    if (ov.output) f.out = ov.output->id;
-    if (ov.next_state) {
-        detail::require(
-            ov.next_state->value <
-                cs_->state_count[ov.target.machine.value],
-            "flat_replayer: override next state out of range");
-        f.next = ov.next_state->value;
-    }
-    if (ov.destination) {
-        detail::require(ov.destination->value <
-                                cs_->machine_offset.size() - 1 &&
-                            *ov.destination != ov.target.machine,
-                        "flat_replayer: override destination out of range");
-        f.dest = ov.destination->value;
-    }
-    return f;
+flat_override flat_replayer::lower(const transition_override& ov) const {
+    return lower_override(*cs_, ov);
 }
 
 std::uint64_t flat_replayer::step(std::uint64_t& state, std::uint32_t port,
                                   std::uint32_t sym,
                                   const flat_override& ov) const {
-    ++detail::simulated_step_count;
-    if (port == invalid_index) {  // reset
-        state = cs_->initial_packed;
-        return 0;
-    }
-    std::uint32_t current = port;
-    std::uint32_t msg = sym;
-    for (std::size_t hop = 0; hop <= default_hop_budget; ++hop) {
-        const std::uint32_t s = static_cast<std::uint32_t>(
-            (state >> cs_->state_shift[current]) & cs_->state_mask[current]);
-        std::uint32_t d = invalid_index;
-        if (msg < cs_->disp_stride[current] && s < cs_->state_count[current])
-            d = cs_->dispatch[cs_->disp_offset[current] +
-                              s * cs_->disp_stride[current] + msg];
-        if (d == invalid_index) return 0;  // unspecified: ε, no change
-        const bool hit = d == ov.target;
-        const std::uint32_t next = hit && ov.next != invalid_index
-                                       ? ov.next
-                                       : cs_->next_state[d];
-        const std::uint32_t out =
-            hit && ov.out != invalid_index ? ov.out : cs_->out_sym[d];
-        state = (state & ~(cs_->state_mask[current]
-                           << cs_->state_shift[current])) |
-                (static_cast<std::uint64_t>(next)
-                 << cs_->state_shift[current]);
-        if (!cs_->is_internal[d]) {
-            if (out == 0) return 0;
-            return (static_cast<std::uint64_t>(current + 1) << 32) | out;
-        }
-        detail::require(out != 0, [&] {
-            return "simulator::apply: internal transition " +
-                   spec_->transition_label(cs_->global_id(d)) +
-                   " sends an ε message";
-        });
-        current = hit && ov.dest != invalid_index ? ov.dest : cs_->dest[d];
-        msg = out;
-    }
-    throw budget_exceeded(
-        "simulator::apply: internal-message chain exceeded " +
-        std::to_string(default_hop_budget) +
-        " hops (message cycle?) in system '" + spec_->name() + "'");
+    return flat_step(*cs_, *spec_, state, port, sym, &ov, 1);
 }
 
 bool flat_replayer::full_replay(std::size_t ci,

@@ -125,6 +125,38 @@ struct compiled_spec {
                                          const test_suite& suite,
                                          const suite_traces& traces);
 
+/// A transition_override lowered to dense ids; invalid_index fields keep
+/// the specified effect.  Shared by the flat replayer (Step 5B) and the
+/// discrimination engine's joint stepper (Step 6).
+struct flat_override {
+    std::uint32_t target = invalid_index;
+    std::uint32_t out = invalid_index;   ///< invalid = keep specified
+    std::uint32_t next = invalid_index;
+    std::uint32_t dest = invalid_index;
+};
+
+[[nodiscard]] flat_override lower_override(const compiled_spec& cs,
+                                           const transition_override& ov);
+
+/// Packed observation: 0 for ε, else ((port + 1) << 32) | symbol id.
+/// Injective on everything a simulator can return (ε observations always
+/// carry no port), so packed equality is observation equality.
+[[nodiscard]] std::uint64_t pack_observation(const observation& o) noexcept;
+
+/// One global input applied to a packed state under `ov_count` overrides
+/// (distinct targets).  Returns the packed observation; when `fired` is
+/// non-null it is set to whether the chain fired at least one transition
+/// (the reference search's `progressed` bit), and when `target_hit` is
+/// non-null, to whether any overridden target fired (the discrimination
+/// engine's liveness seed).  Mutates `state` in place.  Error behaviour —
+/// internal ε message, hop budget — matches simulator::apply exactly,
+/// message text included; `spec` is used for error labels only.
+std::uint64_t flat_step(const compiled_spec& cs, const system& spec,
+                        std::uint64_t& state, std::uint32_t port,
+                        std::uint32_t sym, const flat_override* ovs,
+                        std::size_t ov_count, bool* fired = nullptr,
+                        bool* target_hit = nullptr);
+
 /// Step 4 as bitmaps: one fired-prefix bitmap per symptomatic case (steps
 /// [0, first_symptom]) over the dense universe, plus their intersection
 /// (Step 5A's ITC, globally).  Bitmaps live in `arena`.
@@ -163,12 +195,6 @@ class flat_replayer {
     [[nodiscard]] bool consistent(const transition_override& ov);
 
   private:
-    struct flat_override {
-        std::uint32_t target = invalid_index;
-        std::uint32_t out = invalid_index;   ///< invalid = keep specified
-        std::uint32_t next = invalid_index;
-        std::uint32_t dest = invalid_index;
-    };
     struct case_obs {
         std::vector<std::uint64_t> observed;  ///< packed observations
         const std::vector<std::size_t>* symptom_steps;

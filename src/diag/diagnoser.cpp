@@ -205,6 +205,8 @@ diagnosis_result diagnose(const spec_context& ctx, oracle& iut,
     // Step 6: adaptive discrimination.
     hypothesis_tracker tracker(spec, result.initial_diagnoses,
                                options.use_replay_cache);
+    if (options.use_flat_discrimination)
+        tracker.use_engine(&ctx.discrim(), options.use_discrim_memo);
     bool unreliable_tests = false;
     while (result.additional_tests.size() < options.max_additional_tests) {
         if (tracker.count() == 0 && options.escalate_if_empty &&
@@ -217,6 +219,8 @@ diagnosis_result diagnose(const spec_context& ctx, oracle& iut,
             result.evaluated = evaluate_full();
             tracker = hypothesis_tracker(spec, result.evaluated.diagnoses(),
                                          options.use_replay_cache);
+            if (options.use_flat_discrimination)
+                tracker.use_engine(&ctx.discrim(), options.use_discrim_memo);
             for (const auto& rec : result.additional_tests) {
                 if (rec.quarantined) continue;
                 (void)tracker.apply_result(rec.tc.inputs, rec.observed);
@@ -225,8 +229,18 @@ diagnosis_result diagnose(const spec_context& ctx, oracle& iut,
         if (tracker.count() <= 1) break;
         bool progressed = false;
         if (options.structured_step6) {
-            const auto proposals =
-                propose_structured_tests(spec, tracker, options.step6);
+            // With the engine on, the derivation comes from its
+            // campaign-wide cache (identical proposals, computed once per
+            // distinct live set).
+            std::shared_ptr<const std::vector<proposed_test>> cached;
+            std::vector<proposed_test> local;
+            if (options.use_flat_discrimination)
+                cached = ctx.discrim().structured_proposals(tracker,
+                                                            options.step6);
+            else
+                local = propose_structured_tests(spec, tracker,
+                                                 options.step6);
+            const auto& proposals = cached ? *cached : local;
             for (const auto& p : proposals) {
                 if (tracker.count() <= 1) break;
                 if (!tracker.splits(p.tc.inputs)) continue;

@@ -178,7 +178,21 @@ struct diagnoser_options {
     /// measurement (`campaign --no-compiled-core`) and as the automatic
     /// fallback for systems whose packed state exceeds 64 bits.
     bool use_compiled_core = true;
+    /// Route Step 6's joint splitting-sequence searches through the
+    /// spec_context's flat discrimination engine (diag/discrim_engine.hpp):
+    /// compiled joint BFS, pairwise splitting tables, cross-fault memo.
+    /// Results are byte-identical to the reference search; off exists for
+    /// A/B measurement (`campaign --no-flat-discrimination`).
+    bool use_flat_discrimination = true;
+    /// Share splitting-sequence results across faults through the engine's
+    /// memo (only effective with use_flat_discrimination).  Byte-identical
+    /// on or off and at any worker count; off exists for A/B measurement
+    /// (`campaign --no-discrim-memo`).
+    bool use_discrim_memo = true;
     std::size_t max_additional_tests = 200;
+    /// Visited-state bound of each joint splitting-sequence search
+    /// (`campaign --max-joint-states`).  A search that hits the bound
+    /// conservatively reports "no splitting sequence".
     std::size_t max_joint_states = 100'000;
     step6_options step6;
 };

@@ -2,11 +2,14 @@
 
 #include <algorithm>
 #include <deque>
+#include <memory>
 #include <unordered_map>
 #include <unordered_set>
 
+#include "diag/discrim_engine.hpp"
+#include "diag/replay_cache.hpp"
+
 namespace cfsmdiag {
-namespace {
 
 std::vector<global_input> all_port_inputs(const system& spec) {
     std::vector<global_input> inputs;
@@ -16,6 +19,8 @@ std::vector<global_input> all_port_inputs(const system& spec) {
     }
     return inputs;
 }
+
+namespace {
 
 // The joint search memoizes by (system_state, global_input) and tracks
 // visited joint states.  These are lookup-only containers — never
@@ -72,8 +77,16 @@ bool hypothesis_tracker::splits(
     if (alive_.size() < 2) return false;
     if (accelerate_) {
         // One spec replay of `inputs`; each hypothesis then replays only
-        // from its first firing step.
-        const sequence_replay rep(*spec_, inputs);
+        // from its first firing step.  With the engine attached, the spec
+        // replay comes from its campaign-wide cache (the same proposals
+        // recur for every fault on the same suspect transition).
+        std::shared_ptr<const sequence_replay> shared;
+        std::optional<sequence_replay> local;
+        if (engine_ != nullptr)
+            shared = engine_->replay_for(inputs);
+        else
+            local.emplace(*spec_, inputs);
+        const sequence_replay& rep = shared ? *shared : *local;
         const auto first = rep.predict(alive_[0].to_override());
         for (std::size_t i = 1; i < alive_.size(); ++i) {
             if (!rep.matches(alive_[i].to_override(), first)) return true;
@@ -94,7 +107,13 @@ std::size_t hypothesis_tracker::apply_result(
     std::vector<diagnosis> survivors;
     survivors.reserve(alive_.size());
     if (accelerate_) {
-        const sequence_replay rep(*spec_, inputs);
+        std::shared_ptr<const sequence_replay> shared;
+        std::optional<sequence_replay> local;
+        if (engine_ != nullptr)
+            shared = engine_->replay_for(inputs);
+        else
+            local.emplace(*spec_, inputs);
+        const sequence_replay& rep = shared ? *shared : *local;
         for (std::size_t i = 0; i < alive_.size(); ++i) {
             if (rep.matches(alive_[i].to_override(), observed))
                 survivors.push_back(alive_[i]);
@@ -115,6 +134,8 @@ hypothesis_tracker::find_splitting_sequence(
     std::vector<std::vector<transition_override>> hyps;
     hyps.reserve(alive_.size());
     for (const diagnosis& d : alive_) hyps.push_back({d.to_override()});
+    if (engine_ != nullptr)
+        return engine_->splitting_sequence(hyps, max_joint_states, memoize_);
     return splitting_sequence(*spec_, hyps, max_joint_states);
 }
 

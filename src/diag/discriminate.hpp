@@ -25,12 +25,29 @@
 
 namespace cfsmdiag {
 
+class discrim_engine;
+
+/// The joint search's input enumeration: every (port, input symbol) pair,
+/// machines in index order, each machine's input alphabet in sorted-id
+/// order.  Exposed so the compiled discrimination engine enumerates inputs
+/// in exactly the reference BFS's order (part of result identity).
+[[nodiscard]] std::vector<global_input> all_port_inputs(const system& spec);
+
 class hypothesis_tracker {
   public:
     /// `accelerate` routes splits()/apply_result() through sequence_replay
     /// (prefix skipping per hypothesis); verdicts are identical either way.
     hypothesis_tracker(const system& spec, std::vector<diagnosis> initial,
                        bool accelerate = true);
+
+    /// Routes find_splitting_sequence() through the compiled discrimination
+    /// engine (diag/discrim_engine.hpp): flat joint BFS, pairwise splitting
+    /// tables and — when `memoize` — the engine's campaign-wide memo.
+    /// Results are byte-identical to the reference search; nullptr detaches.
+    void use_engine(const discrim_engine* engine, bool memoize) noexcept {
+        engine_ = engine;
+        memoize_ = memoize;
+    }
 
     [[nodiscard]] const std::vector<diagnosis>& alive() const noexcept {
         return alive_;
@@ -63,6 +80,8 @@ class hypothesis_tracker {
     const system* spec_;
     std::vector<diagnosis> alive_;
     bool accelerate_;
+    const discrim_engine* engine_ = nullptr;
+    bool memoize_ = true;
 };
 
 /// True if spec⊕a and spec⊕b produce identical observations on every input

@@ -171,9 +171,15 @@ multi_fault_result diagnose_multi(const system& spec,
                 auto key = std::make_pair(std::min(alive[i], alive[j]),
                                           std::max(alive[i], alive[j]));
                 if (equivalent.count(key) != 0) continue;
-                const auto seq = splitting_sequence(
-                    spec, {alive[i].to_overrides(), alive[j].to_overrides()},
-                    options.max_joint_states);
+                const std::vector<std::vector<transition_override>> hyps{
+                    alive[i].to_overrides(), alive[j].to_overrides()};
+                const auto seq =
+                    options.use_flat_discrimination
+                        ? ctx.discrim().splitting_sequence(
+                              hyps, options.max_joint_states,
+                              /*use_memo=*/true)
+                        : splitting_sequence(spec, hyps,
+                                             options.max_joint_states);
                 if (seq) return seq;
                 equivalent.insert(std::move(key));
             }

@@ -74,6 +74,10 @@ struct multi_fault_options {
     /// Prefix-skip replays in the O(pairs) consistency loop (see
     /// diag/replay_cache.hpp); results are identical with or without.
     bool use_replay_cache = true;
+    /// Route the pairwise joint searches through the context's flat
+    /// discrimination engine (diag/discrim_engine.hpp).  Byte-identical
+    /// results; off exists for A/B measurement.
+    bool use_flat_discrimination = true;
 };
 
 struct multi_fault_result {

@@ -18,6 +18,7 @@ spec_context::spec_context(const system& spec, test_suite suite,
     }
     for (const auto& trace : traces_) trace_steps_ += trace.size();
     compiled_ = compile_spec(*spec_, suite_, traces_);
+    discrim_ = std::make_unique<discrim_engine>(compiled_, *spec_);
 }
 
 replay_cache spec_context::make_replay_cache(

@@ -24,7 +24,10 @@
 // makes that precondition structural.
 #pragma once
 
+#include <memory>
+
 #include "diag/compiled.hpp"
+#include "diag/discrim_engine.hpp"
 #include "diag/replay_cache.hpp"
 
 namespace cfsmdiag {
@@ -39,10 +42,13 @@ class spec_context {
     spec_context(const system& spec, test_suite suite,
                  const suite_traces* precomputed = nullptr);
 
+    // Non-copyable and non-movable: the discrimination engine holds
+    // pointers into this context's compiled tables, so the context must
+    // stay where it was built (every call site constructs it in place).
     spec_context(const spec_context&) = delete;
     spec_context& operator=(const spec_context&) = delete;
-    spec_context(spec_context&&) = default;
-    spec_context& operator=(spec_context&&) = default;
+    spec_context(spec_context&&) = delete;
+    spec_context& operator=(spec_context&&) = delete;
 
     [[nodiscard]] const system& spec() const noexcept { return *spec_; }
     [[nodiscard]] const test_suite& suite() const noexcept { return suite_; }
@@ -51,6 +57,14 @@ class spec_context {
     }
     [[nodiscard]] const compiled_spec& compiled() const noexcept {
         return compiled_;
+    }
+
+    /// The campaign-wide flat discrimination engine (Step 6's joint search
+    /// on compiled tables + pairwise splitting tables + cross-fault memo).
+    /// Shared across threads like the rest of the context; its internal
+    /// caches are synchronized.
+    [[nodiscard]] const discrim_engine& discrim() const noexcept {
+        return *discrim_;
     }
 
     /// Total trace steps across the suite (the simulation cost of Step 1,
@@ -70,6 +84,7 @@ class spec_context {
     suite_traces traces_;
     std::size_t trace_steps_ = 0;
     compiled_spec compiled_;
+    std::unique_ptr<discrim_engine> discrim_;
 };
 
 }  // namespace cfsmdiag

@@ -6,6 +6,7 @@
 #include <numeric>
 #include <utility>
 
+#include "diag/discrim_engine.hpp"
 #include "diag/discriminate.hpp"
 #include "diag/hypotheses.hpp"
 #include "fault/oracle.hpp"
@@ -19,12 +20,22 @@ namespace {
 /// is observationally equivalent to one of them (a black box cannot tell
 /// equivalent hypotheses apart, so crediting equivalence is the honest
 /// scoring).
-bool truth_among(const system& spec, const single_transition_fault& truth,
-                 const std::vector<diagnosis>& finals) {
+bool truth_among(const spec_context& ctx,
+                 const single_transition_fault& truth,
+                 const std::vector<diagnosis>& finals,
+                 const diagnoser_options& options) {
     if (std::find(finals.begin(), finals.end(), truth) != finals.end())
         return true;
     return std::any_of(finals.begin(), finals.end(), [&](const diagnosis& d) {
-        return observationally_equivalent(spec, truth, d);
+        // Same verdict either way; the engine path shares its joint
+        // searches with Step 6 through the campaign-wide memo.  The
+        // 100'000-state bound is observationally_equivalent's default.
+        if (options.use_flat_discrimination) {
+            return observationally_equivalent(ctx.discrim(), truth, d,
+                                              100'000,
+                                              options.use_discrim_memo);
+        }
+        return observationally_equivalent(ctx.spec(), truth, d);
     });
 }
 
@@ -138,6 +149,7 @@ campaign_entry campaign_engine::run_one(std::size_t index,
     const std::size_t steps_base = simulated_steps();
     const std::size_t skips_base = replay_cache_case_skips();
     const std::size_t suffix_base = replay_cache_suffix_replays();
+    const discrim_counters discrim_base = discrim_totals();
 
     campaign_entry entry;
     entry.fault = fault;
@@ -192,7 +204,8 @@ campaign_entry campaign_engine::run_one(std::size_t index,
 
         if (entry.detected) {
             const auto t0 = std::chrono::steady_clock::now();
-            entry.sound = truth_among(spec_, fault, result.final_diagnoses);
+            entry.sound = truth_among(*ctx_, fault, result.final_diagnoses,
+                                      options_.diag);
             scoring_acc += seconds_since(t0);
         }
     } catch (const timeout_error& e) {
@@ -227,6 +240,17 @@ campaign_entry campaign_engine::run_one(std::size_t index,
     cost_acc.cache_case_skips += replay_cache_case_skips() - skips_base;
     cost_acc.cache_suffix_replays +=
         replay_cache_suffix_replays() - suffix_base;
+    const discrim_counters discrim_now = discrim_totals();
+    cost_acc.discrim_joint_states +=
+        discrim_now.joint_states - discrim_base.joint_states;
+    cost_acc.discrim_memo_hits +=
+        discrim_now.memo_hits - discrim_base.memo_hits;
+    cost_acc.discrim_memo_misses +=
+        discrim_now.memo_misses - discrim_base.memo_misses;
+    cost_acc.discrim_table_answers +=
+        discrim_now.table_answers - discrim_base.table_answers;
+    cost_acc.discrim_bfs_searches +=
+        discrim_now.bfs_searches - discrim_base.bfs_searches;
     entry.replays = hypothesis_replays() - replay_base;
     return entry;
 }
@@ -237,6 +261,10 @@ const campaign_stats& campaign_engine::run() {
     stats_ = {};
     metrics_ = {};
     metrics_.replay_cache_enabled = options_.diag.use_replay_cache;
+    metrics_.flat_discrimination_enabled =
+        options_.diag.use_flat_discrimination;
+    metrics_.discrim_memo_enabled = options_.diag.use_flat_discrimination &&
+                                    options_.diag.use_discrim_memo;
     metrics_.jobs =
         std::max<std::size_t>(1, std::min(resolve_job_count(options_.jobs),
                                           std::max<std::size_t>(n, 1)));
@@ -282,6 +310,11 @@ const campaign_stats& campaign_engine::run() {
         metrics_.simulated_steps += cost.simulated_steps;
         metrics_.cache_case_skips += cost.cache_case_skips;
         metrics_.cache_suffix_replays += cost.cache_suffix_replays;
+        metrics_.discrim_joint_states += cost.discrim_joint_states;
+        metrics_.discrim_memo_hits += cost.discrim_memo_hits;
+        metrics_.discrim_memo_misses += cost.discrim_memo_misses;
+        metrics_.discrim_table_answers += cost.discrim_table_answers;
+        metrics_.discrim_bfs_searches += cost.discrim_bfs_searches;
         metrics_.stage += stage;
         metrics_.wall_scoring += scoring;
         while (next_emit < n && ready[next_emit]) {
@@ -350,6 +383,20 @@ json_value campaign_to_json(const system& spec, const campaign_stats& stats,
              json_value::number(metrics.cache_case_skips));
     cost.set("cache_suffix_replays",
              json_value::number(metrics.cache_suffix_replays));
+    cost.set("flat_discrimination_enabled",
+             json_value::boolean(metrics.flat_discrimination_enabled));
+    cost.set("discrim_memo_enabled",
+             json_value::boolean(metrics.discrim_memo_enabled));
+    cost.set("discrim_joint_states",
+             json_value::number(metrics.discrim_joint_states));
+    cost.set("discrim_memo_hits",
+             json_value::number(metrics.discrim_memo_hits));
+    cost.set("discrim_memo_misses",
+             json_value::number(metrics.discrim_memo_misses));
+    cost.set("discrim_table_answers",
+             json_value::number(metrics.discrim_table_answers));
+    cost.set("discrim_bfs_searches",
+             json_value::number(metrics.discrim_bfs_searches));
     cost.set("wall_symptoms_s", json_value::number(metrics.stage.symptoms));
     cost.set("wall_conflicts_s", json_value::number(metrics.stage.conflicts));
     cost.set("wall_candidates_s",

@@ -11,6 +11,7 @@
 // instead of churning the heap.
 #pragma once
 
+#include <algorithm>
 #include <bit>
 #include <cstddef>
 #include <cstdint>
@@ -216,6 +217,43 @@ class dyn_bitset {
     std::size_t bits_ = 0;
     std::uint64_t* words_ = nullptr;
     std::vector<std::uint64_t> storage_;
+};
+
+/// Epoch-tagged membership set over a dense integer domain: clear() is O(1)
+/// (bump the epoch instead of zeroing), so a caller running many short
+/// queries over the same universe pays one store per insert and nothing per
+/// reset.  The discrimination engine's joint-BFS visited set is the
+/// motivating use: thousands of searches per campaign over the same packed
+/// product space, each needing a fresh set.
+class epoch_set {
+  public:
+    /// Starts a fresh query over `universe` elements.  Grows (never
+    /// shrinks) the backing store; previous contents are dropped in O(1)
+    /// except on epoch-counter wraparound, where one full clear keeps
+    /// stale tags from a prior generation unreadable.
+    void begin(std::size_t universe) {
+        if (++epoch_ == 0) {
+            std::fill(tags_.begin(), tags_.end(), 0);
+            epoch_ = 1;
+        }
+        if (tags_.size() < universe) tags_.resize(universe, 0);
+    }
+
+    /// Inserts `v`; returns true if it was absent.  `v` must be inside the
+    /// universe passed to the last begin().
+    bool insert(std::size_t v) {
+        if (tags_[v] == epoch_) return false;
+        tags_[v] = epoch_;
+        return true;
+    }
+
+    [[nodiscard]] bool contains(std::size_t v) const noexcept {
+        return tags_[v] == epoch_;
+    }
+
+  private:
+    std::vector<std::uint32_t> tags_;
+    std::uint32_t epoch_ = 0;
 };
 
 }  // namespace cfsmdiag

@@ -221,6 +221,7 @@ struct campaign_cli_args {
 
 /// campaign <system-file> [max] [--jobs N] [--max-faults N] [--seed S]
 /// [--json <path>] [--progress] [--no-replay-cache] [--no-compiled-core]
+/// [--no-flat-discrimination] [--no-discrim-memo] [--max-joint-states N]
 /// [--flaky R]
 /// [--flaky-seed S] [--retries N] [--votes N] [--deadline-ms N] — the bare
 /// positional [max] is the pre-engine spelling and keeps old invocations
@@ -254,6 +255,17 @@ campaign_cli_args parse_campaign_args(const std::vector<std::string>& args) {
             // A/B switch: reference std::set/std::map pipeline instead of
             // the compiled bitset core; entries are byte-identical.
             out.options.diag.use_compiled_core = false;
+        } else if (a == "--no-flat-discrimination") {
+            // A/B switch: reference joint search instead of the flat
+            // discrimination engine; entries are byte-identical.
+            out.options.diag.use_flat_discrimination = false;
+        } else if (a == "--no-discrim-memo") {
+            // A/B switch: keep the flat engine but recompute every joint
+            // search instead of sharing results across faults.
+            out.options.diag.use_discrim_memo = false;
+        } else if (a == "--max-joint-states") {
+            out.options.diag.max_joint_states =
+                std::stoul(value_of(i, a));
         } else if (a == "--flaky") {
             // Drop+garble at R, hangs and reset faults at R/10 (see
             // flakiness_profile::uniform).
@@ -327,6 +339,21 @@ int cmd_campaign(const campaign_cli_args& cli) {
     } else {
         std::cout << "replay cache: disabled\n";
     }
+    if (metrics.flat_discrimination_enabled) {
+        std::cout << "discrimination: " << metrics.discrim_joint_states
+                  << " joint states, " << metrics.discrim_bfs_searches
+                  << " searches, " << metrics.discrim_table_answers
+                  << " table answers, memo "
+                  << (metrics.discrim_memo_enabled
+                          ? std::to_string(metrics.discrim_memo_hits) +
+                                " hits / " +
+                                std::to_string(metrics.discrim_memo_misses) +
+                                " misses"
+                          : std::string("disabled"))
+                  << "\n";
+    } else {
+        std::cout << "discrimination: reference search\n";
+    }
     return stats.sound == stats.detected ? 0 : 1;
 }
 
@@ -390,6 +417,9 @@ int main(int argc, char** argv) {
            "                    [--max-faults N] [--seed S] [--json <path>]\n"
            "                    [--progress] [--no-replay-cache]\n"
            "                    [--no-compiled-core]\n"
+           "                    [--no-flat-discrimination]\n"
+           "                    [--no-discrim-memo]\n"
+           "                    [--max-joint-states N]\n"
            "                    [--flaky R] [--flaky-seed S] [--retries N]\n"
            "                    [--votes N] [--deadline-ms N]\n"
            "  cfsmdiag random <seed> [machines] [states]\n";

@@ -27,9 +27,10 @@ run_config() {
 
 run_config release -DCMAKE_BUILD_TYPE=Release
 
-# Bench smoke run: the replay-cache closing block asserts cache-on/off
-# campaigns stay byte-identical and prints the simulated-step reduction on
-# a small workload (--quick caps the fault count).
+# Bench smoke run: the engine closing blocks assert that cache-on/off,
+# compiled/reference and flat-discrimination/reference-search campaigns all
+# stay byte-identical, and print the simulated-step and discrimination-wall
+# reductions on a small workload (--quick caps the fault count).
 echo "=== [release] bench smoke ==="
 cmake --build build-ci-release -j "${JOBS}" --target bench_fault_campaign
 (cd build-ci-release && bench/fault_campaign --quick)
@@ -43,9 +44,14 @@ cmake -B "${tsan_dir}" -S . -DCMAKE_BUILD_TYPE=RelWithDebInfo \
       -DCFSMDIAG_SANITIZE=thread >/dev/null
 echo "=== [tsan] build engine tests ==="
 cmake --build "${tsan_dir}" -j "${JOBS}" \
-      --target campaign_engine_test bitset_test property_test cfsmdiag_cli
+      --target campaign_engine_test discrim_engine_test bitset_test \
+      property_test cfsmdiag_cli
 echo "=== [tsan] run ==="
 "${tsan_dir}/tests/campaign_engine_test"
+# The discrimination engine's lazily-built tables, sharded memo and replay/
+# proposal caches are shared across campaign workers — the jobs-2 identity
+# and counter-determinism tests are the racy surface.
+"${tsan_dir}/tests/discrim_engine_test"
 # The compiled core is shared read-only across workers (one spec_context per
 # engine); the bitset/property tests run here to catch races in the arena
 # and table sharing.
