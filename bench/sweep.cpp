@@ -1,0 +1,365 @@
+// Crash-safe sweep benchmarks: checkpointing overhead, resume cost,
+// kill/resume identity, and memory flatness.
+//
+// Four blocks, all over the Figure-1 system (its per-fault cost is small
+// and stable, which makes the sweep layer itself the measured quantity):
+//   - throughput: a streaming no-checkpoint campaign vs checkpointed
+//     sweeps at two cadences — the snapshot protocol must cost a few
+//     percent, not a multiple;
+//   - resume overhead: resuming an already-complete sweep isolates the
+//     fixed cost of snapshot load + fingerprint verification + spill
+//     truncation;
+//   - kill/resume identity (closing block, asserted): a forked child is
+//     SIGKILLed mid-sweep, the parent resumes, and the merged spill and
+//     aggregate statistics must be byte-identical to a straight-through
+//     run — at --jobs 1 and --jobs 4;
+//   - flat RSS (asserted): a sweep over a >=100k-entry universe (the
+//     Figure-1 fault list cycled — each entry is independent, so
+//     duplicates are legal load) must not grow the process RSS by more
+//     than a bounded constant; retaining entries would cost tens of MB.
+//
+// `--quick` shrinks the universes to CI-smoke size but keeps every
+// assertion.  Writes the measurements to BENCH_sweep.json.
+#include <sys/stat.h>
+#include <sys/wait.h>
+#include <unistd.h>
+
+#include <chrono>
+#include <csignal>
+#include <fstream>
+#include <iostream>
+#include <sstream>
+#include <string>
+
+#include "cfsmdiag.hpp"
+
+namespace {
+
+using namespace cfsmdiag;
+
+double now_s() {
+    return std::chrono::duration<double>(
+               std::chrono::steady_clock::now().time_since_epoch())
+        .count();
+}
+
+/// Current resident set size in KiB (Linux; 0 if unreadable).
+std::size_t vm_rss_kb() {
+    std::ifstream in("/proc/self/status");
+    std::string line;
+    while (std::getline(in, line)) {
+        if (line.rfind("VmRSS:", 0) == 0) {
+            std::istringstream fields(line.substr(6));
+            std::size_t kb = 0;
+            fields >> kb;
+            return kb;
+        }
+    }
+    return 0;
+}
+
+std::string slurp_file(const std::string& path) {
+    std::ifstream in(path, std::ios::binary);
+    std::ostringstream buf;
+    buf << in.rdbuf();
+    return buf.str();
+}
+
+void reset_paths(const std::string& cp, const std::string& spill) {
+    ::unlink(cp.c_str());
+    ::unlink((cp + ".prev").c_str());
+    ::unlink((cp + ".tmp").c_str());
+    if (!spill.empty()) ::unlink(spill.c_str());
+}
+
+/// Samples RSS every few entries and keeps the peak.
+class rss_probe final : public campaign_observer {
+  public:
+    void on_fault_done(std::size_t, const campaign_entry&) override {
+        if (++count_ % 512 == 0)
+            peak_kb_ = std::max(peak_kb_, vm_rss_kb());
+    }
+    std::size_t peak_kb() const { return std::max(peak_kb_, vm_rss_kb()); }
+
+  private:
+    std::size_t count_ = 0;
+    std::size_t peak_kb_ = 0;
+};
+
+/// The Figure-1 fault universe cycled up to `n` entries.
+std::vector<single_transition_fault> cycled_universe(
+    const cfsmdiag::system& spec, std::size_t n) {
+    const auto base = enumerate_all_faults(spec);
+    std::vector<single_transition_fault> out;
+    out.reserve(n);
+    while (out.size() < n)
+        out.insert(out.end(), base.begin(),
+                   base.begin() +
+                       static_cast<std::ptrdiff_t>(
+                           std::min(base.size(), n - out.size())));
+    return out;
+}
+
+/// Aggregate equality over the two runs' campaign_stats (entries are
+/// compared separately, byte-for-byte, via the spill files).
+bool same_aggregates(const campaign_stats& a, const campaign_stats& b) {
+    return a.total == b.total && a.detected == b.detected &&
+           a.localized == b.localized &&
+           a.localized_equiv == b.localized_equiv &&
+           a.ambiguous == b.ambiguous &&
+           a.no_hypothesis == b.no_hypothesis &&
+           a.inconclusive_unreliable == b.inconclusive_unreliable &&
+           a.errored == b.errored && a.sound == b.sound &&
+           a.escalations == b.escalations && a.fallbacks == b.fallbacks &&
+           a.retries == b.retries &&
+           a.transient_failures == b.transient_failures &&
+           a.quarantined_runs == b.quarantined_runs &&
+           a.mean_initial_diagnoses == b.mean_initial_diagnoses &&
+           a.mean_final_diagnoses == b.mean_final_diagnoses &&
+           a.mean_additional_tests == b.mean_additional_tests &&
+           a.mean_additional_inputs == b.mean_additional_inputs;
+}
+
+struct timed_sweep {
+    sweep_result result;
+    double wall_s = 0.0;
+};
+
+timed_sweep run_timed(const spec_context& ctx,
+                      const std::vector<single_transition_fault>& faults,
+                      const sweep_options& options) {
+    const double t0 = now_s();
+    timed_sweep out;
+    out.result = run_sweep(ctx, faults, options);
+    out.wall_s = now_s() - t0;
+    return out;
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+    std::size_t jobs = 1;
+    bool quick = false;
+    for (int i = 1; i < argc; ++i) {
+        if (std::string(argv[i]) == "--jobs" && i + 1 < argc)
+            jobs = std::stoul(argv[++i]);
+        else if (std::string(argv[i]) == "--quick")
+            quick = true;
+    }
+
+    const auto ex = paperex::make_paper_example();
+    const test_suite suite = transition_tour(ex.spec).suite;
+    const spec_context ctx(ex.spec, suite);
+    ::mkdir("bench_sweep_scratch", 0755);
+    const std::string dir = "bench_sweep_scratch/";
+
+    json_value root = json_value::object();
+    root.set("system", json_value::string(ex.spec.name()));
+    root.set("quick", json_value::boolean(quick));
+    bool ok = true;
+
+    // ---------------------------------------------------------------
+    std::cout << "=== sweep: checkpointing throughput overhead ===\n";
+    const std::size_t tp_n = quick ? 1'500 : 10'000;
+    const auto tp_faults = cycled_universe(ex.spec, tp_n);
+    campaign_options tp_base;
+    tp_base.jobs = jobs;
+
+    // Baseline: the same streaming engine, no checkpoint layer at all.
+    double baseline_s = 0.0;
+    {
+        campaign_options o = tp_base;
+        o.stream_entries = true;
+        campaign_engine engine(ctx, tp_faults, o);
+        const double t0 = now_s();
+        (void)engine.run();
+        baseline_s = now_s() - t0;
+    }
+    text_table t({"config", "entries", "wall (s)", "entries/s",
+                  "overhead"});
+    auto throughput_row = [&](const std::string& name, double secs,
+                              std::size_t snapshots) {
+        t.add_row({name + " (" + std::to_string(snapshots) + " snapshots)",
+                   std::to_string(tp_n), fmt_double(secs, 3),
+                   fmt_double(static_cast<double>(tp_n) /
+                                  std::max(secs, 1e-9),
+                              0),
+                   fmt_double(100.0 * (secs - baseline_s) /
+                                  std::max(baseline_s, 1e-9),
+                              1) +
+                       "%"});
+    };
+    t.add_row({"streaming engine, no checkpoints", std::to_string(tp_n),
+               fmt_double(baseline_s, 3),
+               fmt_double(static_cast<double>(tp_n) /
+                              std::max(baseline_s, 1e-9),
+                          0),
+               "-"});
+    double cadence_walls[2] = {0.0, 0.0};
+    std::size_t cadence_snaps[2] = {0, 0};
+    const std::size_t cadences[2] = {1024, 64};
+    for (int c = 0; c < 2; ++c) {
+        sweep_options sw;
+        sw.campaign = tp_base;
+        sw.checkpoint_path = dir + "tp.snap";
+        sw.spill_path = dir + "tp.jsonl";
+        sw.checkpoint_every_entries = cadences[c];
+        reset_paths(sw.checkpoint_path, sw.spill_path);
+        const timed_sweep r = run_timed(ctx, tp_faults, sw);
+        cadence_walls[c] = r.wall_s;
+        cadence_snaps[c] = r.result.snapshots_written;
+        throughput_row("checkpoint every " + std::to_string(cadences[c]),
+                       r.wall_s, r.result.snapshots_written);
+    }
+    std::cout << t;
+    root.set("throughput_entries", json_value::number(tp_n));
+    root.set("wall_no_checkpoint_s", json_value::number(baseline_s));
+    root.set("wall_cadence_1024_s", json_value::number(cadence_walls[0]));
+    root.set("wall_cadence_64_s", json_value::number(cadence_walls[1]));
+    root.set("snapshots_cadence_1024",
+             json_value::number(cadence_snaps[0]));
+    root.set("snapshots_cadence_64", json_value::number(cadence_snaps[1]));
+    root.set("entries_per_s_no_checkpoint",
+             json_value::number(static_cast<double>(tp_n) /
+                                std::max(baseline_s, 1e-9)));
+    root.set("entries_per_s_cadence_1024",
+             json_value::number(static_cast<double>(tp_n) /
+                                std::max(cadence_walls[0], 1e-9)));
+
+    // ---------------------------------------------------------------
+    std::cout << "\n=== sweep: resume overhead (already-complete sweep) "
+                 "===\n";
+    {
+        // The tp.snap above is complete; resuming it does no diagnosis
+        // work, so its wall clock is the fixed resume cost.
+        sweep_options sw;
+        sw.campaign = tp_base;
+        sw.checkpoint_path = dir + "tp.snap";
+        sw.spill_path = dir + "tp.jsonl";
+        sw.resume = true;
+        const timed_sweep r = run_timed(ctx, tp_faults, sw);
+        ok = ok && r.result.resumed_from == tp_n && !r.result.interrupted;
+        std::cout << "resume of a complete " << tp_n
+                  << "-entry sweep: " << fmt_double(r.wall_s, 4)
+                  << "s (snapshot load + fingerprints + spill check)\n";
+        root.set("wall_resume_noop_s", json_value::number(r.wall_s));
+    }
+
+    // ---------------------------------------------------------------
+    std::cout << "\n=== sweep: flat RSS over a "
+              << (quick ? "3k" : "120k") << "-entry universe ===\n";
+    {
+        const std::size_t rss_n = quick ? 3'000 : 120'000;
+        const auto rss_faults = cycled_universe(ex.spec, rss_n);
+        sweep_options sw;
+        sw.campaign = tp_base;
+        sw.checkpoint_path = dir + "rss.snap";
+        sw.spill_path = dir + "rss.jsonl";
+        sw.checkpoint_every_entries = 4096;
+        reset_paths(sw.checkpoint_path, sw.spill_path);
+        rss_probe probe;
+        sw.observer = &probe;
+        const std::size_t rss_before = vm_rss_kb();
+        const timed_sweep r = run_timed(ctx, rss_faults, sw);
+        const std::size_t rss_peak = probe.peak_kb();
+        const std::size_t growth =
+            rss_peak > rss_before ? rss_peak - rss_before : 0;
+        // Retaining campaign entries would cost hundreds of bytes each —
+        // tens of MB at 120k.  Streaming must stay within a small constant
+        // (allocator slack, spill buffers, the bounded reorder window).
+        const bool flat = growth < 32 * 1024;
+        ok = ok && flat && r.result.completed == rss_n;
+        std::cout << rss_n << " entries in " << fmt_double(r.wall_s, 2)
+                  << "s; RSS " << rss_before << " KiB -> peak " << rss_peak
+                  << " KiB (growth " << growth << " KiB): "
+                  << (flat ? "flat" : "NOT FLAT — STREAMING BUG") << "\n";
+        root.set("rss_entries", json_value::number(rss_n));
+        root.set("rss_wall_s", json_value::number(r.wall_s));
+        root.set("rss_before_kb", json_value::number(rss_before));
+        root.set("rss_peak_kb", json_value::number(rss_peak));
+        root.set("rss_growth_kb", json_value::number(growth));
+        root.set("rss_flat", json_value::boolean(flat));
+    }
+
+    // ---------------------------------------------------------------
+    std::cout << "\n=== sweep: kill/resume identity (closing block) ===\n";
+    const std::size_t id_n = quick ? 300 : 1'000;
+    const auto id_faults = cycled_universe(ex.spec, id_n);
+    json_value identity = json_value::array();
+    for (const std::size_t id_jobs : {std::size_t{1}, std::size_t{4}}) {
+        campaign_options o;
+        o.jobs = id_jobs;
+
+        // Reference: straight through, no interruption.
+        sweep_options ref;
+        ref.campaign = o;
+        ref.checkpoint_path = dir + "ref.snap";
+        ref.spill_path = dir + "ref.jsonl";
+        reset_paths(ref.checkpoint_path, ref.spill_path);
+        const timed_sweep want = run_timed(ctx, id_faults, ref);
+
+        // Killed run: a forked child dies by SIGKILL mid-sweep — no
+        // destructors, no final snapshot, exactly like a crash or OOM
+        // kill.
+        sweep_options victim;
+        victim.campaign = o;
+        victim.checkpoint_path = dir + "kill.snap";
+        victim.spill_path = dir + "kill.jsonl";
+        victim.checkpoint_every_entries = 16;
+        reset_paths(victim.checkpoint_path, victim.spill_path);
+        const pid_t pid = ::fork();
+        if (pid == 0) {
+            std::size_t seen = 0;
+            sweep_options child = victim;
+            child.should_stop = [&]() {
+                if (++seen >= id_n / 2) ::raise(SIGKILL);
+                return false;
+            };
+            (void)run_sweep(ctx, id_faults, child);
+            ::_exit(0);  // unreachable
+        }
+        int status = 0;
+        ::waitpid(pid, &status, 0);
+        const bool killed =
+            WIFSIGNALED(status) && WTERMSIG(status) == SIGKILL;
+
+        // Resume and compare against the reference.
+        sweep_options again = victim;
+        again.resume = true;
+        const timed_sweep got = run_timed(ctx, id_faults, again);
+        const bool spills_equal = slurp_file(victim.spill_path) ==
+                                  slurp_file(ref.spill_path);
+        const bool stats_equal =
+            same_aggregates(got.result.stats, want.result.stats);
+        const bool resumed_mid = got.result.resumed_from > 0 &&
+                                 got.result.resumed_from < id_n;
+        const bool pass =
+            killed && spills_equal && stats_equal && resumed_mid;
+        ok = ok && pass;
+        std::cout << "jobs=" << id_jobs << ": killed at ~" << id_n / 2
+                  << ", resumed from " << got.result.resumed_from << "/"
+                  << id_n << "; spill byte-identical: "
+                  << (spills_equal ? "yes" : "NO") << ", stats identical: "
+                  << (stats_equal ? "yes" : "NO")
+                  << (pass ? "" : "  — IDENTITY BUG") << "\n";
+
+        json_value row = json_value::object();
+        row.set("jobs", json_value::number(id_jobs));
+        row.set("entries", json_value::number(id_n));
+        row.set("resumed_from",
+                json_value::number(got.result.resumed_from));
+        row.set("wall_straight_s", json_value::number(want.wall_s));
+        row.set("wall_resumed_segment_s", json_value::number(got.wall_s));
+        row.set("spill_identical", json_value::boolean(spills_equal));
+        row.set("stats_identical", json_value::boolean(stats_equal));
+        identity.push(std::move(row));
+    }
+    root.set("kill_resume", std::move(identity));
+    root.set("ok", json_value::boolean(ok));
+
+    std::ofstream jout("BENCH_sweep.json");
+    jout << root.dump(true) << "\n";
+    std::cout << "\nkill/resume identity + flat RSS: "
+              << (ok ? "all checks passed" : "FAILED") << "\n";
+    return ok ? 0 : 1;
+}

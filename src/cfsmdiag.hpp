@@ -57,9 +57,11 @@
 #include "fsm/separate.hpp"
 #include "fsm/symbol.hpp"
 #include "gen/campaign.hpp"
+#include "gen/checkpoint.hpp"
 #include "gen/engine.hpp"
 #include "gen/random_system.hpp"
 #include "cfsm/equivalence.hpp"
+#include "io/snapshot.hpp"
 #include "io/text_format.hpp"
 #include "models/models.hpp"
 #include "nondet/behaviours.hpp"

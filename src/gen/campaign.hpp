@@ -57,6 +57,24 @@ struct campaign_options {
     /// before each diagnosis.  Anything it throws is captured into that
     /// fault's `errored` entry; the rest of the campaign is unaffected.
     std::function<void(std::size_t)> fault_hook;
+    /// Fold entries into the aggregate stats as they complete instead of
+    /// retaining them: stats().entries stays empty and engine memory stays
+    /// flat at any universe size (out-of-order finishers are buffered only
+    /// until the in-order cursor reaches them, a window bounded by `jobs`
+    /// when the execution order is unshuffled).  Per-entry consumers attach
+    /// a campaign_observer — callbacks still arrive, in fault-index order —
+    /// or use the checkpointed sweep's JSONL spill (gen/checkpoint.hpp).
+    /// Combining streaming with a non-zero `seed` shuffle works but lets
+    /// the reorder buffer grow toward the universe size; the sweep layer
+    /// therefore pins seed = 0.
+    bool stream_entries = false;
+    /// Offset added to every fault index the engine exposes (fault_hook,
+    /// flakiness-seed mixing, observer callbacks).  A resumed sweep runs
+    /// the remaining faults as a fresh engine over a sub-range; setting the
+    /// base to the resume point keeps each fault's hook index and flaky
+    /// stream equal to the uninterrupted run's, which is what makes the
+    /// resume byte-identical.
+    std::size_t index_base = 0;
 };
 
 /// One fault's scored run.  Every field is a deterministic function of
@@ -127,8 +145,47 @@ struct campaign_stats {
     std::vector<campaign_entry> entries;
 };
 
+/// Incremental, exact fold of campaign entries into aggregate statistics —
+/// the streaming form of aggregate_entries().  All state is integral
+/// (means are derived only in finish()), so a fold persisted mid-campaign
+/// and restored later reproduces the uninterrupted aggregates bit for bit;
+/// the sweep checkpoint layer (gen/checkpoint.hpp) serializes exactly
+/// these fields.  Folding is order-independent across entries.
+struct campaign_aggregator {
+    std::size_t total = 0;
+    std::size_t detected = 0;
+    std::size_t localized = 0;
+    std::size_t localized_equiv = 0;
+    std::size_t ambiguous = 0;
+    std::size_t no_hypothesis = 0;
+    std::size_t inconclusive_unreliable = 0;
+    std::size_t errored = 0;
+    std::size_t sound = 0;
+    std::size_t escalations = 0;
+    std::size_t fallbacks = 0;
+    std::size_t retries = 0;
+    std::size_t transient_failures = 0;
+    std::size_t quarantined_runs = 0;
+    /// Integer sums over detected entries; finish() turns them into the
+    /// mean_* fields.
+    std::size_t sum_initial_diagnoses = 0;
+    std::size_t sum_final_diagnoses = 0;
+    std::size_t sum_additional_tests = 0;
+    std::size_t sum_additional_inputs = 0;
+
+    /// Folds one scored entry into the counters.
+    void add(const campaign_entry& entry);
+
+    /// The aggregate stats of everything folded so far (entries empty).
+    [[nodiscard]] campaign_stats finish() const;
+
+    friend auto operator<=>(const campaign_aggregator&,
+                            const campaign_aggregator&) = default;
+};
+
 /// Recomputes the aggregate counters from `entries` (same math the engine
-/// applies after its deterministic merge).
+/// applies after its deterministic merge; implemented as a
+/// campaign_aggregator fold).
 [[nodiscard]] campaign_stats aggregate_entries(
     std::vector<campaign_entry> entries);
 

@@ -1,0 +1,183 @@
+// Crash-safe exhaustive sweeps: checkpoint/resume on top of the campaign
+// engine.
+//
+// An exhaustive campaign over a large fault universe can run for hours; a
+// crash, OOM kill, or operator interrupt should cost at most one
+// checkpoint interval of work — never correctness.  The sweep layer
+// periodically persists the campaign's durable state as an atomic,
+// checksummed snapshot (io/snapshot.hpp) and can resume from it, with one
+// hard guarantee:
+//
+//     A resumed sweep produces byte-identical entries and aggregate
+//     statistics to an uninterrupted run, at any --jobs.
+//
+// What makes that guarantee cheap is the engine's determinism contract:
+// entries are emitted in fault-index order by a completion cursor, so the
+// durable state of a half-finished campaign is simply "the first k faults
+// are done" plus an exact integer fold of their statistics
+// (campaign_aggregator).  The snapshot records
+//   - fingerprints of the world (spec, suite, fault universe, options) so
+//     a snapshot is never resumed against a different experiment,
+//   - the completed prefix length k,
+//   - the aggregator fold and the entry-derived metric fold,
+//   - the byte length of the JSONL entry spill at the time of the
+//     snapshot, so a torn spill tail (rows written after the last
+//     checkpoint) is truncated away on resume.
+// Resume then re-runs only faults [k, n) as a fresh engine with
+// `index_base = k` and `stream_entries = true`: per-fault hooks and flaky
+// seeds see their original global indices, the reorder window stays
+// bounded, and memory stays flat at any universe size.
+//
+// What is and is not byte-identical across a kill/resume boundary:
+//   - entries (the spill rows), the aggregate campaign_stats, and the
+//     entry-derived cost counters (replays, oracle executions/inputs,
+//     additional tests/inputs) are exact — these are per-entry
+//     deterministic and are folded from the same entries either way;
+//   - the sharing-dependent counters (simulated_steps, replay-cache and
+//     discrimination-memo hits/misses) and all wall-clock fields are
+//     reported for the *current segment only*: a resumed process starts
+//     with cold in-memory memos, so campaign-wide sharing totals are not
+//     reconstructible.  They remain useful as profiling data, and are
+//     deterministic within a segment.
+//
+// Corruption handling is inherited from io/snapshot.hpp: a torn or
+// bit-rotten snapshot falls back to the previous generation; if no
+// generation verifies, resume throws snapshot_error rather than guessing.
+// A fingerprint mismatch (snapshot from a different spec/suite/universe/
+// options) likewise throws — resuming the wrong experiment would be a
+// silent-wrong-result bug, the one failure mode this layer exists to
+// prevent.
+#pragma once
+
+#include <functional>
+#include <string>
+
+#include "gen/engine.hpp"
+
+namespace cfsmdiag {
+
+/// The durable state of a partially-completed sweep — everything needed to
+/// continue a campaign from its completed prefix.  Serialized as a
+/// line-oriented `key value` payload inside an atomic snapshot file.
+struct sweep_checkpoint {
+    /// FNV-1a 64 fingerprints of the experiment.  A snapshot only resumes
+    /// a campaign whose world hashes to the same four values.
+    std::uint64_t spec_fingerprint = 0;
+    std::uint64_t suite_fingerprint = 0;
+    std::uint64_t faults_fingerprint = 0;
+    std::uint64_t options_fingerprint = 0;
+    /// Faults in the planned universe (after max_faults trimming).
+    std::size_t planned = 0;
+    /// Completed prefix: faults [0, completed) are done, folded, and (when
+    /// spilling) on disk.
+    std::size_t completed = 0;
+    /// Byte length of the JSONL spill covering exactly the completed
+    /// prefix.  On resume the spill is truncated to this length, dropping
+    /// any torn tail written after the last checkpoint.
+    std::size_t spill_bytes = 0;
+    /// Exact integer fold of the completed prefix's statistics.
+    campaign_aggregator aggregates;
+    /// Entry-derived cost counters folded over the completed prefix (the
+    /// per-entry deterministic subset of campaign_metrics).
+    std::size_t replays = 0;
+    std::size_t oracle_executions = 0;
+    std::size_t oracle_inputs = 0;
+    std::size_t additional_tests = 0;
+    std::size_t additional_inputs = 0;
+
+    friend auto operator<=>(const sweep_checkpoint&,
+                            const sweep_checkpoint&) = default;
+};
+
+/// Serializes a checkpoint as the line-oriented snapshot payload.
+[[nodiscard]] std::string write_sweep_checkpoint(const sweep_checkpoint& cp);
+
+/// Parses a snapshot payload.  Throws snapshot_error on an unknown format
+/// line, a missing or duplicated key, or a malformed number — a payload
+/// that passed the file checksum but does not parse is a version or
+/// tampering problem, not a torn write, and is never silently "repaired".
+[[nodiscard]] sweep_checkpoint parse_sweep_checkpoint(
+    const std::string& payload);
+
+/// Fingerprints of one experiment: (spec, suite, fault universe, the
+/// entry-affecting subset of options).  jobs/seed/checkpoint cadence are
+/// excluded — they never change entries, and a sweep may legitimately be
+/// resumed with a different worker count.
+[[nodiscard]] sweep_checkpoint fingerprint_sweep(
+    const spec_context& ctx,
+    const std::vector<single_transition_fault>& faults,
+    const campaign_options& options);
+
+struct sweep_options {
+    /// Engine options for the underlying campaign.  `stream_entries`,
+    /// `index_base`, and `max_faults` are managed by the sweep itself;
+    /// `seed` is forced to 0 (a shuffled execution order would unbound the
+    /// streaming reorder window and contributes nothing to a sweep that
+    /// always runs to completion).
+    campaign_options campaign;
+    /// Snapshot file path (required).  `<path>.prev` and `<path>.tmp` are
+    /// used by the atomic-rename protocol.
+    std::string checkpoint_path;
+    /// When non-empty, every entry is appended to this file as one compact
+    /// JSON row per line (the campaign_entry_to_json schema).  The spill is
+    /// the sweep's per-entry output — stats().entries stays empty.
+    std::string spill_path;
+    /// Write a snapshot every N completed entries (0 = only the final
+    /// snapshot) ...
+    std::size_t checkpoint_every_entries = 1024;
+    /// ... or every S seconds, whichever comes first (0 = off).
+    double checkpoint_every_seconds = 0.0;
+    /// Resume from `checkpoint_path` if a snapshot exists there.  Off by
+    /// default: an unrelated leftover file must not silently shorten a
+    /// fresh sweep; resuming is an explicit decision (CLI `--resume`).
+    bool resume = false;
+    /// Polled after each emitted entry (in fault-index order, on a worker
+    /// thread).  Returning true stops the sweep gracefully: claiming
+    /// stops, in-flight faults complete, a final snapshot is flushed, and
+    /// run_sweep returns with `interrupted = true`.  The SIGINT/SIGTERM
+    /// handler in the CLI is one such predicate.
+    std::function<bool()> should_stop;
+    /// Optional extra observer (e.g. the CLI's progress printer), attached
+    /// ahead of the sweep's own recorder so its on_fault_done runs before
+    /// the entry is folded — and before an interrupt can end the run.
+    campaign_observer* observer = nullptr;
+};
+
+struct sweep_result {
+    /// Aggregate statistics over the *whole* completed prefix, including
+    /// entries folded by previous segments (entries vector empty — the
+    /// spill is the per-entry record).
+    campaign_stats stats;
+    /// Segment metrics merged with the checkpoint fold: the entry-derived
+    /// counters cover the whole prefix; sharing-dependent and wall-clock
+    /// fields cover the current segment only (see file comment).
+    campaign_metrics metrics;
+    /// Entries already complete when this run started (0 for a fresh run).
+    std::size_t resumed_from = 0;
+    /// Faults completed and folded, over all segments.
+    std::size_t completed = 0;
+    /// True when should_stop ended the run before the universe was done.
+    /// The final snapshot has been flushed either way.
+    bool interrupted = false;
+    /// Snapshots written by this run (periodic + final).
+    std::size_t snapshots_written = 0;
+    /// True when resume had to fall back to `<path>.prev` (the primary
+    /// snapshot was torn, corrupt, or mid-rename absent).
+    bool fell_back = false;
+};
+
+/// Runs (or resumes) a checkpointed sweep of `faults` against `ctx`.
+/// Returns when the universe is exhausted or should_stop fires; either way
+/// the snapshot on disk reflects everything the result reports.  Throws
+/// snapshot_error on unusable snapshots (see file comment) and
+/// model_error/error for the usual configuration problems.
+sweep_result run_sweep(const spec_context& ctx,
+                       const std::vector<single_transition_fault>& faults,
+                       const sweep_options& options);
+
+/// Convenience: compiles a spec_context from (spec, suite) first.
+sweep_result run_sweep(const system& spec, const test_suite& suite,
+                       const std::vector<single_transition_fault>& faults,
+                       const sweep_options& options);
+
+}  // namespace cfsmdiag

@@ -2,8 +2,10 @@
 
 #include <algorithm>
 #include <chrono>
+#include <map>
 #include <mutex>
 #include <numeric>
+#include <ostream>
 #include <utility>
 
 #include "diag/discrim_engine.hpp"
@@ -58,59 +60,81 @@ std::uint64_t mix_fault_seed(std::uint64_t seed, std::size_t index) noexcept {
 
 }  // namespace
 
-campaign_stats aggregate_entries(std::vector<campaign_entry> entries) {
+void campaign_aggregator::add(const campaign_entry& entry) {
+    ++total;
+    retries += entry.retries;
+    transient_failures += entry.transient_failures;
+    quarantined_runs += entry.quarantined_cases + entry.quarantined_tests;
+    if (entry.errored) {
+        // The diagnosis crashed: no verdict to score.  Counting it as
+        // detected or unsound would poison the soundness math.
+        ++errored;
+        return;
+    }
+    if (entry.outcome == diagnosis_outcome::inconclusive_unreliable) {
+        // A refusal to guess, not a detection — kept out of the
+        // detected/sound buckets so degradation never reads as either
+        // a catch or a misdiagnosis.
+        ++inconclusive_unreliable;
+        return;
+    }
+    if (!entry.detected) return;
+    ++detected;
+    if (entry.sound) ++sound;
+    sum_initial_diagnoses += entry.initial_diagnoses;
+    sum_final_diagnoses += entry.final_diagnoses;
+    sum_additional_tests += entry.additional_tests;
+    sum_additional_inputs += entry.additional_inputs;
+    switch (entry.outcome) {
+        case diagnosis_outcome::localized: ++localized; break;
+        case diagnosis_outcome::localized_up_to_equivalence:
+            ++localized_equiv;
+            break;
+        case diagnosis_outcome::ambiguous: ++ambiguous; break;
+        case diagnosis_outcome::no_consistent_hypothesis:
+            ++no_hypothesis;
+            break;
+        case diagnosis_outcome::passed: break;
+        case diagnosis_outcome::inconclusive_unreliable: break;
+    }
+    if (entry.escalated) ++escalations;
+    if (entry.used_fallback) ++fallbacks;
+}
+
+campaign_stats campaign_aggregator::finish() const {
     campaign_stats stats;
-    double sum_initial = 0, sum_final = 0, sum_tests = 0, sum_inputs = 0;
-
-    for (const campaign_entry& entry : entries) {
-        ++stats.total;
-        stats.retries += entry.retries;
-        stats.transient_failures += entry.transient_failures;
-        stats.quarantined_runs +=
-            entry.quarantined_cases + entry.quarantined_tests;
-        if (entry.errored) {
-            // The diagnosis crashed: no verdict to score.  Counting it as
-            // detected or unsound would poison the soundness math.
-            ++stats.errored;
-            continue;
-        }
-        if (entry.outcome == diagnosis_outcome::inconclusive_unreliable) {
-            // A refusal to guess, not a detection — kept out of the
-            // detected/sound buckets so degradation never reads as either
-            // a catch or a misdiagnosis.
-            ++stats.inconclusive_unreliable;
-            continue;
-        }
-        if (!entry.detected) continue;
-        ++stats.detected;
-        if (entry.sound) ++stats.sound;
-        sum_initial += static_cast<double>(entry.initial_diagnoses);
-        sum_final += static_cast<double>(entry.final_diagnoses);
-        sum_tests += static_cast<double>(entry.additional_tests);
-        sum_inputs += static_cast<double>(entry.additional_inputs);
-        switch (entry.outcome) {
-            case diagnosis_outcome::localized: ++stats.localized; break;
-            case diagnosis_outcome::localized_up_to_equivalence:
-                ++stats.localized_equiv;
-                break;
-            case diagnosis_outcome::ambiguous: ++stats.ambiguous; break;
-            case diagnosis_outcome::no_consistent_hypothesis:
-                ++stats.no_hypothesis;
-                break;
-            case diagnosis_outcome::passed: break;
-            case diagnosis_outcome::inconclusive_unreliable: break;
-        }
-        if (entry.escalated) ++stats.escalations;
-        if (entry.used_fallback) ++stats.fallbacks;
+    stats.total = total;
+    stats.detected = detected;
+    stats.localized = localized;
+    stats.localized_equiv = localized_equiv;
+    stats.ambiguous = ambiguous;
+    stats.no_hypothesis = no_hypothesis;
+    stats.inconclusive_unreliable = inconclusive_unreliable;
+    stats.errored = errored;
+    stats.sound = sound;
+    stats.escalations = escalations;
+    stats.fallbacks = fallbacks;
+    stats.retries = retries;
+    stats.transient_failures = transient_failures;
+    stats.quarantined_runs = quarantined_runs;
+    if (detected > 0) {
+        const auto d = static_cast<double>(detected);
+        stats.mean_initial_diagnoses =
+            static_cast<double>(sum_initial_diagnoses) / d;
+        stats.mean_final_diagnoses =
+            static_cast<double>(sum_final_diagnoses) / d;
+        stats.mean_additional_tests =
+            static_cast<double>(sum_additional_tests) / d;
+        stats.mean_additional_inputs =
+            static_cast<double>(sum_additional_inputs) / d;
     }
+    return stats;
+}
 
-    if (stats.detected > 0) {
-        const auto d = static_cast<double>(stats.detected);
-        stats.mean_initial_diagnoses = sum_initial / d;
-        stats.mean_final_diagnoses = sum_final / d;
-        stats.mean_additional_tests = sum_tests / d;
-        stats.mean_additional_inputs = sum_inputs / d;
-    }
+campaign_stats aggregate_entries(std::vector<campaign_entry> entries) {
+    campaign_aggregator agg;
+    for (const campaign_entry& entry : entries) agg.add(entry);
+    campaign_stats stats = agg.finish();
     stats.entries = std::move(entries);
     return stats;
 }
@@ -157,8 +181,12 @@ campaign_entry campaign_engine::run_one(std::size_t index,
     // physical implementation whose execution costs the tester nothing, so
     // these apply calls are excluded from the simulated-steps metric below.
     std::size_t iut_inputs = 0;
+    // Hooks and flaky seeds see the *global* index (engine-local index plus
+    // the resume offset), so a resumed sub-range reproduces the
+    // uninterrupted run's per-fault behaviour exactly.
+    const std::size_t global_index = options_.index_base + index;
     try {
-        if (options_.fault_hook) options_.fault_hook(index);
+        if (options_.fault_hook) options_.fault_hook(global_index);
 
         const bool flaky_lab = options_.flaky && options_.flaky->active();
         diagnosis_result result;
@@ -170,7 +198,7 @@ campaign_entry campaign_engine::run_one(std::size_t index,
             sut_connection* sut = &raw;
             if (flaky_lab) {
                 flakiness_profile profile = *options_.flaky;
-                profile.seed = mix_fault_seed(profile.seed, index);
+                profile.seed = mix_fault_seed(profile.seed, global_index);
                 flaky.emplace(raw, spec_, profile);
                 sut = &*flaky;
             }
@@ -281,8 +309,14 @@ const campaign_stats& campaign_engine::run() {
         shuffle_rng.shuffle(order);
     }
 
-    std::vector<campaign_entry> entries(n);
+    // Accumulating path: entries land in slot i and are aggregated at the
+    // end.  Streaming path: finished entries wait in `pending` only until
+    // the cursor reaches them, then are emitted, folded, and released —
+    // memory stays bounded by the out-of-order window instead of n.
+    std::vector<campaign_entry> entries(options_.stream_entries ? 0 : n);
     std::vector<char> ready(n, 0);
+    std::map<std::size_t, campaign_entry> pending;
+    campaign_aggregator agg;
     std::size_t next_emit = 0;
     std::mutex merge_mutex;
 
@@ -300,13 +334,11 @@ const campaign_stats& campaign_engine::run() {
             run_one(i, faults_[i], stage, scoring, cost);
 
         const std::lock_guard<std::mutex> lock(merge_mutex);
-        entries[i] = std::move(entry);
-        ready[i] = 1;
-        metrics_.replays += entries[i].replays;
-        metrics_.oracle_executions += entries[i].oracle_executions;
-        metrics_.oracle_inputs += entries[i].oracle_inputs;
-        metrics_.additional_tests += entries[i].additional_tests;
-        metrics_.additional_inputs += entries[i].additional_inputs;
+        metrics_.replays += entry.replays;
+        metrics_.oracle_executions += entry.oracle_executions;
+        metrics_.oracle_inputs += entry.oracle_inputs;
+        metrics_.additional_tests += entry.additional_tests;
+        metrics_.additional_inputs += entry.additional_inputs;
         metrics_.simulated_steps += cost.simulated_steps;
         metrics_.cache_case_skips += cost.cache_case_skips;
         metrics_.cache_suffix_replays += cost.cache_suffix_replays;
@@ -317,14 +349,31 @@ const campaign_stats& campaign_engine::run() {
         metrics_.discrim_bfs_searches += cost.discrim_bfs_searches;
         metrics_.stage += stage;
         metrics_.wall_scoring += scoring;
-        while (next_emit < n && ready[next_emit]) {
-            for (campaign_observer* o : observers_)
-                o->on_fault_done(next_emit, entries[next_emit]);
-            ++next_emit;
+        if (options_.stream_entries) {
+            pending.emplace(i, std::move(entry));
+            while (!pending.empty() &&
+                   pending.begin()->first == next_emit) {
+                auto node = pending.extract(pending.begin());
+                const campaign_entry& head = node.mapped();
+                for (campaign_observer* o : observers_)
+                    o->on_fault_done(options_.index_base + next_emit, head);
+                agg.add(head);
+                ++next_emit;
+            }
+        } else {
+            entries[i] = std::move(entry);
+            ready[i] = 1;
+            while (next_emit < n && ready[next_emit]) {
+                for (campaign_observer* o : observers_)
+                    o->on_fault_done(options_.index_base + next_emit,
+                                     entries[next_emit]);
+                ++next_emit;
+            }
         }
     });
 
-    stats_ = aggregate_entries(std::move(entries));
+    stats_ = options_.stream_entries ? agg.finish()
+                                     : aggregate_entries(std::move(entries));
     metrics_.faults = stats_.total;
     metrics_.wall_total = seconds_since(t0);
     for (campaign_observer* o : observers_)
@@ -332,8 +381,40 @@ const campaign_stats& campaign_engine::run() {
     return stats_;
 }
 
-json_value campaign_to_json(const system& spec, const campaign_stats& stats,
-                            const campaign_metrics& metrics) {
+json_value campaign_entry_to_json(const system& spec,
+                                  const campaign_entry& e) {
+    json_value row = json_value::object();
+    row.set("fault", json_value::string(describe(spec, e.fault)));
+    row.set("kind", json_value::string(to_string(e.fault.kind())));
+    row.set("outcome", json_value::string(to_string(e.outcome)));
+    row.set("detected", json_value::boolean(e.detected));
+    row.set("sound", json_value::boolean(e.sound));
+    row.set("initial_diagnoses", json_value::number(e.initial_diagnoses));
+    row.set("final_diagnoses", json_value::number(e.final_diagnoses));
+    row.set("additional_tests", json_value::number(e.additional_tests));
+    row.set("additional_inputs", json_value::number(e.additional_inputs));
+    row.set("replays", json_value::number(e.replays));
+    row.set("oracle_executions", json_value::number(e.oracle_executions));
+    row.set("oracle_inputs", json_value::number(e.oracle_inputs));
+    row.set("escalated", json_value::boolean(e.escalated));
+    row.set("used_fallback", json_value::boolean(e.used_fallback));
+    row.set("retries", json_value::number(e.retries));
+    row.set("transient_failures", json_value::number(e.transient_failures));
+    row.set("quarantined_cases", json_value::number(e.quarantined_cases));
+    row.set("quarantined_tests", json_value::number(e.quarantined_tests));
+    row.set("errored", json_value::boolean(e.errored));
+    if (e.errored) {
+        row.set("error_kind", json_value::string(e.error_kind));
+        row.set("error_message", json_value::string(e.error_message));
+    }
+    return row;
+}
+
+/// The report minus the entries array — shared between the monolithic and
+/// streaming writers so both render the same summary bytes.
+static json_value campaign_summary_json(const system& spec,
+                                        const campaign_stats& stats,
+                                        const campaign_metrics& metrics) {
     json_value root = json_value::object();
     root.set("system", json_value::string(spec.name()));
 
@@ -408,43 +489,41 @@ json_value campaign_to_json(const system& spec, const campaign_stats& stats,
     cost.set("wall_scoring_s", json_value::number(metrics.wall_scoring));
     cost.set("wall_total_s", json_value::number(metrics.wall_total));
     root.set("cost", std::move(cost));
+    return root;
+}
 
+json_value campaign_to_json(const system& spec, const campaign_stats& stats,
+                            const campaign_metrics& metrics) {
+    json_value root = campaign_summary_json(spec, stats, metrics);
     json_value entries = json_value::array();
-    for (const campaign_entry& e : stats.entries) {
-        json_value row = json_value::object();
-        row.set("fault", json_value::string(describe(spec, e.fault)));
-        row.set("kind", json_value::string(to_string(e.fault.kind())));
-        row.set("outcome", json_value::string(to_string(e.outcome)));
-        row.set("detected", json_value::boolean(e.detected));
-        row.set("sound", json_value::boolean(e.sound));
-        row.set("initial_diagnoses",
-                json_value::number(e.initial_diagnoses));
-        row.set("final_diagnoses", json_value::number(e.final_diagnoses));
-        row.set("additional_tests", json_value::number(e.additional_tests));
-        row.set("additional_inputs",
-                json_value::number(e.additional_inputs));
-        row.set("replays", json_value::number(e.replays));
-        row.set("oracle_executions",
-                json_value::number(e.oracle_executions));
-        row.set("oracle_inputs", json_value::number(e.oracle_inputs));
-        row.set("escalated", json_value::boolean(e.escalated));
-        row.set("used_fallback", json_value::boolean(e.used_fallback));
-        row.set("retries", json_value::number(e.retries));
-        row.set("transient_failures",
-                json_value::number(e.transient_failures));
-        row.set("quarantined_cases",
-                json_value::number(e.quarantined_cases));
-        row.set("quarantined_tests",
-                json_value::number(e.quarantined_tests));
-        row.set("errored", json_value::boolean(e.errored));
-        if (e.errored) {
-            row.set("error_kind", json_value::string(e.error_kind));
-            row.set("error_message", json_value::string(e.error_message));
-        }
-        entries.push(std::move(row));
-    }
+    for (const campaign_entry& e : stats.entries)
+        entries.push(campaign_entry_to_json(spec, e));
     root.set("entries", std::move(entries));
     return root;
+}
+
+void campaign_to_json(std::ostream& out, const system& spec,
+                      const campaign_stats& stats,
+                      const campaign_metrics& metrics) {
+    // Render the summary object, then splice the entries array in by hand,
+    // one row at a time, reproducing dump(true)'s layout exactly: the
+    // summary's closing "\n}" is replaced by the entries member, each row
+    // rendered as if nested two levels deep.
+    std::string summary =
+        campaign_summary_json(spec, stats, metrics).dump(true);
+    summary.resize(summary.size() - 2);  // drop the final "\n}"
+    out << summary << ",\n  \"entries\": ";
+    if (stats.entries.empty()) {
+        out << "[]\n}";
+        return;
+    }
+    out << "[\n";
+    for (std::size_t i = 0; i < stats.entries.size(); ++i) {
+        out << "    "
+            << campaign_entry_to_json(spec, stats.entries[i]).dump_at(2);
+        out << (i + 1 < stats.entries.size() ? ",\n" : "\n");
+    }
+    out << "  ]\n}";
 }
 
 }  // namespace cfsmdiag

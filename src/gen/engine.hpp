@@ -22,6 +22,8 @@
 //     std::cout << to_json(spec, eng.stats(), eng.metrics()).dump(true);
 #pragma once
 
+#include <iosfwd>
+
 #include "gen/campaign.hpp"
 #include "util/json.hpp"
 
@@ -182,5 +184,19 @@ class campaign_engine {
 [[nodiscard]] json_value campaign_to_json(const system& spec,
                                           const campaign_stats& stats,
                                           const campaign_metrics& metrics);
+
+/// One entry as a JSON record — the row schema of campaign_to_json's
+/// "entries" array, and of the sweep layer's JSONL spill (one compact row
+/// per line).
+[[nodiscard]] json_value campaign_entry_to_json(const system& spec,
+                                                const campaign_entry& e);
+
+/// Streaming form of campaign_to_json: writes the same bytes as
+/// `campaign_to_json(...).dump(true)` but emits entry rows one at a time
+/// instead of materializing the whole document — peak memory is one row,
+/// not the report.  The CLI's --json path uses this.
+void campaign_to_json(std::ostream& out, const system& spec,
+                      const campaign_stats& stats,
+                      const campaign_metrics& metrics);
 
 }  // namespace cfsmdiag

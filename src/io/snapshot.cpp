@@ -1,0 +1,189 @@
+#include "io/snapshot.hpp"
+
+#include <fcntl.h>
+#include <sys/stat.h>
+#include <unistd.h>
+
+#include <cerrno>
+#include <cstdio>
+#include <cstring>
+#include <fstream>
+#include <sstream>
+
+#include "util/error.hpp"
+
+namespace cfsmdiag {
+namespace {
+
+constexpr std::uint64_t kFnvOffset = 0xcbf29ce484222325ull;
+constexpr std::uint64_t kFnvPrime = 0x100000001b3ull;
+
+/// The footer line terminating every snapshot file.  Fixed width so the
+/// reader can verify by re-hashing everything before the footer.
+constexpr std::string_view kChecksumTag = "checksum ";
+
+[[noreturn]] void fail(const std::string& what) {
+    throw snapshot_error("snapshot: " + what);
+}
+
+[[noreturn]] void fail_errno(const std::string& what) {
+    fail(what + ": " + std::strerror(errno));
+}
+
+std::string hex16(std::uint64_t v) {
+    char buf[17];
+    std::snprintf(buf, sizeof buf, "%016llx",
+                  static_cast<unsigned long long>(v));
+    return std::string(buf, 16);
+}
+
+/// RAII file descriptor.
+struct fd_handle {
+    int fd = -1;
+    ~fd_handle() {
+        if (fd >= 0) ::close(fd);
+    }
+};
+
+void write_all(int fd, std::string_view data, const std::string& path) {
+    std::size_t off = 0;
+    while (off < data.size()) {
+        const ssize_t n =
+            ::write(fd, data.data() + off, data.size() - off);
+        if (n < 0) {
+            if (errno == EINTR) continue;
+            fail_errno("short write to '" + path + "'");
+        }
+        off += static_cast<std::size_t>(n);
+    }
+}
+
+void fsync_or_fail(int fd, const std::string& what) {
+    if (::fsync(fd) != 0) fail_errno("fsync of " + what + " failed");
+}
+
+/// fsyncs the directory containing `path` so the renames themselves are
+/// durable (a crash after rename but before the directory hits disk could
+/// otherwise resurrect the old directory entry).
+void fsync_parent_dir(const std::string& path) {
+    const std::size_t slash = path.find_last_of('/');
+    const std::string dir =
+        slash == std::string::npos ? "." : path.substr(0, slash + 1);
+    fd_handle d{::open(dir.c_str(), O_RDONLY | O_DIRECTORY)};
+    if (d.fd < 0) return;  // exotic fs without directory opens: best effort
+    (void)::fsync(d.fd);   // failure here is not actionable; renames landed
+}
+
+bool file_exists(const std::string& path) {
+    struct stat st{};
+    return ::stat(path.c_str(), &st) == 0;
+}
+
+}  // namespace
+
+std::uint64_t fnv1a64(std::string_view data, std::uint64_t state) noexcept {
+    for (const char c : data) {
+        state ^= static_cast<unsigned char>(c);
+        state *= kFnvPrime;
+    }
+    return state;
+}
+
+std::uint64_t fnv1a64(std::string_view data) noexcept {
+    return fnv1a64(data, kFnvOffset);
+}
+
+void write_snapshot_file(const std::string& path, std::string_view payload) {
+    // Normalize to a newline-terminated payload first: the checksum covers
+    // exactly the bytes the reader will re-hash (everything before the
+    // footer line).
+    std::string contents(payload);
+    if (!contents.empty() && contents.back() != '\n') contents += '\n';
+    contents += kChecksumTag;
+    contents += hex16(fnv1a64(std::string_view(contents).substr(
+        0, contents.size() - kChecksumTag.size())));
+    contents += '\n';
+
+    const std::string tmp = path + ".tmp";
+    const std::string prev = path + ".prev";
+    {
+        fd_handle f{::open(tmp.c_str(), O_WRONLY | O_CREAT | O_TRUNC,
+                           0644)};
+        if (f.fd < 0) fail_errno("cannot create '" + tmp + "'");
+        write_all(f.fd, contents, tmp);
+        fsync_or_fail(f.fd, "'" + tmp + "'");
+    }
+    // Rotate the previous generation aside *before* the new one lands:
+    // between the two renames the primary name may be briefly absent, but
+    // <path>.prev is complete and verified — the loader's fallback order
+    // covers exactly that window.
+    if (file_exists(path)) {
+        if (::rename(path.c_str(), prev.c_str()) != 0)
+            fail_errno("cannot rotate '" + path + "' to '" + prev + "'");
+    }
+    if (::rename(tmp.c_str(), path.c_str()) != 0)
+        fail_errno("cannot publish '" + tmp + "' as '" + path + "'");
+    fsync_parent_dir(path);
+}
+
+std::optional<std::string> read_snapshot_file(const std::string& path) {
+    std::ifstream in(path, std::ios::binary);
+    if (!in.good()) {
+        if (!file_exists(path)) return std::nullopt;
+        fail("cannot open '" + path + "'");
+    }
+    std::ostringstream buf;
+    buf << in.rdbuf();
+    std::string contents = buf.str();
+
+    // The footer is the last line: "checksum <16 hex>\n".
+    if (contents.empty()) fail("'" + path + "' is empty");
+    if (contents.back() != '\n')
+        fail("'" + path + "' is truncated (no trailing newline)");
+    const std::size_t footer_start =
+        contents.find_last_of('\n', contents.size() - 2);
+    const std::size_t line_begin =
+        footer_start == std::string::npos ? 0 : footer_start + 1;
+    const std::string_view footer(contents.data() + line_begin,
+                                  contents.size() - line_begin - 1);
+    if (footer.size() != kChecksumTag.size() + 16 ||
+        footer.substr(0, kChecksumTag.size()) != kChecksumTag)
+        fail("'" + path + "' has no checksum footer (truncated?)");
+    const std::string_view hex = footer.substr(kChecksumTag.size());
+    std::uint64_t stored = 0;
+    for (const char c : hex) {
+        int digit;
+        if (c >= '0' && c <= '9') digit = c - '0';
+        else if (c >= 'a' && c <= 'f') digit = c - 'a' + 10;
+        else
+            fail("'" + path + "' has a malformed checksum footer");
+        stored = stored << 4 | static_cast<std::uint64_t>(digit);
+    }
+    std::string payload = contents.substr(0, line_begin);
+    const std::uint64_t actual = fnv1a64(payload);
+    if (actual != stored)
+        fail("'" + path + "' checksum mismatch (stored " +
+             hex16(stored) + ", content hashes to " + hex16(actual) +
+             ") — torn write or corruption");
+    return payload;
+}
+
+std::optional<loaded_snapshot> load_snapshot(const std::string& path) {
+    const std::string prev = path + ".prev";
+    std::string rejected;
+    for (const std::string& candidate : {path, prev}) {
+        try {
+            auto payload = read_snapshot_file(candidate);
+            if (!payload) continue;  // absent: try the older generation
+            return loaded_snapshot{std::move(*payload), candidate,
+                                   candidate == prev};
+        } catch (const snapshot_error& e) {
+            if (!rejected.empty()) rejected += "; ";
+            rejected += e.what();
+        }
+    }
+    if (rejected.empty()) return std::nullopt;  // neither file exists
+    fail("no loadable generation (" + rejected + ")");
+}
+
+}  // namespace cfsmdiag

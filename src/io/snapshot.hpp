@@ -1,0 +1,72 @@
+// Atomic, checksummed snapshot files — the durability primitive under the
+// crash-safe sweep layer (gen/checkpoint.hpp).
+//
+// A snapshot is an opaque text payload made durable with the classic
+// write-temp + fsync + atomic-rename dance, plus two safety nets:
+//
+//   - a content checksum (FNV-1a 64) appended as the final line, so a torn
+//     or bit-rotten file is *detected* instead of silently resumed from,
+//   - generation rotation: the previous snapshot survives as `<path>.prev`
+//     until the new one is durable, so a crash at any instant leaves at
+//     least one loadable generation on disk.
+//
+// The write sequence is
+//     write payload+checksum to <path>.tmp,  fsync(<path>.tmp)
+//     rename <path> -> <path>.prev           (if a previous one exists)
+//     rename <path>.tmp -> <path>,           fsync(directory)
+// Every state the filesystem can crash into yields either the new
+// generation at <path>, or the old one at <path> or <path>.prev — never a
+// half-written file that passes its checksum.
+//
+// Corruption is reported through the util/error taxonomy: loaders that
+// find only unreadable generations throw `snapshot_error` describing every
+// candidate they rejected; a missing snapshot (fresh start) is not an
+// error and reads as std::nullopt.
+#pragma once
+
+#include <cstdint>
+#include <optional>
+#include <string>
+#include <string_view>
+
+namespace cfsmdiag {
+
+/// FNV-1a 64-bit over `data`.  Stable across platforms and runs — used for
+/// snapshot checksums and the sweep layer's world fingerprints.
+[[nodiscard]] std::uint64_t fnv1a64(std::string_view data) noexcept;
+
+/// Continues an FNV-1a 64 stream (for incremental fingerprints over parts
+/// that are never materialized as one string).  Seed with fnv1a64("").
+[[nodiscard]] std::uint64_t fnv1a64(std::string_view data,
+                                    std::uint64_t state) noexcept;
+
+/// Durably replaces `path` with `payload` + a checksum footer, rotating
+/// the previous generation to `<path>.prev`.  Throws snapshot_error when
+/// the filesystem refuses (unwritable directory, ENOSPC, ...).
+void write_snapshot_file(const std::string& path, std::string_view payload);
+
+/// Loads and verifies one snapshot file.  Returns the payload (checksum
+/// footer stripped); std::nullopt if the file does not exist; throws
+/// snapshot_error on a torn/corrupt/unverifiable file.
+[[nodiscard]] std::optional<std::string> read_snapshot_file(
+    const std::string& path);
+
+/// A loaded snapshot plus where it came from (`path` or `path + ".prev"`).
+struct loaded_snapshot {
+    std::string payload;
+    std::string source;
+    /// True when the previous generation answered (the primary was torn,
+    /// corrupt, or mid-rename absent) — the caller lost at most one
+    /// checkpoint interval, never correctness.
+    bool fell_back = false;
+};
+
+/// Loads the newest trustworthy generation: `path` first, then
+/// `<path>.prev`.  Returns std::nullopt when neither exists (fresh
+/// start).  Throws snapshot_error listing every rejected candidate when at
+/// least one generation exists but none verifies — resuming from a bad
+/// snapshot is never an option.
+[[nodiscard]] std::optional<loaded_snapshot> load_snapshot(
+    const std::string& path);
+
+}  // namespace cfsmdiag

@@ -32,4 +32,34 @@ namespace cfsmdiag::models {
 /// Every model with its name (for parameterized tests and benches).
 [[nodiscard]] std::vector<std::pair<std::string, system>> all_models();
 
+// ---------------------------------------------------------------------------
+// The model zoo: parameterized protocol/RTOS-flavoured families for
+// exhaustive sweeps (gen/checkpoint.hpp).  Scaling the parameter scales the
+// fault universe, which is what the sweep benches need; all family members
+// pass validate_structure() like the fixed models above.
+
+/// An n-station token ring (n >= 2).  Station i passes the token to
+/// station i+1 (mod n); station 1 additionally owns token injection.
+/// token_ring(3) is structurally identical to token_ring3() apart from the
+/// system name.
+[[nodiscard]] system token_ring(std::size_t n);
+
+/// Stop-and-wait transfer with mod-m sequence numbers (m >= 2): a sender
+/// and a receiver exchanging d0..d(m-1) / a0..a(m-1) with retransmission,
+/// duplicate detection, and stale-ack handling.  m = 2 is the alternating
+/// bit shape; larger m grows both machines quadratically (the stale/dup
+/// lattice), which is the knob the sweep benches turn.
+[[nodiscard]] system sliding_window(std::size_t m);
+
+/// A round-robin scheduler with n tasks (n >= 1): the scheduler dispatches
+/// go<i> on a local tick, task i acknowledges completion with ack<i>, and
+/// both sides answer status queries — the communicating-FSM shape of a
+/// small RTOS dispatch loop.
+[[nodiscard]] system rtos_round_robin(std::size_t n);
+
+/// The zoo members the sweep benches and tests iterate: larger systems
+/// than all_models(), kept separate so the exhaustive per-model campaign
+/// tests stay fast.
+[[nodiscard]] std::vector<std::pair<std::string, system>> zoo_models();
+
 }  // namespace cfsmdiag::models

@@ -49,6 +49,28 @@ class budget_exceeded : public error {
     explicit budget_exceeded(const std::string& what) : error(what) {}
 };
 
+/// Thrown when a persisted campaign snapshot cannot be trusted: torn or
+/// truncated file, checksum mismatch, unknown format version, or a
+/// fingerprint that proves the snapshot belongs to a different
+/// (spec, suite, fault universe, options) world.  The loader falls back to
+/// the previous good generation before throwing; once this escapes, no
+/// safe resume exists — the sweep must restart rather than risk a wrong
+/// resume.
+class snapshot_error : public error {
+  public:
+    explicit snapshot_error(const std::string& what) : error(what) {}
+};
+
+/// Thrown for malformed command-line invocations: an unknown flag, a
+/// missing value, or a value outside the flag's domain.  The message
+/// always names the offending flag and the expected domain so the CLI can
+/// report one structured diagnostic instead of scattering per-call-site
+/// prints.
+class usage_error : public error {
+  public:
+    explicit usage_error(const std::string& what) : error(what) {}
+};
+
 namespace detail {
 
 /// Throws cfsmdiag::error if `cond` is false.  Used for public-API

@@ -170,4 +170,10 @@ std::string json_value::dump(bool pretty) const {
     return out;
 }
 
+std::string json_value::dump_at(int depth, bool pretty) const {
+    std::string out;
+    render(out, pretty, depth);
+    return out;
+}
+
 }  // namespace cfsmdiag

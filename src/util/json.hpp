@@ -43,6 +43,14 @@ class json_value {
     /// Renders compact JSON (no whitespace) or pretty (2-space indent).
     [[nodiscard]] std::string dump(bool pretty = false) const;
 
+    /// Renders as if this value sat `depth` levels deep inside a pretty
+    /// dump: nested lines are indented by 2 * (depth + nesting) spaces and
+    /// the closing bracket by 2 * depth.  The first line carries no leading
+    /// indent (the caller has already emitted the key or array slot).
+    /// Streaming writers use this to emit rows one at a time while staying
+    /// byte-identical to a monolithic dump(true).
+    [[nodiscard]] std::string dump_at(int depth, bool pretty = true) const;
+
   private:
     enum class kind : std::uint8_t {
         null,

@@ -143,5 +143,56 @@ TEST(equivalence_test, port_count_mismatch_throws) {
     EXPECT_THROW((void)systems_equivalent(two, three), error);
 }
 
+TEST(zoo_test, zoo_models_are_valid_and_connected) {
+    for (const auto& [name, sys] : models::zoo_models()) {
+        SCOPED_TRACE(name);
+        EXPECT_TRUE(check_structure(sys).empty());
+        for (std::uint32_t m = 0; m < sys.machine_count(); ++m) {
+            EXPECT_TRUE(is_initially_connected(sys.machine(machine_id{m})));
+        }
+        const auto tour = transition_tour(sys);
+        EXPECT_TRUE(tour.uncovered.empty())
+            << "unreachable transitions in " << name;
+    }
+}
+
+TEST(zoo_test, token_ring_generalizes_token_ring3) {
+    // token_ring(3) must be the same machine structure as the fixed model
+    // (only the system name differs) — the generator is a strict
+    // generalization, not a near-copy.
+    const std::string general = write_system(models::token_ring(3));
+    const std::string fixed = write_system(models::token_ring3());
+    const auto strip_header = [](const std::string& text) {
+        return text.substr(text.find('\n'));
+    };
+    EXPECT_EQ(strip_header(general), strip_header(fixed));
+}
+
+TEST(zoo_test, families_scale_with_their_parameter) {
+    EXPECT_LT(enumerate_all_faults(models::token_ring(3)).size(),
+              enumerate_all_faults(models::token_ring(6)).size());
+    EXPECT_LT(enumerate_all_faults(models::sliding_window(2)).size(),
+              enumerate_all_faults(models::sliding_window(6)).size());
+    EXPECT_LT(enumerate_all_faults(models::rtos_round_robin(2)).size(),
+              enumerate_all_faults(models::rtos_round_robin(4)).size());
+}
+
+TEST(zoo_test, zoo_campaign_smoke_localizes_soundly) {
+    // A trimmed campaign over each zoo member: detection must be sound and
+    // localization exact (the same invariant the fixed models hold).
+    for (const auto& [name, sys] : models::zoo_models()) {
+        SCOPED_TRACE(name);
+        test_suite suite = transition_tour(sys).suite;
+        rng wr(99);
+        suite.extend(random_walk_suite(sys, wr,
+                                       {.cases = 3, .steps_per_case = 10}));
+        auto faults = enumerate_all_faults(sys);
+        if (faults.size() > 40) faults.resize(40);
+        const auto stats = run_campaign(sys, suite, faults);
+        EXPECT_EQ(stats.sound, stats.detected);
+        EXPECT_EQ(stats.localized + stats.localized_equiv, stats.detected);
+    }
+}
+
 }  // namespace
 }  // namespace cfsmdiag

@@ -15,11 +15,20 @@
 //                     [--seed S] [--json <path>] [--progress]
 //                                           exhaustive fault campaign via
 //                                           the parallel campaign engine
+//   cfsmdiag campaign ... --checkpoint <path> [--checkpoint-every <n|Ns>]
+//                     [--spill <path>] [--resume]
+//                                           crash-safe checkpointed sweep:
+//                                           SIGINT/SIGTERM flush a final
+//                                           snapshot; --resume continues a
+//                                           killed run byte-identically
 //   cfsmdiag random <seed> [N] [states]     emit a random system file
 //
 // Files use the text format of src/io/text_format.hpp.
+#include <algorithm>
+#include <csignal>
 #include <fstream>
 #include <iostream>
+#include <optional>
 #include <sstream>
 
 #include "cfsmdiag.hpp"
@@ -34,6 +43,38 @@ std::string slurp(const std::string& path) {
     std::ostringstream buf;
     buf << in.rdbuf();
     return buf.str();
+}
+
+// ---------------------------------------------------------------------------
+// Strict flag-value parsing.  Every numeric flag goes through one of these,
+// so a bad value is a usage_error naming the offending flag and its expected
+// domain — not an unanchored std::stoul exception or a silent wrap of a
+// negative number to a huge unsigned one.
+
+std::uint64_t parse_count(const std::string& flag, const std::string& text) {
+    if (text.empty() || text.find_first_not_of("0123456789") !=
+                            std::string::npos)
+        throw usage_error(flag + " expects a non-negative integer, got '" +
+                          text + "'");
+    try {
+        return std::stoull(text);
+    } catch (const std::out_of_range&) {
+        throw usage_error(flag + " value '" + text + "' is out of range");
+    }
+}
+
+double parse_rate(const std::string& flag, const std::string& text) {
+    double value = 0.0;
+    std::size_t used = 0;
+    try {
+        value = std::stod(text, &used);
+    } catch (const std::exception&) {
+        used = 0;
+    }
+    if (used != text.size() || !(value >= 0.0) || !(value <= 1.0))
+        throw usage_error(flag + " expects a rate in [0, 1], got '" + text +
+                          "'");
+    return value;
 }
 
 int cmd_show(const std::string& path) {
@@ -96,9 +137,8 @@ int cmd_gen(const std::string& path, const std::string& method) {
         std::cerr << "# " << r.hypotheses << " hypotheses, "
                   << r.equivalent_groups << " equivalent group(s)\n";
     } else {
-        std::cerr << "unknown method '" << method
-                  << "' (tour|w|wp|uio|ds|diagnostic)\n";
-        return 2;
+        throw usage_error("gen: unknown method '" + method +
+                          "' (tour|w|wp|uio|ds|diagnostic)");
     }
     std::cout << write_suite(suite, sys.symbols());
     return 0;
@@ -217,33 +257,56 @@ struct campaign_cli_args {
     campaign_options options;
     std::string json_path;  ///< empty = human-readable summary only
     bool progress = false;
+    // Checkpointed-sweep mode (engaged by --checkpoint).
+    std::string checkpoint_path;
+    std::string spill_path;
+    std::size_t checkpoint_every_entries = 1024;
+    double checkpoint_every_seconds = 0.0;
+    bool resume = false;
+    /// Test seam for the kill/resume CI stage: SIGKILL this process after
+    /// the N-th emitted entry, as abruptly as a crash would.
+    std::optional<std::size_t> abort_after;
 };
 
 /// campaign <system-file> [max] [--jobs N] [--max-faults N] [--seed S]
 /// [--json <path>] [--progress] [--no-replay-cache] [--no-compiled-core]
 /// [--no-flat-discrimination] [--no-discrim-memo] [--max-joint-states N]
 /// [--flaky R]
-/// [--flaky-seed S] [--retries N] [--votes N] [--deadline-ms N] — the bare
-/// positional [max] is the pre-engine spelling and keeps old invocations
-/// working.
+/// [--flaky-seed S] [--retries N] [--votes N] [--deadline-ms N]
+/// [--checkpoint <path>] [--checkpoint-every <n|Ns>] [--spill <path>]
+/// [--resume] [--abort-after N] — the bare positional [max] is the
+/// pre-engine spelling and keeps old invocations working.
 campaign_cli_args parse_campaign_args(const std::vector<std::string>& args) {
     campaign_cli_args out;
     out.system_path = args[1];
     std::uint64_t flaky_seed = 1;
     double flaky_rate = 0.0;
     bool flaky_set = false;
+    bool cadence_set = false;
     auto value_of = [&](std::size_t& i, const std::string& flag) {
-        detail::require(i + 1 < args.size(), flag + " needs a value");
+        if (i + 1 >= args.size())
+            throw usage_error("campaign: " + flag + " needs a value");
         return args[++i];
     };
     for (std::size_t i = 2; i < args.size(); ++i) {
         const std::string& a = args[i];
         if (a == "--jobs") {
-            out.options.jobs = std::stoul(value_of(i, a));
+            const std::string v = value_of(i, a);
+            if (v == "auto") {
+                out.options.jobs = 0;  // engine: hardware concurrency
+            } else {
+                out.options.jobs = parse_count("campaign: --jobs", v);
+                if (out.options.jobs == 0)
+                    throw usage_error(
+                        "campaign: --jobs expects a positive worker count "
+                        "or 'auto', got '0'");
+            }
         } else if (a == "--max-faults") {
-            out.options.max_faults = std::stoul(value_of(i, a));
+            out.options.max_faults =
+                parse_count("campaign: --max-faults", value_of(i, a));
         } else if (a == "--seed") {
-            out.options.seed = std::stoull(value_of(i, a));
+            out.options.seed =
+                parse_count("campaign: --seed", value_of(i, a));
         } else if (a == "--json") {
             out.json_path = value_of(i, a);
         } else if (a == "--progress") {
@@ -264,51 +327,92 @@ campaign_cli_args parse_campaign_args(const std::vector<std::string>& args) {
             // search instead of sharing results across faults.
             out.options.diag.use_discrim_memo = false;
         } else if (a == "--max-joint-states") {
-            out.options.diag.max_joint_states =
-                std::stoul(value_of(i, a));
+            out.options.diag.max_joint_states = parse_count(
+                "campaign: --max-joint-states", value_of(i, a));
         } else if (a == "--flaky") {
             // Drop+garble at R, hangs and reset faults at R/10 (see
             // flakiness_profile::uniform).
-            flaky_rate = std::stod(value_of(i, a));
+            flaky_rate = parse_rate("campaign: --flaky", value_of(i, a));
             flaky_set = true;
         } else if (a == "--flaky-seed") {
-            flaky_seed = std::stoull(value_of(i, a));
+            flaky_seed =
+                parse_count("campaign: --flaky-seed", value_of(i, a));
         } else if (a == "--retries") {
-            out.options.retry.max_retries = std::stoul(value_of(i, a));
+            out.options.retry.max_retries =
+                parse_count("campaign: --retries", value_of(i, a));
         } else if (a == "--votes") {
-            out.options.retry.votes = std::stoul(value_of(i, a));
+            out.options.retry.votes =
+                parse_count("campaign: --votes", value_of(i, a));
         } else if (a == "--deadline-ms") {
-            out.options.retry.deadline_ms = std::stoull(value_of(i, a));
+            out.options.retry.deadline_ms =
+                parse_count("campaign: --deadline-ms", value_of(i, a));
+        } else if (a == "--checkpoint") {
+            out.checkpoint_path = value_of(i, a);
+        } else if (a == "--checkpoint-every") {
+            // "250" = every 250 entries; "30s" / "2.5s" = every 30 / 2.5
+            // seconds (whichever cadence is chosen, the other is off).
+            const std::string v = value_of(i, a);
+            cadence_set = true;
+            if (!v.empty() && v.back() == 's') {
+                double seconds = 0.0;
+                std::size_t used = 0;
+                try {
+                    seconds = std::stod(v, &used);
+                } catch (const std::exception&) {
+                    used = 0;
+                }
+                if (used + 1 != v.size() || !(seconds > 0.0))
+                    throw usage_error(
+                        "campaign: --checkpoint-every expects a positive "
+                        "entry count or a seconds value like '30s', got '" +
+                        v + "'");
+                out.checkpoint_every_seconds = seconds;
+                out.checkpoint_every_entries = 0;
+            } else {
+                out.checkpoint_every_entries =
+                    parse_count("campaign: --checkpoint-every", v);
+            }
+        } else if (a == "--spill") {
+            out.spill_path = value_of(i, a);
+        } else if (a == "--resume") {
+            out.resume = true;
+        } else if (a == "--abort-after") {
+            out.abort_after =
+                parse_count("campaign: --abort-after", value_of(i, a));
         } else if (!a.empty() && a[0] != '-' && !out.options.max_faults) {
-            out.options.max_faults = std::stoul(a);
+            out.options.max_faults = parse_count("campaign: [max-faults]", a);
         } else {
-            throw error("campaign: unknown argument '" + a + "'");
+            throw usage_error("campaign: unknown flag '" + a + "'");
         }
     }
     if (flaky_set)
         out.options.flaky = flakiness_profile::uniform(flaky_rate,
                                                        flaky_seed);
+    if (out.checkpoint_path.empty()) {
+        // Sweep-only flags are meaningless without a checkpoint file;
+        // silently ignoring them would look like a resumable run that isn't.
+        const char* orphan = out.resume               ? "--resume"
+                             : !out.spill_path.empty() ? "--spill"
+                             : out.abort_after         ? "--abort-after"
+                             : cadence_set             ? "--checkpoint-every"
+                                                       : nullptr;
+        if (orphan)
+            throw usage_error(std::string("campaign: ") + orphan +
+                              " requires --checkpoint <path>");
+    }
     return out;
 }
 
-int cmd_campaign(const campaign_cli_args& cli) {
-    const auto sys = parse_system(slurp(cli.system_path));
-    validate_structure(sys);
-    const auto suite = transition_tour(sys).suite;
+/// SIGINT/SIGTERM request a graceful sweep stop: the handler only flips a
+/// flag; the sweep's should_stop predicate polls it between entries and the
+/// final snapshot is flushed on the normal exit path (async-signal-safe by
+/// construction — no I/O happens in the handler).
+volatile std::sig_atomic_t g_stop_requested = 0;
 
-    campaign_engine engine(sys, suite, enumerate_all_faults(sys),
-                           cli.options);
-    progress_printer progress(sys);
-    if (cli.progress) engine.attach(progress);
-    const campaign_stats& stats = engine.run();
-    const campaign_metrics& metrics = engine.metrics();
+extern "C" void request_stop(int) { g_stop_requested = 1; }
 
-    if (!cli.json_path.empty()) {
-        std::ofstream jout(cli.json_path);
-        detail::require(jout.good(),
-                        "cannot write file: " + cli.json_path);
-        jout << campaign_to_json(sys, stats, metrics).dump(true) << "\n";
-    }
+void print_campaign_summary(const campaign_stats& stats,
+                            const campaign_metrics& metrics) {
     std::cout << "faults: " << stats.total << ", detected: "
               << stats.detected << ", localized: " << stats.localized
               << " (+" << stats.localized_equiv << " up to equivalence)"
@@ -354,6 +458,92 @@ int cmd_campaign(const campaign_cli_args& cli) {
     } else {
         std::cout << "discrimination: reference search\n";
     }
+}
+
+void write_campaign_json(const std::string& path, const cfsmdiag::system& sys,
+                         const campaign_stats& stats,
+                         const campaign_metrics& metrics) {
+    std::ofstream jout(path);
+    detail::require(jout.good(), "cannot write file: " + path);
+    // The streaming overload renders entry-by-entry, so the report costs
+    // one entry of memory even for very large campaigns.
+    campaign_to_json(jout, sys, stats, metrics);
+    jout << "\n";
+}
+
+int run_checkpointed_sweep(const campaign_cli_args& cli,
+                           const cfsmdiag::system& sys,
+                           const test_suite& suite,
+                           std::vector<single_transition_fault> faults) {
+    sweep_options sw;
+    sw.campaign = cli.options;
+    sw.checkpoint_path = cli.checkpoint_path;
+    sw.spill_path = cli.spill_path;
+    sw.checkpoint_every_entries = cli.checkpoint_every_entries;
+    sw.checkpoint_every_seconds = cli.checkpoint_every_seconds;
+    sw.resume = cli.resume;
+
+    progress_printer progress(sys);
+    if (cli.progress) sw.observer = &progress;
+
+    // Ctrl-C / kill(1) end the sweep at the next entry boundary with a
+    // final snapshot on disk; a second Ctrl-C during the drain still only
+    // sets the flag, so the snapshot protocol is never interrupted midway
+    // by us (SIGKILL of course can — that is what resume is for).
+    g_stop_requested = 0;
+    std::signal(SIGINT, request_stop);
+    std::signal(SIGTERM, request_stop);
+    std::size_t emitted = 0;
+    sw.should_stop = [&]() {
+        if (cli.abort_after && ++emitted >= *cli.abort_after)
+            std::raise(SIGKILL);  // test seam: die as abruptly as a crash
+        return g_stop_requested != 0;
+    };
+
+    const sweep_result result = run_sweep(sys, suite, faults, sw);
+    std::signal(SIGINT, SIG_DFL);
+    std::signal(SIGTERM, SIG_DFL);
+
+    if (!cli.json_path.empty())
+        write_campaign_json(cli.json_path, sys, result.stats,
+                            result.metrics);
+    const std::size_t planned = std::min(
+        faults.size(), cli.options.max_faults.value_or(faults.size()));
+    std::cout << "sweep: " << result.completed << "/" << planned
+              << " faults done, " << result.snapshots_written
+              << " snapshot(s) written";
+    if (result.resumed_from > 0)
+        std::cout << ", resumed from " << result.resumed_from;
+    if (result.fell_back)
+        std::cout << " (primary snapshot was torn; used .prev)";
+    std::cout << "\n";
+    print_campaign_summary(result.stats, result.metrics);
+    if (result.interrupted) {
+        std::cout << "interrupted — resume with --resume to continue from "
+                  << result.completed << "\n";
+        return 3;
+    }
+    return result.stats.sound == result.stats.detected ? 0 : 1;
+}
+
+int cmd_campaign(const campaign_cli_args& cli) {
+    const auto sys = parse_system(slurp(cli.system_path));
+    validate_structure(sys);
+    const auto suite = transition_tour(sys).suite;
+    auto faults = enumerate_all_faults(sys);
+
+    if (!cli.checkpoint_path.empty())
+        return run_checkpointed_sweep(cli, sys, suite, std::move(faults));
+
+    campaign_engine engine(sys, suite, std::move(faults), cli.options);
+    progress_printer progress(sys);
+    if (cli.progress) engine.attach(progress);
+    const campaign_stats& stats = engine.run();
+    const campaign_metrics& metrics = engine.metrics();
+
+    if (!cli.json_path.empty())
+        write_campaign_json(cli.json_path, sys, stats, metrics);
+    print_campaign_summary(stats, metrics);
     return stats.sound == stats.detected ? 0 : 1;
 }
 
@@ -391,15 +581,22 @@ int main(int argc, char** argv) {
         if (args.size() >= 2 && args[0] == "campaign")
             return cmd_campaign(parse_campaign_args(args));
         if (args.size() >= 2 && args[0] == "random")
-            return cmd_random(std::stoull(args[1]),
-                              args.size() >= 3 ? std::stoul(args[2]) : 3,
-                              args.size() >= 4 ? std::stoul(args[3]) : 4);
+            return cmd_random(
+                parse_count("random: <seed>", args[1]),
+                args.size() >= 3 ? parse_count("random: [machines]", args[2])
+                                 : 3,
+                args.size() >= 4 ? parse_count("random: [states]", args[3])
+                                 : 4);
+    } catch (const cfsmdiag::usage_error& e) {
+        std::cerr << "error: " << e.what()
+                  << "\n(run cfsmdiag without arguments for usage)\n";
+        return 2;
     } catch (const cfsmdiag::error& e) {
         std::cerr << "error: " << e.what() << "\n";
         return 2;
     } catch (const std::exception& e) {
-        // Malformed numeric arguments (std::stoul and friends) and other
-        // stdlib failures exit like any usage error instead of aborting.
+        // Residual stdlib failures (I/O, allocation) exit like any other
+        // error instead of aborting.
         std::cerr << "error: " << e.what() << "\n";
         return 2;
     }
@@ -422,6 +619,15 @@ int main(int argc, char** argv) {
            "                    [--max-joint-states N]\n"
            "                    [--flaky R] [--flaky-seed S] [--retries N]\n"
            "                    [--votes N] [--deadline-ms N]\n"
+           "                    [--checkpoint <path>]\n"
+           "                    [--checkpoint-every <n|Ns>] (entries, or\n"
+           "                     seconds with an 's' suffix; default 1024)\n"
+           "                    [--spill <path>] (JSONL, one entry per "
+           "line)\n"
+           "                    [--resume] [--abort-after N]\n"
+           "    with --checkpoint, the campaign runs as a crash-safe sweep:\n"
+           "    SIGINT/SIGTERM flush a final snapshot and exit 3; --resume\n"
+           "    continues byte-identically from the last good snapshot\n"
            "  cfsmdiag random <seed> [machines] [states]\n";
     return 2;
 }

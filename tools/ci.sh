@@ -35,6 +35,31 @@ echo "=== [release] bench smoke ==="
 cmake --build build-ci-release -j "${JOBS}" --target bench_fault_campaign
 (cd build-ci-release && bench/fault_campaign --quick)
 
+# Sweep smoke: checkpoint a campaign, SIGKILL it mid-run via the
+# --abort-after test seam, resume, and diff the merged spill against a
+# straight-through run — the crash-safety contract, end to end through the
+# CLI.  (bench/sweep --quick repeats the check in-process with fork, and
+# additionally asserts aggregate identity and flat RSS; it runs as the
+# bench_smoke_sweep ctest above.)
+echo "=== [release] sweep kill/resume smoke ==="
+sweep_dir=build-ci-release/sweep-smoke
+rm -rf "${sweep_dir}" && mkdir -p "${sweep_dir}"
+cli=build-ci-release/tools/cfsmdiag
+"${cli}" campaign examples/data/figure1.cfsm --jobs 2 \
+    --checkpoint "${sweep_dir}/ref.snap" --spill "${sweep_dir}/ref.jsonl" \
+    --checkpoint-every 16 >/dev/null
+"${cli}" campaign examples/data/figure1.cfsm --jobs 2 \
+    --checkpoint "${sweep_dir}/kill.snap" \
+    --spill "${sweep_dir}/kill.jsonl" \
+    --checkpoint-every 16 --abort-after 60 >/dev/null 2>&1 \
+    || true  # dies by SIGKILL — that's the point
+"${cli}" campaign examples/data/figure1.cfsm --jobs 2 \
+    --checkpoint "${sweep_dir}/kill.snap" \
+    --spill "${sweep_dir}/kill.jsonl" \
+    --checkpoint-every 16 --resume >/dev/null
+cmp "${sweep_dir}/ref.jsonl" "${sweep_dir}/kill.jsonl"
+echo "sweep kill/resume spill byte-identical"
+
 # TSan config: only the engine/pool tests plus the parallel CLI smoke run —
 # a full TSan ctest multiplies runtime ~10x without exercising any
 # additional threading code (everything else in the library is serial).
@@ -70,9 +95,15 @@ cmake -B "${asan_dir}" -S . -DCMAKE_BUILD_TYPE=RelWithDebInfo \
       -DCFSMDIAG_SANITIZE=address,undefined >/dev/null
 echo "=== [asan+ubsan] build resilience tests ==="
 cmake --build "${asan_dir}" -j "${JOBS}" \
-      --target resilience_test bitset_test property_test cfsmdiag_cli
+      --target resilience_test checkpoint_test bitset_test property_test \
+      cfsmdiag_cli
 echo "=== [asan+ubsan] run ==="
 "${asan_dir}/tests/resilience_test"
+# The checkpoint layer's POSIX fd handling (spill truncate/append/fsync),
+# the snapshot rename dance, and the interrupt-by-throw unwind through the
+# parallel engine all run under ASan/UBSan — torn-state bugs here corrupt
+# sweeps silently.
+"${asan_dir}/tests/checkpoint_test"
 # Arena lifetimes and the packed-state bit arithmetic are exactly what
 # ASan/UBSan are for: the bitset algebra and the compiled-vs-reference
 # property sweep run under both.
