@@ -10,6 +10,7 @@
 #include "diag/hypotheses.hpp"
 #include "diag/replay_cache.hpp"
 #include "fault/enumerate.hpp"
+#include "util/budget.hpp"
 #include "util/error.hpp"
 
 namespace cfsmdiag {
@@ -463,6 +464,7 @@ bool flat_replayer::consistent(const transition_override& ov) {
     // Same counter as hypothesis_consistent(): campaign_entry::replays is
     // part of the entry's identity, so both paths must count identically.
     detail::note_hypothesis_replay();
+    detail::budget_poll();
     const flat_override f = lower(ov);
     for (std::size_t ci = 0; ci < cases_.size(); ++ci) {
         // Quarantined runs neither support nor refute (mirrors

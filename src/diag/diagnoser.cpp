@@ -20,6 +20,8 @@ std::string to_string(diagnosis_outcome outcome) {
             return "no consistent hypothesis";
         case diagnosis_outcome::inconclusive_unreliable:
             return "inconclusive (unreliable lab)";
+        case diagnosis_outcome::inconclusive_resource:
+            return "inconclusive (resource budget)";
     }
     return "?";
 }
@@ -100,10 +102,43 @@ void finalize_reliability(diagnosis_result& result, const oracle& iut) {
     }
 }
 
+/// The step quota the degradation ladder grants its cheaper rung: enough
+/// governed steps for a tightly capped reference Step 6 to finish on any
+/// realistic live set, small enough that a pathological rung still stops.
+constexpr std::uint64_t rung_grace_steps = 100'000;
+
+/// The joint-state cap the ladder tightens to when the configured search
+/// starved (ladder rung 1).
+constexpr std::size_t rung_joint_cap = 2'000;
+
+diagnosis_result diagnose_impl(const spec_context& ctx, oracle& iut,
+                               const diagnoser_options& options);
+
 }  // namespace
 
 diagnosis_result diagnose(const spec_context& ctx, oracle& iut,
                           const diagnoser_options& options) {
+    // Install the caller's budget (if any) for this thread; every deep loop
+    // below polls it.  Exhaustion *before* a candidate set exists has no
+    // cheaper rung to fall to — the only sound verdict is a refusal.
+    // External cancellation (cancelled_error) is deliberately not caught:
+    // the campaign engine classifies it.
+    std::optional<budget_scope> governed;
+    if (options.budget) governed.emplace(options.budget);
+    try {
+        return diagnose_impl(ctx, iut, options);
+    } catch (const resource_exhausted&) {
+        diagnosis_result result;
+        result.outcome = diagnosis_outcome::inconclusive_resource;
+        finalize_reliability(result, iut);
+        return result;
+    }
+}
+
+namespace {
+
+diagnosis_result diagnose_impl(const spec_context& ctx, oracle& iut,
+                               const diagnoser_options& options) {
     const system& spec = ctx.spec();
     const test_suite& suite = ctx.suite();
     const compiled_spec& cs = ctx.compiled();
@@ -138,6 +173,8 @@ diagnosis_result diagnose(const spec_context& ctx, oracle& iut,
     } else {
         result.conflicts = generate_conflict_sets(spec, result.symptoms);
     }
+    detail::budget_note_memory(arena.capacity_bytes());
+    detail::budget_checkpoint();
     result.timings.conflicts = lap(mark);
 
     // Step 5A.  Compiled: the ITC is the AND the bitmaps already carry.
@@ -148,6 +185,7 @@ diagnosis_result diagnose(const spec_context& ctx, oracle& iut,
         result.candidates =
             generate_candidates(spec, result.symptoms, result.conflicts);
     }
+    detail::budget_checkpoint();
     result.timings.candidates = lap(mark);
 
     // Steps 5B-5C.  One replay accelerator per diagnosis, amortized over
@@ -202,13 +240,26 @@ diagnosis_result diagnose(const spec_context& ctx, oracle& iut,
         return result;
     }
 
-    // Step 6: adaptive discrimination.
+    // Step 6: adaptive discrimination, governed by the degradation ladder.
+    // `use_flat` and `joint_cap` start as configured (rung 0); a budget
+    // exhaustion mid-loop drops to rung 1 (reference search, tighter cap,
+    // a fresh step-quota grace so the rung itself stays bounded), a second
+    // exhaustion to rung 2 (skip discrimination entirely).  Hypotheses are
+    // only ever *removed* by genuine refutation, so every rung's live set
+    // still contains the truth — a stop widens the verdict, never flips it.
     hypothesis_tracker tracker(spec, result.initial_diagnoses,
                                options.use_replay_cache);
-    if (options.use_flat_discrimination)
+    bool use_flat = options.use_flat_discrimination;
+    std::size_t joint_cap = options.max_joint_states;
+    if (use_flat)
         tracker.use_engine(&ctx.discrim(), options.use_discrim_memo);
     bool unreliable_tests = false;
+    bool resource_stopped = false;
+    int rung = 0;
+    run_budget rung_budget;
+    std::optional<budget_scope> rung_scope;
     while (result.additional_tests.size() < options.max_additional_tests) {
+      try {
         if (tracker.count() == 0 && options.escalate_if_empty &&
             options.evaluation == evaluation_mode::paper_flag_routing &&
             !result.used_escalation) {
@@ -219,7 +270,7 @@ diagnosis_result diagnose(const spec_context& ctx, oracle& iut,
             result.evaluated = evaluate_full();
             tracker = hypothesis_tracker(spec, result.evaluated.diagnoses(),
                                          options.use_replay_cache);
-            if (options.use_flat_discrimination)
+            if (use_flat)
                 tracker.use_engine(&ctx.discrim(), options.use_discrim_memo);
             for (const auto& rec : result.additional_tests) {
                 if (rec.quarantined) continue;
@@ -234,7 +285,7 @@ diagnosis_result diagnose(const spec_context& ctx, oracle& iut,
             // distinct live set).
             std::shared_ptr<const std::vector<proposed_test>> cached;
             std::vector<proposed_test> local;
-            if (options.use_flat_discrimination)
+            if (use_flat)
                 cached = ctx.discrim().structured_proposals(tracker,
                                                             options.step6);
             else
@@ -257,8 +308,7 @@ diagnosis_result diagnose(const spec_context& ctx, oracle& iut,
         if (progressed) continue;
 
         if (!options.fallback_search) break;
-        const auto seq =
-            tracker.find_splitting_sequence(options.max_joint_states);
+        const auto seq = tracker.find_splitting_sequence(joint_cap);
         if (!seq) break;  // remaining hypotheses are equivalent
         result.used_fallback_search = true;
         if (!apply_test(spec, iut, tracker, result,
@@ -271,6 +321,26 @@ diagnosis_result diagnose(const spec_context& ctx, oracle& iut,
             unreliable_tests = true;
             break;
         }
+      } catch (const resource_exhausted&) {
+        resource_stopped = true;
+        if (++rung > 1) break;  // rung 2: report the undiscriminated set
+        // Rung 1: the configured search starved.  Rebuild the tracker from
+        // the current survivors (a superset of the fully filtered set —
+        // refutation may have been interrupted mid-test, which only keeps
+        // extra hypotheses alive) on the reference path with a tight cap,
+        // and run it under a cancel-only view of the exhausted budget plus
+        // a fresh step-quota grace: the parent budget would re-throw on the
+        // first poll, but external cancellation must still cut through and
+        // a pathological rung must still terminate.
+        use_flat = false;
+        joint_cap = std::min(joint_cap, rung_joint_cap);
+        tracker = hypothesis_tracker(spec, tracker.alive(),
+                                     options.use_replay_cache);
+        const run_budget* exhausted = detail::current_budget();
+        rung_budget = exhausted ? exhausted->cancel_only() : run_budget{};
+        rung_budget.with_step_quota(rung_grace_steps);
+        rung_scope.emplace(&rung_budget);
+      }
     }
 
     result.final_diagnoses = tracker.alive();
@@ -286,19 +356,39 @@ diagnosis_result diagnose(const spec_context& ctx, oracle& iut,
                              : diagnosis_outcome::no_consistent_hypothesis;
     } else if (tracker.count() == 1) {
         result.outcome = diagnosis_outcome::localized;
-    } else if (!tracker.find_splitting_sequence(options.max_joint_states)) {
-        result.outcome = diagnosis_outcome::localized_up_to_equivalence;
-    } else if (unreliable_tests) {
-        // Distinguishable hypotheses remain and the lab stopped answering
-        // discriminating tests reliably — not a budget problem.
-        result.outcome = diagnosis_outcome::inconclusive_unreliable;
+    } else if (resource_stopped) {
+        // More than one survivor and the budget ran out before they could
+        // be separated or proven equivalent: the undiscriminated candidate
+        // set.  The final equivalence search is skipped — it is exactly the
+        // work the budget refused.
+        result.outcome = diagnosis_outcome::inconclusive_resource;
     } else {
-        result.outcome = diagnosis_outcome::ambiguous;
+        bool equivalent = false;
+        try {
+            equivalent =
+                !tracker.find_splitting_sequence(joint_cap).has_value();
+        } catch (const resource_exhausted&) {
+            resource_stopped = true;
+        }
+        if (resource_stopped) {
+            result.outcome = diagnosis_outcome::inconclusive_resource;
+        } else if (equivalent) {
+            result.outcome = diagnosis_outcome::localized_up_to_equivalence;
+        } else if (unreliable_tests) {
+            // Distinguishable hypotheses remain and the lab stopped
+            // answering discriminating tests reliably — not a budget
+            // problem.
+            result.outcome = diagnosis_outcome::inconclusive_unreliable;
+        } else {
+            result.outcome = diagnosis_outcome::ambiguous;
+        }
     }
     result.timings.discrimination = lap(mark);
     finalize_reliability(result, iut);
     return result;
 }
+
+}  // namespace
 
 diagnosis_result diagnose(const system& spec, const test_suite& suite,
                           oracle& iut, const diagnoser_options& options,

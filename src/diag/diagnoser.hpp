@@ -22,6 +22,7 @@
 
 #include "diag/additional_tests.hpp"
 #include "diag/spec_context.hpp"
+#include "util/budget.hpp"
 
 namespace cfsmdiag {
 
@@ -43,6 +44,15 @@ enum class diagnosis_outcome : std::uint8_t {
     /// Never counts as a detection — degraded evidence must not turn into
     /// a misdiagnosis.
     inconclusive_unreliable,
+    /// The run's resource budget (deadline / step quota / memory quota,
+    /// util/budget.hpp) ran out before the surviving hypotheses could be
+    /// separated or proven equivalent, and the degradation ladder's cheaper
+    /// rungs could not finish either.  `final_diagnoses` still holds the
+    /// undiscriminated candidate set — the true hypothesis is inside it —
+    /// but the verdict refuses to claim detection or localization.  A
+    /// budget stop may only *widen* a verdict toward inconclusive, never
+    /// flip it (DESIGN.md §5h).
+    inconclusive_resource,
 };
 
 [[nodiscard]] std::string to_string(diagnosis_outcome outcome);
@@ -195,6 +205,17 @@ struct diagnoser_options {
     /// conservatively reports "no splitting sequence".
     std::size_t max_joint_states = 100'000;
     step6_options step6;
+    /// Optional resource budget governing this diagnosis.  Installed for
+    /// the calling thread for the duration of diagnose(); the pipeline's
+    /// deep loops poll it.  Exhaustion triggers the degradation ladder —
+    /// flat discrimination → reference Step 6 with a tighter joint-state
+    /// cap → skip discrimination and report `inconclusive_resource` — so
+    /// the result is always a classified verdict.  External cancellation
+    /// through the budget's cancel_token is *not* absorbed: it propagates
+    /// as cancelled_error for the caller to classify.  Not owned; must
+    /// outlive the call.  nullptr (default) reproduces the exact
+    /// pre-budget behaviour.
+    const run_budget* budget = nullptr;
 };
 
 /// Runs the full algorithm against a prepared spec_context.  The oracle is

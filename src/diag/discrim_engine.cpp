@@ -6,6 +6,7 @@
 #include "diag/additional_tests.hpp"
 #include "diag/discriminate.hpp"
 #include "diag/replay_cache.hpp"
+#include "util/budget.hpp"
 #include "util/error.hpp"
 
 namespace cfsmdiag {
@@ -499,6 +500,11 @@ std::optional<std::vector<global_input>> discrim_engine::flat_search(
     std::vector<std::uint64_t> cur(k);
     std::vector<std::uint64_t> next(k);
     for (std::size_t head = 0; head < parent.size(); ++head) {
+        // One governed unit per expansion; the BFS frontier is the search's
+        // dominant allocation, so it is what the memory quota sees.
+        detail::budget_poll();
+        detail::budget_note_memory(states.capacity() *
+                                   sizeof(std::uint64_t));
         std::copy(states.begin() + head * k,
                   states.begin() + (head + 1) * k, cur.begin());
         for (std::size_t in = 0; in < cols; ++in) {

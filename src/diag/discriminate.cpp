@@ -8,6 +8,7 @@
 
 #include "diag/discrim_engine.hpp"
 #include "diag/replay_cache.hpp"
+#include "util/budget.hpp"
 
 namespace cfsmdiag {
 
@@ -236,6 +237,7 @@ std::optional<std::vector<global_input>> splitting_sequence(
     std::deque<std::uint32_t> frontier{0};
 
     while (!frontier.empty()) {
+        detail::budget_poll();
         const std::uint32_t idx = frontier.front();
         frontier.pop_front();
         for (const auto& in : inputs) {

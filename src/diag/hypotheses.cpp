@@ -1,5 +1,7 @@
 #include "diag/hypotheses.hpp"
 
+#include "util/budget.hpp"
+
 namespace cfsmdiag {
 
 namespace {
@@ -21,6 +23,7 @@ bool hypothesis_consistent(const system& spec, const test_suite& suite,
                            const transition_override& ov,
                            const replay_cache* cache) {
     ++replay_count;
+    detail::budget_poll();
     if (cache) return cache->consistent(ov);
     simulator sim(spec, ov);
     for (std::size_t ci = 0; ci < suite.cases.size(); ++ci) {

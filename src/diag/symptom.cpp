@@ -1,5 +1,6 @@
 #include "diag/symptom.hpp"
 
+#include "util/budget.hpp"
 #include "util/error.hpp"
 
 namespace cfsmdiag {
@@ -14,6 +15,7 @@ symptom_report collect_symptoms(const system& spec, const test_suite& suite,
     report.runs.reserve(suite.size());
 
     for (std::size_t ci = 0; ci < suite.cases.size(); ++ci) {
+        detail::budget_poll();
         const test_case& tc = suite.cases[ci];
         executed_case run;
         run.case_index = ci;

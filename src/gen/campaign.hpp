@@ -17,6 +17,7 @@
 // `run_campaign()` is a thin wrapper over it.
 #pragma once
 
+#include <chrono>
 #include <cstdint>
 #include <functional>
 #include <optional>
@@ -29,6 +30,47 @@
 #include "testgen/testcase.hpp"
 
 namespace cfsmdiag {
+
+/// Resource-governance knobs of one campaign (util/budget.hpp).  All
+/// disabled by default — a campaign with every knob unset executes the
+/// exact pre-budget instruction stream, which is what the budgets-off
+/// byte-identity tests pin.
+struct campaign_budget {
+    /// Wall-clock deadline for the whole run().  On expiry a watchdog
+    /// thread cancels every worker; faults already in flight finish as
+    /// deterministic classified `timed_out` entries and faults never
+    /// started are synthesized as such, so the campaign still reports one
+    /// classified entry per planned fault.  Not part of the sweep options
+    /// fingerprint: like SIGINT timing, it decides *where* a run stops,
+    /// never what any entry contains.
+    std::optional<std::chrono::milliseconds> campaign_deadline;
+    /// Per-entry wall-clock deadline enforced cooperatively inside
+    /// diagnose(); exhaustion walks the degradation ladder and ends, at
+    /// worst, in an `inconclusive_resource` verdict — never a missing or
+    /// wrong entry.
+    std::optional<std::chrono::milliseconds> entry_deadline;
+    /// Per-entry governed-step quota (budget polls: replays, BFS
+    /// expansions, suite cases).  Deterministic, unlike the deadlines —
+    /// with one caveat: the cross-fault discrimination memo lets a memo
+    /// hit skip an entire joint search's worth of governed steps, so which
+    /// entry pays for a shared search (and therefore where a tight quota
+    /// trips) can vary with jobs/resume segmentation.  For strictly
+    /// reproducible quota behaviour pair this with
+    /// `diag.use_discrim_memo = false`.
+    std::optional<std::uint64_t> entry_step_quota;
+    /// Per-entry memory quota in bytes, accounted from bit_arena and BFS
+    /// frontier capacities.
+    std::optional<std::size_t> entry_memory_bytes;
+
+    /// True when any per-entry limit is set (these affect entry *content*
+    /// and therefore belong in the sweep options fingerprint).
+    [[nodiscard]] bool entry_limits() const noexcept {
+        return entry_deadline || entry_step_quota || entry_memory_bytes;
+    }
+    [[nodiscard]] bool any() const noexcept {
+        return campaign_deadline || entry_limits();
+    }
+};
 
 struct campaign_options {
     diagnoser_options diag;
@@ -75,6 +117,8 @@ struct campaign_options {
     /// stream equal to the uninterrupted run's, which is what makes the
     /// resume byte-identical.
     std::size_t index_base = 0;
+    /// Deadlines / quotas / watchdog cancellation for this campaign.
+    campaign_budget budget;
 };
 
 /// One fault's scored run.  Every field is a deterministic function of
@@ -108,8 +152,17 @@ struct campaign_entry {
     /// here.
     bool errored = false;
     std::string error_kind;     ///< "timeout" | "budget" | "transient" |
-                                ///< "model" | "error" | "exception"
+                                ///< "model" | "resource" | "error" |
+                                ///< "exception"
     std::string error_message;
+    /// The campaign-wide deadline (or watchdog) cancelled this fault before
+    /// it produced a verdict.  The entry's content is deterministic (a
+    /// fixed message, no timing data), but *which* faults time out depends
+    /// on wall-clock — the sweep layer therefore stops its completed
+    /// prefix before the first timed-out entry so a resume re-runs exactly
+    /// the starved indices.  Excluded from detected/sound math like
+    /// `errored`.
+    bool timed_out = false;
 
     /// Field-wise comparison — the determinism tests and benches assert
     /// parallel runs reproduce serial entries exactly.
@@ -130,6 +183,13 @@ struct campaign_stats {
     /// Runs whose diagnosis threw (see campaign_entry::errored).  Excluded
     /// from detected/sound math entirely.
     std::size_t errored = 0;
+    /// Runs whose resource budget ran out undiscriminated
+    /// (outcome == inconclusive_resource).  Like inconclusive_unreliable,
+    /// never counted as detected — a starved run must not read as a catch.
+    std::size_t inconclusive_resource = 0;
+    /// Runs cancelled by the campaign deadline / watchdog before any
+    /// verdict (campaign_entry::timed_out).  Excluded like errored.
+    std::size_t timed_out = 0;
     std::size_t sound = 0;              ///< truth among final diagnoses
     std::size_t escalations = 0;
     std::size_t fallbacks = 0;
@@ -160,6 +220,8 @@ struct campaign_aggregator {
     std::size_t no_hypothesis = 0;
     std::size_t inconclusive_unreliable = 0;
     std::size_t errored = 0;
+    std::size_t inconclusive_resource = 0;
+    std::size_t timed_out = 0;
     std::size_t sound = 0;
     std::size_t escalations = 0;
     std::size_t fallbacks = 0;

@@ -19,7 +19,12 @@
 namespace cfsmdiag {
 namespace {
 
-constexpr std::string_view kFormatLine = "format cfsmdiag-sweep-v1";
+// v2: adds the resource-governance aggregate fields
+// (agg.inconclusive_resource, agg.timed_out) and the per-entry budget
+// knobs to the options fingerprint.  v1 snapshots are refused — their
+// aggregates cannot be widened soundly without guessing zeros for counts
+// the old engine never classified.
+constexpr std::string_view kFormatLine = "format cfsmdiag-sweep-v2";
 
 /// Thrown by the recorder to cancel the engine's parallel_for when
 /// should_stop fires.  Deliberately NOT derived from std::exception: no
@@ -111,6 +116,21 @@ std::string canonical_options(const campaign_options& o) {
          std::to_string(o.retry.max_retries) + "," +
          std::to_string(o.retry.deadline_ms) + "," +
          std::to_string(o.retry.max_case_inputs);
+    // Per-entry budget limits change entry *content* (degradation ladder,
+    // inconclusive_resource verdicts), so they fingerprint.  The
+    // campaign-wide deadline is deliberately absent: like SIGINT timing it
+    // only decides where a run stops, and a resume under a different
+    // deadline must still splice onto the same prefix.
+    const campaign_budget& b = o.budget;
+    s += ";entry_deadline_ms=" +
+         (b.entry_deadline ? std::to_string(b.entry_deadline->count())
+                           : std::string("none"));
+    s += ";entry_step_quota=" +
+         (b.entry_step_quota ? std::to_string(*b.entry_step_quota)
+                             : std::string("none"));
+    s += ";entry_memory_bytes=" +
+         (b.entry_memory_bytes ? std::to_string(*b.entry_memory_bytes)
+                               : std::string("none"));
     return s;
 }
 
@@ -213,6 +233,12 @@ class sweep_recorder final : public campaign_observer {
 
     void on_fault_done(std::size_t index,
                        const campaign_entry& entry) override {
+        // A timed-out entry is where the campaign deadline fired, and
+        // *which* index that is depends on wall-clock.  Stop the durable
+        // prefix BEFORE folding it: completed then ends at the last real
+        // verdict, and a resume re-runs exactly the starved indices —
+        // splicing to the same bytes an uninterrupted run would produce.
+        if (entry.timed_out) throw sweep_interrupt{};
         cp_.aggregates.add(entry);
         cp_.replays += entry.replays;
         cp_.oracle_executions += entry.oracle_executions;
@@ -291,6 +317,9 @@ std::string write_sweep_checkpoint(const sweep_checkpoint& cp) {
     put("agg.inconclusive_unreliable",
         std::to_string(a.inconclusive_unreliable));
     put("agg.errored", std::to_string(a.errored));
+    put("agg.inconclusive_resource",
+        std::to_string(a.inconclusive_resource));
+    put("agg.timed_out", std::to_string(a.timed_out));
     put("agg.sound", std::to_string(a.sound));
     put("agg.escalations", std::to_string(a.escalations));
     put("agg.fallbacks", std::to_string(a.fallbacks));
@@ -365,6 +394,9 @@ sweep_checkpoint parse_sweep_checkpoint(const std::string& payload) {
         parse_count("agg.inconclusive_unreliable",
                     take("agg.inconclusive_unreliable"));
     a.errored = parse_count("agg.errored", take("agg.errored"));
+    a.inconclusive_resource = parse_count(
+        "agg.inconclusive_resource", take("agg.inconclusive_resource"));
+    a.timed_out = parse_count("agg.timed_out", take("agg.timed_out"));
     a.sound = parse_count("agg.sound", take("agg.sound"));
     a.escalations = parse_count("agg.escalations", take("agg.escalations"));
     a.fallbacks = parse_count("agg.fallbacks", take("agg.fallbacks"));
@@ -494,6 +526,13 @@ sweep_result run_sweep(const spec_context& ctx,
             result.interrupted = true;
         }
         result.metrics = engine.metrics();
+        // The campaign deadline fired before the prefix was complete: the
+        // recorder's interrupt (thrown at the first timed-out entry)
+        // normally sets this already, but a cancellation that starves
+        // every remaining fault before any emits still must read as
+        // interrupted — the sweep is resumable either way.
+        if (result.metrics.budget_stopped && cp.completed < planned)
+            result.interrupted = true;
     }
 
     // The final snapshot: always flushed, so the on-disk state reflects

@@ -156,8 +156,11 @@ struct sweep_result {
     std::size_t resumed_from = 0;
     /// Faults completed and folded, over all segments.
     std::size_t completed = 0;
-    /// True when should_stop ended the run before the universe was done.
-    /// The final snapshot has been flushed either way.
+    /// True when should_stop or the campaign-wide budget deadline ended
+    /// the run before the universe was done.  A budget stop truncates the
+    /// durable prefix *before* the first timed-out entry, so a later
+    /// --resume re-runs exactly the starved indices and splices
+    /// byte-identically.  The final snapshot has been flushed either way.
     bool interrupted = false;
     /// Snapshots written by this run (periodic + final).
     std::size_t snapshots_written = 0;

@@ -2,10 +2,12 @@
 
 #include <algorithm>
 #include <chrono>
+#include <condition_variable>
 #include <map>
 #include <mutex>
 #include <numeric>
 #include <ostream>
+#include <thread>
 #include <utility>
 
 #include "diag/discrim_engine.hpp"
@@ -65,6 +67,12 @@ void campaign_aggregator::add(const campaign_entry& entry) {
     retries += entry.retries;
     transient_failures += entry.transient_failures;
     quarantined_runs += entry.quarantined_cases + entry.quarantined_tests;
+    if (entry.timed_out) {
+        // The campaign deadline cancelled this fault before any verdict:
+        // a classified placeholder, not evidence of anything.
+        ++timed_out;
+        return;
+    }
     if (entry.errored) {
         // The diagnosis crashed: no verdict to score.  Counting it as
         // detected or unsound would poison the soundness math.
@@ -76,6 +84,12 @@ void campaign_aggregator::add(const campaign_entry& entry) {
         // detected/sound buckets so degradation never reads as either
         // a catch or a misdiagnosis.
         ++inconclusive_unreliable;
+        return;
+    }
+    if (entry.outcome == diagnosis_outcome::inconclusive_resource) {
+        // The entry's own budget ran out undiscriminated — same refusal
+        // semantics as the unreliable-lab outcome.
+        ++inconclusive_resource;
         return;
     }
     if (!entry.detected) return;
@@ -96,6 +110,7 @@ void campaign_aggregator::add(const campaign_entry& entry) {
             break;
         case diagnosis_outcome::passed: break;
         case diagnosis_outcome::inconclusive_unreliable: break;
+        case diagnosis_outcome::inconclusive_resource: break;
     }
     if (entry.escalated) ++escalations;
     if (entry.used_fallback) ++fallbacks;
@@ -111,6 +126,8 @@ campaign_stats campaign_aggregator::finish() const {
     stats.no_hypothesis = no_hypothesis;
     stats.inconclusive_unreliable = inconclusive_unreliable;
     stats.errored = errored;
+    stats.inconclusive_resource = inconclusive_resource;
+    stats.timed_out = timed_out;
     stats.sound = sound;
     stats.escalations = escalations;
     stats.fallbacks = fallbacks;
@@ -167,7 +184,8 @@ campaign_entry campaign_engine::run_one(std::size_t index,
                                         const single_transition_fault& fault,
                                         stage_timings& stage_acc,
                                         double& scoring_acc,
-                                        replay_cost& cost_acc) const {
+                                        replay_cost& cost_acc,
+                                        const cancel_token* cancel) const {
     const system& spec_ = ctx_->spec();
     const std::size_t replay_base = hypothesis_replays();
     const std::size_t steps_base = simulated_steps();
@@ -185,6 +203,23 @@ campaign_entry campaign_engine::run_one(std::size_t index,
     // the resume offset), so a resumed sub-range reproduces the
     // uninterrupted run's per-fault behaviour exactly.
     const std::size_t global_index = options_.index_base + index;
+
+    // Per-entry budget: deadline/quotas from the campaign limits plus the
+    // watchdog's cancel token.  Installed around everything this fault does
+    // (diagnosis *and* scoring) so cancellation and starvation surface as
+    // the classified outcomes below.  With no limits and no watchdog,
+    // nothing is installed — the pre-budget instruction stream, exactly.
+    const campaign_budget& limits = options_.budget;
+    run_budget budget;
+    if (limits.entry_deadline) budget.with_deadline_in(*limits.entry_deadline);
+    if (limits.entry_step_quota)
+        budget.with_step_quota(*limits.entry_step_quota);
+    if (limits.entry_memory_bytes)
+        budget.with_memory_quota(*limits.entry_memory_bytes);
+    if (cancel) budget.with_cancel(*cancel);
+    std::optional<budget_scope> governed;
+    if (budget.has_limits()) governed.emplace(&budget);
+
     try {
         if (options_.fault_hook) options_.fault_hook(global_index);
 
@@ -218,7 +253,8 @@ campaign_entry campaign_engine::run_one(std::size_t index,
         entry.outcome = result.outcome;
         entry.detected =
             result.outcome != diagnosis_outcome::passed &&
-            result.outcome != diagnosis_outcome::inconclusive_unreliable;
+            result.outcome != diagnosis_outcome::inconclusive_unreliable &&
+            result.outcome != diagnosis_outcome::inconclusive_resource;
         entry.initial_diagnoses = result.initial_diagnoses.size();
         entry.final_diagnoses = result.final_diagnoses.size();
         entry.additional_tests = result.additional_tests.size();
@@ -232,10 +268,35 @@ campaign_entry campaign_engine::run_one(std::size_t index,
 
         if (entry.detected) {
             const auto t0 = std::chrono::steady_clock::now();
-            entry.sound = truth_among(*ctx_, fault, result.final_diagnoses,
-                                      options_.diag);
+            try {
+                entry.sound = truth_among(*ctx_, fault,
+                                          result.final_diagnoses,
+                                          options_.diag);
+            } catch (const resource_exhausted&) {
+                // The budget died during scoring, after a completed
+                // diagnosis.  Guessing `sound` either way would corrupt the
+                // soundness math; downgrade the whole entry to the
+                // resource-inconclusive refusal (widening, never flipping).
+                entry.outcome = diagnosis_outcome::inconclusive_resource;
+                entry.detected = false;
+                entry.sound = false;
+            }
             scoring_acc += seconds_since(t0);
         }
+    } catch (const cancelled_error& e) {
+        // The watchdog / campaign deadline cancelled this fault mid-run.
+        // Classified, deterministic content (fixed message) — but excluded
+        // from all verdict math; the sweep layer re-runs it on resume.
+        entry = campaign_entry{};
+        entry.fault = fault;
+        entry.timed_out = true;
+        entry.error_message = e.what();
+    } catch (const resource_exhausted& e) {
+        // Safety net: diagnose() absorbs its own budget stops; anything
+        // escaping here is still isolated as a classified error entry.
+        entry.errored = true;
+        entry.error_kind = "resource";
+        entry.error_message = e.what();
     } catch (const timeout_error& e) {
         entry.errored = true;
         entry.error_kind = "timeout";
@@ -279,7 +340,9 @@ campaign_entry campaign_engine::run_one(std::size_t index,
         discrim_now.table_answers - discrim_base.table_answers;
     cost_acc.discrim_bfs_searches +=
         discrim_now.bfs_searches - discrim_base.bfs_searches;
-    entry.replays = hypothesis_replays() - replay_base;
+    // A cancelled fault's partial work depends on when the watchdog fired;
+    // its entry must stay deterministic, so no counters are attributed.
+    if (!entry.timed_out) entry.replays = hypothesis_replays() - replay_base;
     return entry;
 }
 
@@ -325,13 +388,37 @@ const campaign_stats& campaign_engine::run() {
     // cost here so the metric still covers the whole algorithm.
     metrics_.simulated_steps += ctx_->trace_steps();
 
+    // Campaign-wide deadline: a dedicated watchdog thread flips the cancel
+    // token at the deadline, which (a) stops workers from claiming new
+    // faults and (b) cuts through in-flight diagnoses at their next budget
+    // poll — a stuck worker cannot outlive the deadline by more than one
+    // poll interval.
+    std::optional<cancel_token> wd_token;
+    std::thread watchdog;
+    std::mutex wd_mutex;
+    std::condition_variable wd_cv;
+    bool wd_done = false;
+    if (options_.budget.campaign_deadline) {
+        wd_token.emplace();
+        const auto deadline = std::chrono::steady_clock::now() +
+                              *options_.budget.campaign_deadline;
+        watchdog = std::thread([&, deadline] {
+            std::unique_lock<std::mutex> lock(wd_mutex);
+            if (!wd_cv.wait_until(lock, deadline, [&] { return wd_done; }))
+                wd_token->cancel();
+        });
+    }
+    const cancel_token* cancel = wd_token ? &*wd_token : nullptr;
+
+    std::exception_ptr interrupt;
+    try {
     parallel_for(n, metrics_.jobs, [&](std::size_t k) {
         const std::size_t i = order[k];
         stage_timings stage;
         double scoring = 0.0;
         replay_cost cost;
         campaign_entry entry =
-            run_one(i, faults_[i], stage, scoring, cost);
+            run_one(i, faults_[i], stage, scoring, cost, cancel);
 
         const std::lock_guard<std::mutex> lock(merge_mutex);
         metrics_.replays += entry.replays;
@@ -370,7 +457,65 @@ const campaign_stats& campaign_engine::run() {
                 ++next_emit;
             }
         }
-    });
+    }, cancel);
+    } catch (...) {
+        // An observer interrupt (sweep_interrupt) or a worker's stored
+        // exception: the watchdog must still be torn down before it
+        // propagates.
+        interrupt = std::current_exception();
+    }
+    if (watchdog.joinable()) {
+        {
+            const std::lock_guard<std::mutex> lock(wd_mutex);
+            wd_done = true;
+        }
+        wd_cv.notify_all();
+        watchdog.join();
+    }
+    metrics_.budget_stopped = wd_token && wd_token->cancelled();
+    if (interrupt) std::rethrow_exception(interrupt);
+
+    if (metrics_.budget_stopped && next_emit < n) {
+        // The deadline fired with faults never started (or finished but
+        // held back by a gap).  Synthesize deterministic timed-out entries
+        // for the missing slots so the campaign still reports exactly one
+        // classified entry per planned fault, and release the held-back
+        // finishers in order.  (The sweep recorder throws its interrupt at
+        // the first timed-out entry, truncating its completed prefix
+        // there — resume re-runs exactly the starved indices.)
+        const auto synthesized = [&](std::size_t i) {
+            campaign_entry e;
+            e.fault = faults_[i];
+            e.timed_out = true;
+            e.error_message = "campaign deadline exceeded";
+            return e;
+        };
+        while (next_emit < n) {
+            campaign_entry* slot = nullptr;
+            if (options_.stream_entries) {
+                const auto it = pending.find(next_emit);
+                if (it == pending.end())
+                    slot = &pending.emplace(next_emit,
+                                            synthesized(next_emit))
+                                .first->second;
+                else
+                    slot = &it->second;
+            } else {
+                if (!ready[next_emit]) {
+                    entries[next_emit] = synthesized(next_emit);
+                    ready[next_emit] = 1;
+                }
+                slot = &entries[next_emit];
+            }
+            for (campaign_observer* o : observers_)
+                o->on_fault_done(options_.index_base + next_emit, *slot);
+            if (options_.stream_entries) {
+                agg.add(*slot);
+                pending.erase(next_emit);
+            }
+            ++next_emit;
+        }
+    }
 
     stats_ = options_.stream_entries ? agg.finish()
                                      : aggregate_entries(std::move(entries));
@@ -407,6 +552,12 @@ json_value campaign_entry_to_json(const system& spec,
         row.set("error_kind", json_value::string(e.error_kind));
         row.set("error_message", json_value::string(e.error_message));
     }
+    // Conditional like the error fields: rows of budget-free campaigns stay
+    // byte-identical to pre-budget output.
+    if (e.timed_out) {
+        row.set("timed_out", json_value::boolean(true));
+        row.set("error_message", json_value::string(e.error_message));
+    }
     return row;
 }
 
@@ -429,6 +580,9 @@ static json_value campaign_summary_json(const system& spec,
     totals.set("inconclusive_unreliable",
                json_value::number(stats.inconclusive_unreliable));
     totals.set("errored", json_value::number(stats.errored));
+    totals.set("inconclusive_resource",
+               json_value::number(stats.inconclusive_resource));
+    totals.set("timed_out", json_value::number(stats.timed_out));
     totals.set("sound", json_value::number(stats.sound));
     totals.set("retries", json_value::number(stats.retries));
     totals.set("transient_failures",
@@ -486,6 +640,7 @@ static json_value campaign_summary_json(const system& spec,
              json_value::number(metrics.stage.evaluation));
     cost.set("wall_discrimination_s",
              json_value::number(metrics.stage.discrimination));
+    cost.set("budget_stopped", json_value::boolean(metrics.budget_stopped));
     cost.set("wall_scoring_s", json_value::number(metrics.wall_scoring));
     cost.set("wall_total_s", json_value::number(metrics.wall_total));
     root.set("cost", std::move(cost));

@@ -71,6 +71,12 @@ struct campaign_metrics {
     stage_timings stage;
     double wall_scoring = 0.0;
     double wall_total = 0.0;  ///< end-to-end run() wall-clock
+
+    /// The campaign-wide deadline fired and the watchdog cancelled the run
+    /// (campaign_options::budget.campaign_deadline).  Every planned fault
+    /// still has a classified entry (timed-out ones synthesized); the CLI
+    /// maps this to exit code 3 like the sweep SIGINT path.
+    bool budget_stopped = false;
 };
 
 /// Progress/metrics hook.  All callbacks are serialized (never concurrent)
@@ -163,10 +169,14 @@ class campaign_engine {
     /// entry so a single crashing fault cannot take the campaign down.
     /// `index` is the fault's position in the universe — it parameterizes
     /// the fault_hook and the per-fault flakiness seed.
+    /// `cancel`, when non-null, is the campaign watchdog's token: it is
+    /// wired into the entry's budget so cancellation cuts through the
+    /// diagnosis, which then surfaces here as a classified timed-out entry.
     campaign_entry run_one(std::size_t index,
                            const single_transition_fault& fault,
                            stage_timings& stage_acc, double& scoring_acc,
-                           replay_cost& cost_acc) const;
+                           replay_cost& cost_acc,
+                           const cancel_token* cancel) const;
 
     /// Engaged only by the (spec, suite) convenience constructor.
     std::optional<spec_context> owned_ctx_;

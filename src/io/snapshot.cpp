@@ -132,6 +132,18 @@ std::optional<std::string> read_snapshot_file(const std::string& path) {
         if (!file_exists(path)) return std::nullopt;
         fail("cannot open '" + path + "'");
     }
+    // Size cap before the slurp: a snapshot is a few KB of key/value lines,
+    // so a multi-megabyte file at this path is not a torn write, it is the
+    // wrong file (or garbage) — reject it instead of buffering it all.
+    constexpr std::size_t max_snapshot_bytes = 16 * 1024 * 1024;
+    in.seekg(0, std::ios::end);
+    const auto end_pos = in.tellg();
+    if (end_pos >= 0 &&
+        static_cast<std::size_t>(end_pos) > max_snapshot_bytes)
+        fail("'" + path + "' is " + std::to_string(end_pos) +
+             " bytes — larger than any snapshot (" +
+             std::to_string(max_snapshot_bytes) + " byte cap)");
+    in.seekg(0, std::ios::beg);
     std::ostringstream buf;
     buf << in.rdbuf();
     std::string contents = buf.str();

@@ -19,6 +19,18 @@ namespace {
                       ", column " + std::to_string(column) + ": " + msg);
 }
 
+// Input limits for the untrusted text boundary.  Each one is far above any
+// legitimate model (the biggest zoo system is three orders of magnitude
+// smaller) but low enough that a malicious or corrupt stream is rejected
+// with a positioned model_error before it can balloon allocations.  The
+// limits are part of the format contract: raising one is a format change,
+// not a tuning knob.
+constexpr std::size_t kMaxLineBytes = 64 * 1024;
+constexpr std::size_t kMaxTokenBytes = 4 * 1024;
+constexpr std::size_t kMaxMachines = 1024;
+constexpr std::size_t kMaxTransitionsPerMachine = 64 * 1024;
+constexpr std::size_t kMaxSuiteCases = 1u << 20;
+
 /// Strips a trailing comment only — leading whitespace is preserved so
 /// token columns refer to the line as the user wrote it.
 std::string_view strip_comment(std::string_view line) {
@@ -51,6 +63,26 @@ std::vector<token> tokenize(std::string_view text) {
         }
     }
     return out;
+}
+
+/// Line-level limit checks shared by every parser: call once per raw line
+/// before doing anything else with it.
+void check_line(std::size_t line_no, std::string_view raw_line) {
+    if (raw_line.size() > kMaxLineBytes)
+        fail(line_no, 1,
+             "line exceeds " + std::to_string(kMaxLineBytes) + " bytes");
+}
+
+/// Token-length limit, applied to every token a parser is about to
+/// interpret (a positioned rejection beats a huge-identifier allocation
+/// downstream).
+void check_tokens(std::size_t line_no, const std::vector<token>& tokens) {
+    for (const token& t : tokens) {
+        if (t.text.size() > kMaxTokenBytes)
+            fail(line_no, t.column,
+                 "token exceeds " + std::to_string(kMaxTokenBytes) +
+                     " bytes");
+    }
 }
 
 }  // namespace
@@ -97,9 +129,11 @@ system parse_system(std::string_view text) {
     std::size_t line_no = 0;
     for (const auto& raw_line : split(text, '\n')) {
         ++line_no;
+        check_line(line_no, raw_line);
         const std::string_view line = strip_comment(raw_line);
         const auto w = tokenize(line);
         if (w.empty()) continue;
+        check_tokens(line_no, w);
 
         if (w[0].text == "system") {
             if (w.size() != 2)
@@ -112,6 +146,10 @@ system parse_system(std::string_view text) {
             if (w.size() != 4 || w[2].text != "initial")
                 fail(line_no, w[0].column,
                      "expected: machine <name> initial <state>");
+            if (raw.size() >= kMaxMachines)
+                fail(line_no, w[0].column,
+                     "more than " + std::to_string(kMaxMachines) +
+                         " machines");
             raw.push_back({line_no, w[1].text, w[3].text, {}});
             in_machine = true;
         } else if (w[0].text == "end") {
@@ -144,6 +182,11 @@ system parse_system(std::string_view text) {
                 fail(line_no, w[7].column,
                      "trailing tokens after transition");
             }
+            if (raw.back().transitions.size() >= kMaxTransitionsPerMachine)
+                fail(line_no, w[0].column,
+                     "more than " +
+                         std::to_string(kMaxTransitionsPerMachine) +
+                         " transitions in machine " + raw.back().name);
             raw.back().transitions.push_back(std::move(t));
         }
     }
@@ -226,8 +269,13 @@ test_suite parse_suite(std::string_view text, const symbol_table& symbols) {
     std::size_t line_no = 0;
     for (const auto& raw_line : split(text, '\n')) {
         ++line_no;
+        check_line(line_no, raw_line);
         const std::string_view line = strip_comment(raw_line);
         if (trim(line).empty()) continue;
+        if (suite.cases.size() >= kMaxSuiteCases)
+            fail(line_no, 1,
+                 "more than " + std::to_string(kMaxSuiteCases) +
+                     " test cases");
         const auto colon = line.find(':');
         if (colon == std::string_view::npos)
             fail(line_no, 1, "expected: <name>: <inputs>");
@@ -272,13 +320,22 @@ std::string write_fault(const system& sys,
 
 single_transition_fault parse_fault(std::string_view text,
                                     const system& sys) {
-    const auto w = tokenize(strip_comment(text));
     const auto fail_at = [](std::size_t column,
                             const std::string& msg) -> void {
         throw model_error("parse_fault: column " + std::to_string(column) +
                           ": " + msg);
     };
+    if (text.size() > kMaxLineBytes)
+        fail_at(1, "fault spec exceeds " + std::to_string(kMaxLineBytes) +
+                       " bytes");
+    const auto w = tokenize(strip_comment(text));
     if (w.empty()) fail_at(1, "empty fault spec");
+    for (const token& t : w) {
+        if (t.text.size() > kMaxTokenBytes)
+            fail_at(t.column, "token exceeds " +
+                                  std::to_string(kMaxTokenBytes) +
+                                  " bytes");
+    }
 
     // w[0] = Machine.transition
     const auto dot = w[0].text.find('.');
@@ -345,7 +402,17 @@ single_transition_fault parse_fault(std::string_view text,
             fail_at(w[i].column, "unexpected token '" + w[i].text + "'");
         }
     }
-    validate_fault(sys, fault);
+    // validate_fault speaks in plain `error`; here its complaints are about
+    // the untrusted one-liner (e.g. a no-op fault with no mutation clause),
+    // so they must surface as positioned model_errors like every other
+    // rejection of this parser.  Found by tools/fuzz_io.cpp.
+    try {
+        validate_fault(sys, fault);
+    } catch (const model_error&) {
+        throw;
+    } catch (const error& e) {
+        fail_at(w[0].column, e.what());
+    }
     return fault;
 }
 

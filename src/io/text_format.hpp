@@ -28,6 +28,13 @@
 //     M3.t''4 -> s0                  # transfer fault
 //     M1.t7 / c'                     # output fault
 //     M3.t''4 / a -> s0              # both
+//
+// The parsers treat their input as untrusted: any malformed byte stream —
+// including adversarial ones from the io fuzzer (tools/fuzz_io.cpp) — ends
+// in a positioned model_error, never UB or unbounded allocation.  Explicit
+// format limits back that up (all far above any legitimate model): 64 KiB
+// per line, 4 KiB per token, 1024 machines, 64 Ki transitions per machine,
+// 1 Mi suite cases.  The limits are part of the format contract.
 #pragma once
 
 #include <string>

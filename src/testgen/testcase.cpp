@@ -70,9 +70,21 @@ test_case parse_compact(const std::string& name, const std::string& text,
                !symbols.contains(token.substr(0, split_at)))
             --split_at;
         const std::string sym = token.substr(0, split_at);
-        const int port = std::stoi(token.substr(split_at));
-        detail::require(port >= 1,
-                        "parse_compact: port must be >= 1 in '" + token +
+        // Hand-rolled digits-to-int: std::stoi would throw std::out_of_range
+        // on an overlong digit run, escaping the caller's model_error
+        // handling as a raw exception (found by the io fuzzer).  Ports are
+        // machine indices, so anything above the model limit is malformed.
+        int port = 0;
+        bool overflow = false;
+        for (std::size_t d = split_at; d < token.size(); ++d) {
+            port = port * 10 + (token[d] - '0');
+            if (port > 1'000'000) {
+                overflow = true;
+                break;
+            }
+        }
+        detail::require(port >= 1 && !overflow,
+                        "parse_compact: port out of range in '" + token +
                             "'");
         tc.inputs.push_back(global_input::at(
             machine_id{static_cast<std::uint32_t>(port - 1)},

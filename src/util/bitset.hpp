@@ -57,6 +57,14 @@ class bit_arena {
         used_ = 0;
     }
 
+    /// Total bytes of retained block capacity — what a memory quota
+    /// (util/budget.hpp) accounts against, since reset() keeps capacity.
+    [[nodiscard]] std::size_t capacity_bytes() const noexcept {
+        std::size_t words = 0;
+        for (const auto& b : blocks_) words += b.size();
+        return words * sizeof(std::uint64_t);
+    }
+
   private:
     static constexpr std::size_t default_block_words = 1024;
     std::vector<std::vector<std::uint64_t>> blocks_;

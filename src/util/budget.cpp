@@ -1,0 +1,12 @@
+#include "util/budget.hpp"
+
+namespace cfsmdiag {
+namespace {
+thread_local const run_budget* installed_budget = nullptr;
+}  // namespace
+
+namespace detail {
+const run_budget*& current_budget() noexcept { return installed_budget; }
+}  // namespace detail
+
+}  // namespace cfsmdiag

@@ -72,10 +72,14 @@ void thread_pool::worker_loop() {
 }
 
 void parallel_for(std::size_t count, std::size_t jobs,
-                  const std::function<void(std::size_t)>& body) {
+                  const std::function<void(std::size_t)>& body,
+                  const cancel_token* cancel) {
     const std::size_t n = resolve_job_count(jobs);
     if (n <= 1 || count <= 1) {
-        for (std::size_t i = 0; i < count; ++i) body(i);
+        for (std::size_t i = 0; i < count; ++i) {
+            if (cancel && cancel->cancelled()) return;
+            body(i);
+        }
         return;
     }
     thread_pool pool(std::min(n, count));
@@ -89,6 +93,9 @@ void parallel_for(std::size_t count, std::size_t jobs,
                 // wait() holds the exception.  Claimed iterations still
                 // finish — cancellation never interrupts a running body.
                 if (cancelled.load(std::memory_order_relaxed)) return;
+                // External stop (watchdog / campaign deadline): same
+                // claim-no-more semantics, but not an error.
+                if (cancel && cancel->cancelled()) return;
                 const std::size_t i =
                     cursor.fetch_add(1, std::memory_order_relaxed);
                 if (i >= count) return;

@@ -22,6 +22,8 @@
 #include <thread>
 #include <vector>
 
+#include "util/budget.hpp"
+
 namespace cfsmdiag {
 
 /// Returns a sane worker count: `requested`, or the hardware concurrency
@@ -82,7 +84,14 @@ class thread_pool {
 /// after the failure (in-flight iterations run to completion), matching
 /// the serial path, which stops at the throwing index.  Callers must not
 /// assume every index executed when parallel_for throws.
+///
+/// `cancel`, when non-null, is an external stop: once cancelled, no new
+/// indices are claimed (checked before every claim, including on the
+/// serial inline path), so a watchdog stops queued work promptly.  Unlike
+/// a throwing iteration, external cancellation is not an error —
+/// parallel_for returns normally; the caller inspects the token.
 void parallel_for(std::size_t count, std::size_t jobs,
-                  const std::function<void(std::size_t)>& body);
+                  const std::function<void(std::size_t)>& body,
+                  const cancel_token* cancel = nullptr);
 
 }  // namespace cfsmdiag

@@ -272,7 +272,9 @@ struct campaign_cli_args {
 /// [--json <path>] [--progress] [--no-replay-cache] [--no-compiled-core]
 /// [--no-flat-discrimination] [--no-discrim-memo] [--max-joint-states N]
 /// [--flaky R]
-/// [--flaky-seed S] [--retries N] [--votes N] [--deadline-ms N]
+/// [--flaky-seed S] [--retries N] [--votes N] [--retry-deadline-ms N]
+/// [--deadline-ms N] [--entry-deadline-ms N] [--entry-steps N]
+/// [--max-memory-mb N]
 /// [--checkpoint <path>] [--checkpoint-every <n|Ns>] [--spill <path>]
 /// [--resume] [--abort-after N] — the bare positional [max] is the
 /// pre-engine spelling and keeps old invocations working.
@@ -344,8 +346,55 @@ campaign_cli_args parse_campaign_args(const std::vector<std::string>& args) {
             out.options.retry.votes =
                 parse_count("campaign: --votes", value_of(i, a));
         } else if (a == "--deadline-ms") {
-            out.options.retry.deadline_ms =
+            // Campaign-wide wall-clock budget: on expiry the watchdog
+            // cancels the run and every unfinished fault reports a
+            // classified timed-out entry (exit code 3, like SIGINT).
+            const std::uint64_t ms =
                 parse_count("campaign: --deadline-ms", value_of(i, a));
+            if (ms == 0)
+                throw usage_error(
+                    "campaign: --deadline-ms expects a positive "
+                    "millisecond count, got '0'");
+            out.options.budget.campaign_deadline =
+                std::chrono::milliseconds(ms);
+        } else if (a == "--entry-deadline-ms") {
+            const std::uint64_t ms =
+                parse_count("campaign: --entry-deadline-ms", value_of(i, a));
+            if (ms == 0)
+                throw usage_error(
+                    "campaign: --entry-deadline-ms expects a positive "
+                    "millisecond count, got '0'");
+            out.options.budget.entry_deadline =
+                std::chrono::milliseconds(ms);
+        } else if (a == "--entry-steps") {
+            // Deterministic per-entry budget (counted in governed steps,
+            // not wall-clock) — the reproducible way to exercise the
+            // degradation ladder.
+            const std::uint64_t steps =
+                parse_count("campaign: --entry-steps", value_of(i, a));
+            if (steps == 0)
+                throw usage_error(
+                    "campaign: --entry-steps expects a positive step "
+                    "count, got '0'");
+            out.options.budget.entry_step_quota = steps;
+        } else if (a == "--max-memory-mb") {
+            const std::uint64_t mb =
+                parse_count("campaign: --max-memory-mb", value_of(i, a));
+            constexpr std::uint64_t mib = 1024 * 1024;
+            if (mb == 0 || mb > SIZE_MAX / mib)
+                throw usage_error(
+                    "campaign: --max-memory-mb expects a positive "
+                    "megabyte count below " +
+                    std::to_string(SIZE_MAX / mib) + ", got '" +
+                    std::to_string(mb) + "'");
+            out.options.budget.entry_memory_bytes =
+                static_cast<std::size_t>(mb * mib);
+        } else if (a == "--retry-deadline-ms") {
+            // Per-fault deadline of the resilient-oracle retry policy
+            // (previously spelled --deadline-ms, which now names the
+            // campaign-wide budget above).
+            out.options.retry.deadline_ms = parse_count(
+                "campaign: --retry-deadline-ms", value_of(i, a));
         } else if (a == "--checkpoint") {
             out.checkpoint_path = value_of(i, a);
         } else if (a == "--checkpoint-every") {
@@ -425,6 +474,11 @@ void print_campaign_summary(const campaign_stats& stats,
                   << " quarantined run(s), " << stats.retries
                   << " retrie(s), " << stats.transient_failures
                   << " transient failure(s)\n";
+    }
+    if (stats.inconclusive_resource > 0 || stats.timed_out > 0) {
+        std::cout << "budget: " << stats.inconclusive_resource
+                  << " inconclusive (resource), " << stats.timed_out
+                  << " timed out\n";
     }
     std::cout << "mean additional tests: "
               << fmt_double(stats.mean_additional_tests, 2)
@@ -544,6 +598,13 @@ int cmd_campaign(const campaign_cli_args& cli) {
     if (!cli.json_path.empty())
         write_campaign_json(cli.json_path, sys, stats, metrics);
     print_campaign_summary(stats, metrics);
+    if (metrics.budget_stopped) {
+        // Same contract as the sweep SIGINT path: the run ended early but
+        // every planned fault has a classified entry.
+        std::cout << "stopped by --deadline-ms — " << stats.timed_out
+                  << " fault(s) timed out\n";
+        return 3;
+    }
     return stats.sound == stats.detected ? 0 : 1;
 }
 
@@ -618,7 +679,15 @@ int main(int argc, char** argv) {
            "                    [--no-discrim-memo]\n"
            "                    [--max-joint-states N]\n"
            "                    [--flaky R] [--flaky-seed S] [--retries N]\n"
-           "                    [--votes N] [--deadline-ms N]\n"
+           "                    [--votes N] [--retry-deadline-ms N]\n"
+           "                    [--deadline-ms N] (campaign-wide wall-clock\n"
+           "                     budget; unfinished faults become classified\n"
+           "                     timed-out entries and the exit code is 3)\n"
+           "                    [--entry-deadline-ms N] [--entry-steps N]\n"
+           "                    [--max-memory-mb N] (per-fault budgets; on\n"
+           "                     exhaustion the diagnosis degrades to an\n"
+           "                     inconclusive-resource verdict, never a\n"
+           "                     wrong or missing entry)\n"
            "                    [--checkpoint <path>]\n"
            "                    [--checkpoint-every <n|Ns>] (entries, or\n"
            "                     seconds with an 's' suffix; default 1024)\n"

@@ -6,7 +6,9 @@
 #                    (thread_pool, ordered observer emission, shared spec).
 #   ASan+UBSan     — memory/UB pass over the unreliable-lab stack (flaky
 #                    SUT, retrying oracle, crash-isolated engine), whose
-#                    exception paths are easy to corrupt silently.
+#                    exception paths are easy to corrupt silently; also
+#                    hosts the adversarial-input fuzz smoke over the
+#                    untrusted parsers (io/text_format, io/snapshot).
 #
 # Usage: tools/ci.sh [jobs]      (default: nproc)
 set -euo pipefail
@@ -70,7 +72,7 @@ cmake -B "${tsan_dir}" -S . -DCMAKE_BUILD_TYPE=RelWithDebInfo \
 echo "=== [tsan] build engine tests ==="
 cmake --build "${tsan_dir}" -j "${JOBS}" \
       --target campaign_engine_test discrim_engine_test bitset_test \
-      property_test cfsmdiag_cli
+      property_test budget_test cfsmdiag_cli
 echo "=== [tsan] run ==="
 "${tsan_dir}/tests/campaign_engine_test"
 # The discrimination engine's lazily-built tables, sharded memo and replay/
@@ -83,6 +85,10 @@ echo "=== [tsan] run ==="
 "${tsan_dir}/tests/bitset_test"
 "${tsan_dir}/tests/property_test" \
       --gtest_filter='compiled_core.*'
+# The watchdog thread, the shared cancel token, and parallel_for's
+# cancellation fast-path race against every worker — the budget suite's
+# watchdog/resume and pool-cancel tests are the new threaded surface.
+"${tsan_dir}/tests/budget_test"
 "${tsan_dir}/tools/cfsmdiag" campaign examples/data/figure1.cfsm \
       --max-faults 40 --jobs 4 --seed 7 >/dev/null
 
@@ -96,7 +102,7 @@ cmake -B "${asan_dir}" -S . -DCMAKE_BUILD_TYPE=RelWithDebInfo \
 echo "=== [asan+ubsan] build resilience tests ==="
 cmake --build "${asan_dir}" -j "${JOBS}" \
       --target resilience_test checkpoint_test bitset_test property_test \
-      cfsmdiag_cli
+      cfsmdiag_cli fuzz_io
 echo "=== [asan+ubsan] run ==="
 "${asan_dir}/tests/resilience_test"
 # The checkpoint layer's POSIX fd handling (spill truncate/append/fsync),
@@ -113,5 +119,16 @@ echo "=== [asan+ubsan] run ==="
 "${asan_dir}/tools/cfsmdiag" campaign examples/data/figure1.cfsm \
       --max-faults 20 --jobs 2 --seed 7 \
       --flaky 0.05 --retries 3 >/dev/null
+
+# Adversarial-input pass: replay the committed regression corpus, then a
+# bounded structure-aware mutation run, both under ASan+UBSan.  Every
+# malformed byte stream must end in model_error/snapshot_error — any
+# sanitizer report, other exception, or hang fails CI.  New crashers are
+# minimized into ${asan_dir}/fuzz-crashers; commit them to tests/data/fuzz
+# alongside the parser fix.
+echo "=== [asan+ubsan] io fuzz smoke ==="
+"${asan_dir}/tools/fuzz_io" --replay tests/data/fuzz
+"${asan_dir}/tools/fuzz_io" --iters 400 --seed 42 \
+      --out "${asan_dir}/fuzz-crashers"
 
 echo "=== CI OK ==="

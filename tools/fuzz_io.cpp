@@ -1,0 +1,373 @@
+// fuzz_io — deterministic structure-aware mutation fuzzer for the two
+// untrusted input boundaries: the text format (systems, suites, fault
+// specs) and the snapshot/checkpoint resume path.
+//
+// The contract under test: every byte stream, however malformed, must end
+// in a positioned model_error / snapshot_error or a successful parse —
+// never another exception type, UB, or unbounded allocation.  Anything
+// else is a crasher: it is minimized by greedy chunk deletion and written
+// to the output directory, named `<boundary>_<n>.dat` so a replay run can
+// route it back to the right parser.
+//
+// Everything is seeded and platform-independent (util/rng.hpp), so a CI
+// smoke run with fixed --iters/--seed explores the same inputs everywhere.
+// Minimized crashers are committed to tests/data/fuzz/ as a regression
+// corpus; tests/budget_test.cpp and tools/ci.sh replay it under
+// ASan+UBSan.
+//
+//   fuzz_io [--iters N] [--seed S] [--out DIR]    fuzz, write crashers
+//   fuzz_io --replay DIR                          re-run a corpus
+#include <algorithm>
+#include <cstdlib>
+#include <filesystem>
+#include <fstream>
+#include <iostream>
+#include <sstream>
+#include <string>
+#include <vector>
+
+#include "cfsmdiag.hpp"
+#include "gen/checkpoint.hpp"
+#include "io/snapshot.hpp"
+#include "models/models.hpp"
+
+namespace {
+
+using namespace cfsmdiag;
+
+// ---------------------------------------------------------------------------
+// Boundaries.  Each one takes raw bytes and drives a full untrusted-input
+// path, including the follow-on validation a real caller performs.
+
+enum class boundary { system_text, suite_text, fault_text, snapshot };
+
+constexpr const char* kBoundaryNames[] = {"system", "suite", "fault",
+                                          "snapshot"};
+
+const char* name_of(boundary b) {
+    return kBoundaryNames[static_cast<int>(b)];
+}
+
+/// The spec the suite/fault parsers resolve symbols against — fixed, so
+/// the fuzz target is purely the input bytes.
+const cfsmdiag::system& reference_spec() {
+    static const cfsmdiag::system spec = paperex::make_paper_example().spec;
+    return spec;
+}
+
+/// Scratch file for the snapshot boundary (load_snapshot reads from disk).
+std::string& snapshot_scratch() {
+    static std::string path = [] {
+        char tmpl[] = "/tmp/fuzz_io.XXXXXX";
+        const char* dir = ::mkdtemp(tmpl);
+        if (!dir) {
+            std::cerr << "fuzz_io: mkdtemp failed\n";
+            std::exit(2);
+        }
+        return std::string(dir) + "/snap";
+    }();
+    return path;
+}
+
+void drive(boundary b, const std::string& bytes) {
+    switch (b) {
+        case boundary::system_text: {
+            const cfsmdiag::system sys = parse_system(bytes);
+            validate_structure(sys);
+            break;
+        }
+        case boundary::suite_text:
+            (void)parse_suite(bytes, reference_spec().symbols());
+            break;
+        case boundary::fault_text:
+            (void)parse_fault(bytes, reference_spec());
+            break;
+        case boundary::snapshot: {
+            // File-level first (checksum/footer/size handling), then the
+            // checkpoint grammar on whatever payload survives.
+            const std::string& path = snapshot_scratch();
+            {
+                std::ofstream out(path, std::ios::binary | std::ios::trunc);
+                out.write(bytes.data(),
+                          static_cast<std::streamsize>(bytes.size()));
+            }
+            if (auto loaded = load_snapshot(path))
+                (void)parse_sweep_checkpoint(loaded->payload);
+            break;
+        }
+    }
+}
+
+/// True when the bytes crash the boundary (anything but success or a
+/// model_error/snapshot_error rejection).  `why` gets the escapee's text.
+bool crashes(boundary b, const std::string& bytes, std::string& why) {
+    try {
+        drive(b, bytes);
+        return false;
+    } catch (const model_error&) {
+        return false;
+    } catch (const snapshot_error&) {
+        return false;
+    } catch (const std::exception& e) {
+        why = e.what();
+        return true;
+    } catch (...) {
+        why = "(non-std exception)";
+        return true;
+    }
+}
+
+// ---------------------------------------------------------------------------
+// Seeds: valid writes of real models, so mutations start structure-aware.
+
+std::vector<std::string> seeds_for(boundary b) {
+    const auto example = paperex::make_paper_example();
+    switch (b) {
+        case boundary::system_text:
+            return {write_system(example.spec),
+                    write_system(models::sliding_window(3))};
+        case boundary::suite_text:
+            return {write_suite(example.suite, example.spec.symbols())};
+        case boundary::fault_text:
+            return {write_fault(example.spec, example.fault)};
+        case boundary::snapshot: {
+            // A real on-disk snapshot of a plausible checkpoint, footer
+            // and all.
+            sweep_checkpoint cp = fingerprint_sweep(
+                spec_context(example.spec, example.suite),
+                enumerate_all_faults(example.spec), {});
+            cp.planned = 10;
+            cp.completed = 4;
+            cp.aggregates.total = 4;
+            cp.aggregates.detected = 3;
+            cp.aggregates.sound = 3;
+            const std::string& path = snapshot_scratch();
+            write_snapshot_file(path, write_sweep_checkpoint(cp));
+            std::ifstream in(path, std::ios::binary);
+            std::ostringstream buf;
+            buf << in.rdbuf();
+            return {buf.str()};
+        }
+    }
+    return {};
+}
+
+// ---------------------------------------------------------------------------
+// Mutation engine: byte-level damage plus grammar-aware splices.
+
+const std::vector<std::string>& dictionary() {
+    static const std::vector<std::string> words = {
+        "system ",  "machine ", " initial ", "end",
+        " -> ",     " => ",     " / ",       ": ",
+        "@P",       "R, ",      "#",         "\n",
+        "checksum ", "format cfsmdiag-sweep-v2",
+        "18446744073709551616", "99999999999999999999999999999999",
+        "-1",       "0",        "a1",        "c'3",
+    };
+    return words;
+}
+
+std::string mutate(std::string s, rng& r) {
+    const std::size_t rounds = 1 + r.index(4);
+    for (std::size_t k = 0; k < rounds; ++k) {
+        if (s.empty()) {
+            s = r.pick(dictionary());
+            continue;
+        }
+        switch (r.index(8)) {
+            case 0:  // bit flip
+                s[r.index(s.size())] ^=
+                    static_cast<char>(1u << r.index(8));
+                break;
+            case 1:  // random byte
+                s[r.index(s.size())] =
+                    static_cast<char>(r.below(256));
+                break;
+            case 2:  // truncate
+                s.resize(r.index(s.size()));
+                break;
+            case 3: {  // delete a slice
+                const std::size_t at = r.index(s.size());
+                const std::size_t len =
+                    1 + r.index(std::min<std::size_t>(64, s.size() - at));
+                s.erase(at, len);
+                break;
+            }
+            case 4: {  // duplicate a slice
+                const std::size_t at = r.index(s.size());
+                const std::size_t len =
+                    1 + r.index(std::min<std::size_t>(256, s.size() - at));
+                s.insert(r.index(s.size() + 1), s.substr(at, len));
+                break;
+            }
+            case 5: {  // long run of one byte (overlong line/token attack)
+                const char c = r.chance(0.5)
+                                   ? 'a'
+                                   : static_cast<char>(r.below(256));
+                const std::size_t len = 1u << r.between(4, 17);
+                s.insert(r.index(s.size() + 1), std::string(len, c));
+                break;
+            }
+            case 6:  // dictionary splice
+                s.insert(r.index(s.size() + 1), r.pick(dictionary()));
+                break;
+            case 7: {  // swap two halves around a pivot
+                const std::size_t at = r.index(s.size());
+                s = s.substr(at) + s.substr(0, at);
+                break;
+            }
+        }
+    }
+    return s;
+}
+
+/// Greedy chunk-deletion minimizer: keeps the crash property while the
+/// input shrinks, halving the chunk size down to one byte.
+std::string minimize(boundary b, std::string input) {
+    std::string why;
+    for (std::size_t chunk = input.size() / 2; chunk >= 1; chunk /= 2) {
+        bool shrunk = true;
+        while (shrunk) {
+            shrunk = false;
+            for (std::size_t at = 0; at + chunk <= input.size();
+                 at += chunk) {
+                std::string candidate = input;
+                candidate.erase(at, chunk);
+                if (crashes(b, candidate, why)) {
+                    input = std::move(candidate);
+                    shrunk = true;
+                    break;
+                }
+            }
+        }
+        if (chunk == 1) break;
+    }
+    return input;
+}
+
+// ---------------------------------------------------------------------------
+
+struct cli_args {
+    std::size_t iters = 2000;
+    std::uint64_t seed = 1;
+    std::string out_dir = "fuzz_crashers";
+    std::string replay_dir;
+};
+
+int run_replay(const std::string& dir) {
+    namespace fs = std::filesystem;
+    if (!fs::is_directory(dir)) {
+        std::cerr << "fuzz_io: --replay: not a directory: " << dir << "\n";
+        return 2;
+    }
+    std::vector<fs::path> files;
+    for (const auto& e : fs::directory_iterator(dir))
+        if (e.is_regular_file()) files.push_back(e.path());
+    std::sort(files.begin(), files.end());
+    std::size_t crashed = 0;
+    for (const fs::path& p : files) {
+        std::ifstream in(p, std::ios::binary);
+        std::ostringstream buf;
+        buf << in.rdbuf();
+        const std::string bytes = buf.str();
+        const std::string stem = p.filename().string();
+        // Route by filename prefix; unknown prefixes hit every boundary.
+        std::vector<boundary> targets;
+        for (int bi = 0; bi < 4; ++bi) {
+            const boundary b = static_cast<boundary>(bi);
+            if (stem.rfind(name_of(b), 0) == 0) targets = {b};
+        }
+        if (targets.empty())
+            targets = {boundary::system_text, boundary::suite_text,
+                       boundary::fault_text, boundary::snapshot};
+        for (const boundary b : targets) {
+            std::string why;
+            if (crashes(b, bytes, why)) {
+                ++crashed;
+                std::cerr << "CRASH " << stem << " [" << name_of(b)
+                          << "]: " << why << "\n";
+            }
+        }
+    }
+    std::cout << "replayed " << files.size() << " corpus file(s), "
+              << crashed << " crash(es)\n";
+    return crashed == 0 ? 0 : 1;
+}
+
+int run_fuzz(const cli_args& cli) {
+    namespace fs = std::filesystem;
+    rng r(cli.seed);
+    std::size_t found = 0;
+    std::size_t executed = 0;
+    for (int bi = 0; bi < 4; ++bi) {
+        const boundary b = static_cast<boundary>(bi);
+        const std::vector<std::string> seeds = seeds_for(b);
+        // Sanity: the unmutated seeds must pass — a red seed means the
+        // fuzzer is configured wrong, not that the parser is broken.
+        for (const std::string& s : seeds) {
+            std::string why;
+            if (crashes(b, s, why)) {
+                std::cerr << "fuzz_io: seed for " << name_of(b)
+                          << " crashes unmutated: " << why << "\n";
+                return 2;
+            }
+        }
+        for (std::size_t i = 0; i < cli.iters; ++i, ++executed) {
+            const std::string input = mutate(r.pick(seeds), r);
+            std::string why;
+            if (!crashes(b, input, why)) continue;
+            const std::string small = minimize(b, input);
+            fs::create_directories(cli.out_dir);
+            const std::string file = cli.out_dir + "/" +
+                                     name_of(b) + "_" +
+                                     std::to_string(found) + ".dat";
+            std::ofstream out(file, std::ios::binary);
+            out.write(small.data(),
+                      static_cast<std::streamsize>(small.size()));
+            std::cerr << "CRASH [" << name_of(b) << "] iter " << i << ": "
+                      << why << "\n  minimized to " << small.size()
+                      << " bytes -> " << file << "\n";
+            ++found;
+        }
+    }
+    std::cout << "fuzzed " << executed << " input(s) across 4 boundaries, "
+              << found << " crash(es)\n";
+    return found == 0 ? 0 : 1;
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+    cli_args cli;
+    const std::vector<std::string> args(argv + 1, argv + argc);
+    for (std::size_t i = 0; i < args.size(); ++i) {
+        auto value = [&](const char* flag) -> const std::string& {
+            if (i + 1 >= args.size()) {
+                std::cerr << "fuzz_io: " << flag << " needs a value\n";
+                std::exit(2);
+            }
+            return args[++i];
+        };
+        if (args[i] == "--iters")
+            cli.iters = std::strtoull(value("--iters").c_str(), nullptr, 10);
+        else if (args[i] == "--seed")
+            cli.seed = std::strtoull(value("--seed").c_str(), nullptr, 10);
+        else if (args[i] == "--out")
+            cli.out_dir = value("--out");
+        else if (args[i] == "--replay")
+            cli.replay_dir = value("--replay");
+        else {
+            std::cerr << "usage: fuzz_io [--iters N] [--seed S] "
+                         "[--out DIR] | fuzz_io --replay DIR\n";
+            return 2;
+        }
+    }
+    try {
+        if (!cli.replay_dir.empty()) return run_replay(cli.replay_dir);
+        return run_fuzz(cli);
+    } catch (const std::exception& e) {
+        // Harness-level failure (I/O, temp dir), not a parser verdict.
+        std::cerr << "fuzz_io: " << e.what() << "\n";
+        return 2;
+    }
+}
